@@ -1,0 +1,307 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the §III-B ablations and pipeline
+// micro-benchmarks. Regenerate everything with
+//
+//	go test -bench=. -benchmem
+//
+// The drivers live in internal/exp; cmd/ddexp prints the full tables. The
+// benchmarks run reduced configurations (scale/workload subsets) so the
+// whole suite finishes in minutes and report the headline quantity of each
+// experiment through b.ReportMetric.
+package ddprof_test
+
+import (
+	"strings"
+	"testing"
+
+	"ddprof"
+	"ddprof/internal/core"
+	"ddprof/internal/event"
+	"ddprof/internal/exp"
+	"ddprof/internal/loc"
+	"ddprof/internal/queue"
+	"ddprof/internal/sig"
+)
+
+func benchOpts() exp.Options {
+	o := exp.Defaults()
+	o.Scale = 0.4
+	return o
+}
+
+// BenchmarkTable1 regenerates Table I (FPR/FNR vs signature size) on a
+// representative Starbench subset and reports the average FPR at the
+// smallest and largest signatures.
+func BenchmarkTable1(b *testing.B) {
+	o := benchOpts()
+	o.Only = []string{"streamcluster", "tinyjpeg", "rotate", "kmeans"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Table1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fprSmall, fprLarge float64
+		for _, r := range rows {
+			fprSmall += r.Rates[0].FPR
+			fprLarge += r.Rates[len(r.Rates)-1].FPR
+		}
+		b.ReportMetric(fprSmall/float64(len(rows)), "FPR%@small-sig")
+		b.ReportMetric(fprLarge/float64(len(rows)), "FPR%@large-sig")
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (parallelizable NAS loops) and
+// reports the identified ratio (paper: 92.5%).
+func BenchmarkTable2(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Table2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		omp, ident, missed := 0, 0, 0
+		for _, r := range rows {
+			omp += r.OMP
+			ident += r.IdentifiedDP
+			missed += r.MissedSig
+		}
+		b.ReportMetric(100*float64(ident)/float64(omp), "identified%")
+		b.ReportMetric(float64(missed), "missed-by-sig")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (sequential-target slowdowns) on a
+// subset and reports the serial and 16T lock-free slowdown averages.
+func BenchmarkFig5(b *testing.B) {
+	o := benchOpts()
+	o.Only = []string{"EP", "FT", "rotate", "streamcluster"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Fig5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var serial, lf16 float64
+		for _, r := range rows {
+			serial += r.Serial
+			lf16 += r.LockFree16T
+		}
+		b.ReportMetric(serial/float64(len(rows)), "serial-slowdown-x")
+		b.ReportMetric(lf16/float64(len(rows)), "16T-lockfree-slowdown-x")
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (parallel-target slowdowns) on a
+// subset.
+func BenchmarkFig6(b *testing.B) {
+	o := benchOpts()
+	o.Only = []string{"rgbyuv", "md5"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s8, s16 float64
+		for _, r := range rows {
+			s8 += r.Workers8
+			s16 += r.Workers16
+		}
+		b.ReportMetric(s8/float64(len(rows)), "8T-slowdown-x")
+		b.ReportMetric(s16/float64(len(rows)), "16T-slowdown-x")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (memory, sequential targets) on a
+// subset and reports average MB at 16 workers.
+func BenchmarkFig7(b *testing.B) {
+	o := benchOpts()
+	o.Only = []string{"FT", "IS", "streamcluster"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mb float64
+		for _, r := range rows {
+			mb += float64(r.T16) / (1 << 20)
+		}
+		b.ReportMetric(mb/float64(len(rows)), "MB@16T")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (memory, parallel targets) on a
+// subset.
+func BenchmarkFig8(b *testing.B) {
+	o := benchOpts()
+	o.Only = []string{"md5", "rotate"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mb float64
+		for _, r := range rows {
+			mb += float64(r.T16) / (1 << 20)
+		}
+		b.ReportMetric(mb/float64(len(rows)), "MB@16T")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (water-spatial communication matrix)
+// and reports the band-to-background contrast.
+func BenchmarkFig9(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := res.Matrix
+		var nb, far uint64
+		for p := 0; p < m.Threads; p++ {
+			nb += m.M[p][(p+1)%m.Threads]
+			far += m.M[p][(p+3)%m.Threads]
+		}
+		b.ReportMetric(float64(nb)/float64(far+1), "neighbour/far-contrast")
+		b.ReportMetric(float64(m.CrossThread()), "crossthread-RAW")
+	}
+}
+
+// BenchmarkEq2 regenerates the Equation (2) validation and reports the
+// worst absolute prediction error.
+func BenchmarkEq2(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Eq2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			d := r.Predicted - r.Measured
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		b.ReportMetric(worst, "worst-abs-error")
+	}
+}
+
+// BenchmarkMergeAblation measures the §III-B dependence-merging factor.
+func BenchmarkMergeAblation(b *testing.B) {
+	o := benchOpts()
+	o.Only = []string{"CG", "MG", "FT"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.MergeAblation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var f float64
+		for _, r := range rows {
+			f += r.Factor
+		}
+		b.ReportMetric(f/float64(len(rows)), "merge-factor-x")
+	}
+}
+
+// BenchmarkStoreAblation measures the §III-B store comparison (paper: hash
+// table 1.5–3.7× slower than signatures).
+func BenchmarkStoreAblation(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.StoreAblation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows[1:] {
+			unit := strings.ReplaceAll(r.Store, " ", "-")
+			b.ReportMetric(r.RelativeToSig, unit+"-vs-sig-x")
+		}
+	}
+}
+
+// --- pipeline micro-benchmarks ------------------------------------------
+
+// BenchmarkEngineSignature measures Algorithm 1 throughput against the
+// signature store.
+func BenchmarkEngineSignature(b *testing.B) {
+	benchEngine(b, func() sig.Store { return sig.NewSignature(1 << 20) })
+}
+
+// BenchmarkEnginePerfect measures Algorithm 1 against the exact map store.
+func BenchmarkEnginePerfect(b *testing.B) {
+	benchEngine(b, func() sig.Store { return sig.NewPerfectSignature() })
+}
+
+func benchEngine(b *testing.B, mk func() sig.Store) {
+	eng := core.NewEngine(mk(), nil, false)
+	l := loc.Pack(1, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := event.Access{Addr: uint64(i%4096) * 8, Loc: l, Kind: event.Kind(i & 1)}
+		eng.Process(a)
+	}
+}
+
+// BenchmarkQueueSPSC measures the lock-free chunk queue.
+func BenchmarkQueueSPSC(b *testing.B) {
+	q := queue.NewSPSC[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !q.TryPush(1) {
+				q.TryPop()
+			}
+		}
+	})
+}
+
+// BenchmarkQueueLocked measures the mutex queue baseline.
+func BenchmarkQueueLocked(b *testing.B) {
+	q := queue.NewLocked[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !q.TryPush(1) {
+				q.TryPop()
+			}
+		}
+	})
+}
+
+// BenchmarkProfileEndToEnd measures the public API end to end on the
+// quickstart-sized program.
+func BenchmarkProfileEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := ddprof.NewProgram("bench")
+		p.MainFunc(func(blk *ddprof.Block) {
+			blk.Decl("sum", ddprof.Ci(0))
+			blk.DeclArr("a", ddprof.Ci(256))
+			blk.For("i", ddprof.Ci(0), ddprof.Ci(256), ddprof.Ci(1),
+				ddprof.LoopOpt{Name: "fill"}, func(l *ddprof.Block) {
+					l.Set("a", ddprof.V("i"), ddprof.V("i"))
+					l.Reduce("sum", ddprof.OpAdd, ddprof.Idx("a", ddprof.V("i")))
+				})
+		})
+		if _, err := ddprof.Profile(p, ddprof.Config{Mode: ddprof.ModeParallel, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBalance measures the §IV-A load-balance ablation and reports the
+// three imbalance factors for kmeans.
+func BenchmarkBalance(b *testing.B) {
+	o := benchOpts()
+	o.Only = []string{"kmeans"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Balance(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Modulo, "modulo-imbalance")
+		b.ReportMetric(rows[0].Redistributed, "redistributed-imbalance")
+		b.ReportMetric(rows[0].RoundRobin, "roundrobin-imbalance")
+	}
+}

@@ -1,0 +1,116 @@
+// Command ddexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ddexp table1            # Table I  (FPR/FNR vs signature size)
+//	ddexp table2            # Table II (parallelizable NAS loops)
+//	ddexp fig5              # Figure 5 (sequential-target slowdowns)
+//	ddexp fig6              # Figure 6 (parallel-target slowdowns)
+//	ddexp fig7              # Figure 7 (memory, sequential targets)
+//	ddexp fig8              # Figure 8 (memory, parallel targets)
+//	ddexp fig9              # Figure 9 (water-spatial communication matrix)
+//	ddexp eq2               # Equation (2) validation
+//	ddexp merge             # dependence-merging ablation (§III-B)
+//	ddexp stores            # signature vs hash table vs shadow memory (§III-B)
+//	ddexp balance           # worker load balance: modulo vs redistribution vs round-robin
+//	ddexp sweep             # full FPR/FNR-vs-signature-size curve (rotate)
+//	ddexp all               # everything above
+//
+// Flags: -scale N (problem size multiplier), -paper (paper-scale signature
+// sizes and repetitions), -only a,b,c (restrict to named workloads),
+// -reps N (timing repetitions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ddprof/internal/exp"
+	"ddprof/internal/report"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0, "workload problem-size multiplier (0 = default)")
+		paper = flag.Bool("paper", false, "use the paper's signature sizes (1e6/1e7/1e8) and 3 timing reps")
+		only  = flag.String("only", "", "comma-separated workload names to restrict to")
+		reps  = flag.Int("reps", 0, "timing repetitions (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ddexp [flags] table1|table2|fig5|fig6|fig7|fig8|fig9|eq2|merge|stores|balance|sweep|all")
+		os.Exit(2)
+	}
+
+	opt := exp.Defaults()
+	if *paper {
+		opt = exp.PaperScale()
+	}
+	if *scale > 0 {
+		opt.Scale = *scale
+	}
+	if *reps > 0 {
+		opt.Reps = *reps
+	}
+	if *only != "" {
+		opt.Only = strings.Split(*only, ",")
+	}
+
+	runners := map[string]func(exp.Options) error{
+		"table1": func(o exp.Options) error { return render(exp.Table1(o)) },
+		"table2": func(o exp.Options) error { return render(exp.Table2(o)) },
+		"fig5":   func(o exp.Options) error { return render(exp.Fig5(o)) },
+		"fig6":   func(o exp.Options) error { return render(exp.Fig6(o)) },
+		"fig7":   func(o exp.Options) error { return render(exp.Fig7(o)) },
+		"fig8":   func(o exp.Options) error { return render(exp.Fig8(o)) },
+		"fig9": func(o exp.Options) error {
+			tab, res, err := exp.Fig9(o)
+			if err != nil {
+				return err
+			}
+			tab.Render(os.Stdout)
+			fmt.Println()
+			fmt.Println(res.Heatmap)
+			return nil
+		},
+		"eq2":     func(o exp.Options) error { return render(exp.Eq2(o)) },
+		"merge":   func(o exp.Options) error { return render(exp.MergeAblation(o)) },
+		"stores":  func(o exp.Options) error { return render(exp.StoreAblation(o)) },
+		"balance": func(o exp.Options) error { return render(exp.Balance(o)) },
+		"sweep":   func(o exp.Options) error { return render(exp.Sweep(o, "rotate")) },
+	}
+	order := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "eq2", "merge", "stores", "balance", "sweep"}
+
+	what := flag.Arg(0)
+	if what == "all" {
+		for _, name := range order {
+			fmt.Printf("== %s ==\n", name)
+			if err := runners[name](opt); err != nil {
+				fmt.Fprintf(os.Stderr, "ddexp %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ddexp: unknown experiment %q\n", what)
+		os.Exit(2)
+	}
+	if err := run(opt); err != nil {
+		fmt.Fprintln(os.Stderr, "ddexp:", err)
+		os.Exit(1)
+	}
+}
+
+// render prints a (table, rows, err) experiment result, discarding rows.
+func render[T any](tab *report.Table, _ T, err error) error {
+	if err != nil {
+		return err
+	}
+	tab.Render(os.Stdout)
+	return nil
+}

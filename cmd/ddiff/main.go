@@ -1,0 +1,73 @@
+// Command ddiff compares two saved dependence profiles — the workflow
+// behind input-sensitivity studies (paper §I): profile the same program
+// under different inputs, diff the dependence sets, and see exactly what
+// each input contributed.
+//
+// Usage:
+//
+//	ddiff a.txt b.txt             # text profiles (ddprof default output)
+//	ddiff -binary a.ddp b.ddp     # binary profiles (ddprof -format binary)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ddprof/internal/dep"
+)
+
+func main() {
+	binary := flag.Bool("binary", false, "inputs are binary profiles (ddprof -format binary)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ddiff [-binary] <profile-a> <profile-b>")
+		os.Exit(2)
+	}
+
+	a, err := load(flag.Arg(0), *binary)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddiff:", err)
+		os.Exit(1)
+	}
+	b, err := load(flag.Arg(1), *binary)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddiff:", err)
+		os.Exit(1)
+	}
+
+	d := dep.Diff(a, b)
+	fmt.Printf("%d common dependences\n", d.Common)
+	printSide(fmt.Sprintf("only in %s (%d)", flag.Arg(0), len(d.OnlyA)), d.OnlyA)
+	printSide(fmt.Sprintf("only in %s (%d)", flag.Arg(1), len(d.OnlyB)), d.OnlyB)
+	if d.Identical() {
+		fmt.Println("profiles are identical")
+		return
+	}
+	os.Exit(1) // differences found: non-zero like diff(1)
+}
+
+func load(path string, binary bool) (*dep.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if binary {
+		set, _, _, err := dep.Decode(f)
+		return set, err
+	}
+	set, _, _, err := dep.Parse(f)
+	return set, err
+}
+
+func printSide(header string, ks []dep.Key) {
+	fmt.Println(header)
+	for _, k := range ks {
+		if k.Type == dep.INIT {
+			fmt.Printf("  %v %v|%d {INIT}\n", k.Type, k.Sink, k.SinkThread)
+			continue
+		}
+		fmt.Printf("  %v %v|%d <- %v|%d\n", k.Type, k.Sink, k.SinkThread, k.Src, k.SrcThread)
+	}
+}

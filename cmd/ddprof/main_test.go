@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"ddprof"
+	"ddprof/internal/workloads"
+)
+
+func TestBuildTargetQuick(t *testing.T) {
+	p, mt, err := buildTarget("quick", 1, 4, "serial")
+	if err != nil || mt {
+		t.Fatalf("quick: %v mt=%v", err, mt)
+	}
+	if _, err := ddprof.Run(p); err != nil {
+		t.Fatalf("quick does not run: %v", err)
+	}
+}
+
+func TestBuildTargetAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		p, mt, err := buildTarget(w.Name, 0.5, 4, "serial")
+		if err != nil || mt || p == nil {
+			t.Errorf("%s: %v mt=%v", w.Name, err, mt)
+		}
+	}
+}
+
+func TestBuildTargetMT(t *testing.T) {
+	p, mt, err := buildTarget("kmeans", 0.5, 4, "mt")
+	if err != nil || !mt || p == nil {
+		t.Fatalf("kmeans mt: %v mt=%v", err, mt)
+	}
+	if _, mt, err := buildTarget("water-spatial", 0.5, 4, "mt"); err != nil || !mt {
+		t.Fatalf("water-spatial: %v mt=%v", err, mt)
+	}
+}
+
+func TestBuildTargetErrors(t *testing.T) {
+	if _, _, err := buildTarget("no-such-workload", 1, 4, "serial"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

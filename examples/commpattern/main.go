@@ -1,0 +1,31 @@
+// Communication-pattern detection (paper §VII-B, Figure 9): profile the
+// water-spatial kernel with the multi-threaded-target profiler and derive
+// the producer/consumer matrix from cross-thread RAW dependences.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ddprof"
+	"ddprof/internal/workloads"
+)
+
+func main() {
+	const threads = 8
+	prog := workloads.WaterSpatial(workloads.Config{Scale: 1, Threads: threads})
+
+	res, err := ddprof.Profile(prog, ddprof.Config{Mode: ddprof.ModeMT, Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Communication(threads)
+	fmt.Printf("communication pattern of water-spatial (%d threads):\n\n", threads)
+	fmt.Println(m.Heatmap())
+	fmt.Printf("cross-thread RAW volume: %d instances\n", m.CrossThread())
+	fmt.Println()
+	fmt.Println("each thread owns a block of cells and reads a halo from its ring")
+	fmt.Println("neighbours, so the matrix shows a banded structure around the")
+	fmt.Println("diagonal — the same shape the paper derives for splash2x.water-spatial.")
+}

@@ -1,0 +1,55 @@
+// Parallelism discovery on a real kernel: profile the NAS CG benchmark and
+// report which of its loops can be parallelized — the DiscoPoP use case of
+// the paper's §VII-A, including recognition of reduction loops that need a
+// reduction clause rather than a plain parallel-for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ddprof"
+	"ddprof/internal/workloads"
+)
+
+func main() {
+	w, ok := workloads.ByName("CG")
+	if !ok {
+		log.Fatal("CG workload missing")
+	}
+	prog := w.Build(workloads.Config{Scale: 1})
+
+	// Profile with the parallel lock-free profiler and a 2M-slot signature.
+	res, err := ddprof.Profile(prog, ddprof.Config{
+		Mode:    ddprof.ModeParallel,
+		Workers: 8,
+		Slots:   1 << 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("loop-level parallelism in NAS CG, from profiled dependences:")
+	fmt.Println()
+	identified, omp := 0, 0
+	for _, l := range res.Loops {
+		if !l.Loop.OMP {
+			continue // only the loops the OpenMP version parallelizes
+		}
+		omp++
+		switch {
+		case l.Parallelizable:
+			identified++
+			fmt.Printf("  ✓ %-16s parallelizable (no carried RAW, %d iterations)\n",
+				l.Loop.Name, l.Iterations)
+		case l.Reduction:
+			fmt.Printf("  ~ %-16s needs a reduction clause (%d carried reduction RAWs)\n",
+				l.Loop.Name, l.CarriedRAWRed)
+		default:
+			fmt.Printf("  ✗ %-16s sequential (%d carried RAWs)\n",
+				l.Loop.Name, l.CarriedRAW)
+		}
+	}
+	fmt.Printf("\n%d of %d OMP-annotated loops identified as plainly parallelizable\n", identified, omp)
+	fmt.Println("(Table II reports 9/16 for CG — the 7 others are the dot-product reductions)")
+}

@@ -1,0 +1,21 @@
+// Histogram with a data-dependent scatter-add: the bucket update is a
+// carried reduction (parallelizable only with atomics/reduction arrays),
+// while the key generation and the rescale pass are DOALL.
+func main() {
+    var n = 3000
+    var nb = 64
+    arr keys[n]
+    arr hist[nb]
+    for i = 0; i < n; i += 1 omp "gen" {
+        keys[i] = (i * 2654435) % nb
+    }
+    for b = 0; b < nb; b += 1 omp "clear" {
+        hist[b] = 0
+    }
+    for i = 0; i < n; i += 1 omp "count" {
+        hist[keys[i]] += 1
+    }
+    for b = 0; b < nb; b += 1 omp "rescale" {
+        hist[b] = hist[b] * 100 / n
+    }
+}

@@ -1,0 +1,28 @@
+// Naive matrix multiply C = A*B over n x n matrices, followed by a trace
+// norm — a classic parallelism-discovery target: the i/j loops are DOALL,
+// the k loop is a reduction, and the norm loop is a reduction too.
+func main() {
+    var n = 24
+    arr A[n * n]
+    arr B[n * n]
+    arr Cm[n * n]
+    for i = 0; i < n * n; i += 1 omp "init_A" {
+        A[i] = i % 7
+    }
+    for i = 0; i < n * n; i += 1 omp "init_B" {
+        B[i] = i % 5 + 1
+    }
+    for i = 0; i < n; i += 1 omp "rows" {
+        for j = 0; j < n; j += 1 omp "cols" {
+            var acc = 0
+            for k = 0; k < n; k += 1 "dot" {
+                acc += A[i * n + k] * B[k * n + j]
+            }
+            Cm[i * n + j] = acc
+        }
+    }
+    var trace = 0
+    for i = 0; i < n; i += 1 "trace" {
+        trace += Cm[i * n + i]
+    }
+}

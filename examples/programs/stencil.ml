@@ -1,0 +1,20 @@
+// Jacobi vs Gauss-Seidel: the Jacobi sweep (reads old, writes new) is
+// DOALL; the in-place Gauss-Seidel sweep carries a distance-1 RAW and is
+// sequential; a lag-3 recurrence shows DOACROSS headroom.
+func main() {
+    var n = 400
+    arr old[n]
+    arr new[n]
+    for i = 0; i < n; i += 1 omp "init" {
+        old[i] = i % 13
+    }
+    for i = 1; i < n - 1; i += 1 omp "jacobi" {
+        new[i] = (old[i - 1] + old[i] + old[i + 1]) / 3
+    }
+    for i = 1; i < n - 1; i += 1 "gauss_seidel" {
+        new[i] = (new[i - 1] + new[i] + new[i + 1]) / 3
+    }
+    for i = 3; i < n; i += 1 "lag3" {
+        old[i] = old[i - 3] + new[i]
+    }
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a tiny target program, profile it with the parallel
+// lock-free profiler, and print its data dependences in the paper's output
+// format.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ddprof"
+)
+
+func main() {
+	// A small program with three kinds of loops: a parallelizable map, a
+	// reduction, and a genuinely sequential recurrence.
+	p := ddprof.NewProgram("quickstart")
+	p.MainFunc(func(b *ddprof.Block) {
+		b.Decl("n", ddprof.Ci(64))
+		b.DeclArr("a", ddprof.V("n"))
+		b.DeclArr("fib", ddprof.V("n"))
+		b.Decl("sum", ddprof.Ci(0))
+
+		// Map: a[i] = i*i — no loop-carried dependences.
+		b.For("i", ddprof.Ci(0), ddprof.V("n"), ddprof.Ci(1),
+			ddprof.LoopOpt{Name: "square", OMP: true}, func(l *ddprof.Block) {
+				l.Set("a", ddprof.V("i"), ddprof.Mul(ddprof.V("i"), ddprof.V("i")))
+			})
+
+		// Reduction: sum += a[i] — carried RAW, removable by a reduction.
+		b.For("i", ddprof.Ci(0), ddprof.V("n"), ddprof.Ci(1),
+			ddprof.LoopOpt{Name: "sum"}, func(l *ddprof.Block) {
+				l.Reduce("sum", ddprof.OpAdd, ddprof.Idx("a", ddprof.V("i")))
+			})
+
+		// Recurrence: fib[i] = fib[i-1] + fib[i-2] — sequential.
+		b.Set("fib", ddprof.Ci(0), ddprof.Ci(1))
+		b.Set("fib", ddprof.Ci(1), ddprof.Ci(1))
+		b.For("i", ddprof.Ci(2), ddprof.V("n"), ddprof.Ci(1),
+			ddprof.LoopOpt{Name: "fib"}, func(l *ddprof.Block) {
+				l.Set("fib", ddprof.V("i"),
+					ddprof.Add(ddprof.Idx("fib", ddprof.Sub(ddprof.V("i"), ddprof.Ci(1))),
+						ddprof.Idx("fib", ddprof.Sub(ddprof.V("i"), ddprof.Ci(2)))))
+			})
+	})
+
+	res, err := ddprof.Profile(p, ddprof.Config{Mode: ddprof.ModeParallel, Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== dependences (paper Figure 1 format) ===")
+	if err := res.WriteDeps(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== loop classification ===")
+	for _, l := range res.Loops {
+		verdict := "sequential"
+		switch {
+		case l.Parallelizable:
+			verdict = "parallelizable"
+		case l.Reduction:
+			verdict = "reduction"
+		}
+		fmt.Printf("  %-8s %4d iterations  carried RAW=%d  -> %s\n",
+			l.Loop.Name, l.Iterations, l.CarriedRAW, verdict)
+	}
+	fmt.Printf("\nprofiled %d accesses into %d merged dependences\n",
+		res.Accesses, res.Deps.Unique())
+}

@@ -1,0 +1,56 @@
+// Data-race flagging (paper §V-B): profile the same multi-threaded update
+// twice — once with the shared counter protected by a mutex, once without —
+// and show that only the unprotected version yields dependences whose
+// timestamps prove the accesses were not mutually exclusive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ddprof"
+)
+
+// counter builds a 4-thread program incrementing a shared counter; locked
+// selects whether the increment is protected.
+func counter(locked bool) *ddprof.Program {
+	name := "counter-unlocked"
+	if locked {
+		name = "counter-locked"
+	}
+	p := ddprof.NewProgram(name)
+	p.MainFunc(func(b *ddprof.Block) {
+		b.Decl("counter", ddprof.Ci(0))
+		b.Spawn(4, func(s *ddprof.Block) {
+			s.For("i", ddprof.Ci(0), ddprof.Ci(2000), ddprof.Ci(1),
+				ddprof.LoopOpt{Name: "inc"}, func(l *ddprof.Block) {
+					inc := func(cr *ddprof.Block) {
+						cr.Reduce("counter", ddprof.OpAdd, ddprof.Ci(1))
+					}
+					if locked {
+						l.Lock("m", inc)
+					} else {
+						inc(l)
+					}
+				})
+		})
+	})
+	return p
+}
+
+func main() {
+	for _, locked := range []bool{true, false} {
+		prog := counter(locked)
+		// SchedulerFuzz emulates preemptive scheduling so the experiment
+		// also works on machines with fewer cores than target threads.
+		res, err := ddprof.Profile(prog, ddprof.Config{Mode: ddprof.ModeMT, Workers: 4, SchedulerFuzz: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", prog.Name)
+		fmt.Printf("  dependences flagged as potential races: %d\n\n", res.Races)
+	}
+	fmt.Println("with the mutex, every access and its profiling push are atomic, so")
+	fmt.Println("timestamps arrive in order; without it, reversed timestamps prove the")
+	fmt.Println("accesses were not mutually exclusive — a potential data race (§V-B).")
+}

@@ -1,0 +1,3 @@
+module ddprof
+
+go 1.22

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ddprof/internal/dep"
+	"ddprof/internal/loc"
+	"ddprof/internal/prog"
+)
+
+// SectionDeps is the set-based view the paper names in §VI-B: "set-based
+// profiling, which tells whether a data dependence exists between two code
+// sections instead of two statements". Sections here are the program's
+// static loops (plus an implicit "outside any loop" section); the matrix
+// says which sections must stay ordered relative to which — the information
+// code partitioning and runtime scheduling consume.
+type SectionDeps struct {
+	// Sections lists the loops in begin-line order; index 0 is the
+	// outside-loops section.
+	Sections []string
+	// M[i][j] counts dependence records whose source lies in section i and
+	// whose sink in section j (i ordered before j at runtime).
+	M [][]uint64
+}
+
+// Sections derives the loop-to-loop dependence matrix from statement-level
+// dependences by mapping each endpoint's line into the loop whose
+// [Begin, End] range contains it (innermost range wins).
+func Sections(meta *prog.Meta, deps *dep.Set) *SectionDeps {
+	loops := append([]prog.Loop(nil), meta.Loops()...)
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Begin < loops[j].Begin })
+
+	names := []string{"(outside)"}
+	for _, l := range loops {
+		name := l.Name
+		if name == "" {
+			name = fmt.Sprintf("loop@%v", l.Begin)
+		}
+		names = append(names, name)
+	}
+	sd := &SectionDeps{Sections: names, M: make([][]uint64, len(names))}
+	for i := range sd.M {
+		sd.M[i] = make([]uint64, len(names))
+	}
+
+	section := func(l loc.SourceLoc) int {
+		best := 0 // outside
+		bestSpan := loc.SourceLoc(^uint32(0))
+		for i, lp := range loops {
+			if lp.Begin <= l && l <= lp.End && lp.Begin.File() == l.File() {
+				span := lp.End - lp.Begin
+				if span < bestSpan {
+					best, bestSpan = i+1, span
+				}
+			}
+		}
+		return best
+	}
+
+	deps.Range(func(k dep.Key, st dep.Stats) bool {
+		if k.Type == dep.INIT {
+			return true
+		}
+		sd.M[section(k.Src)][section(k.Sink)] += st.Count
+		return true
+	})
+	return sd
+}
+
+// CrossSection counts dependence instances whose endpoints lie in different
+// sections — the orderings that constrain partitioning.
+func (s *SectionDeps) CrossSection() uint64 {
+	var n uint64
+	for i := range s.M {
+		for j, v := range s.M[i] {
+			if i != j {
+				n += v
+			}
+		}
+	}
+	return n
+}
+
+// String renders the non-empty inter-section dependences.
+func (s *SectionDeps) String() string {
+	var b strings.Builder
+	for i := range s.M {
+		for j, v := range s.M[i] {
+			if v == 0 || i == j {
+				continue
+			}
+			fmt.Fprintf(&b, "%-20s -> %-20s x%d\n", s.Sections[i], s.Sections[j], v)
+		}
+	}
+	return b.String()
+}

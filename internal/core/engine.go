@@ -1,0 +1,226 @@
+// Package core implements the paper's primary contribution: the generic
+// data-dependence profiler. It contains the signature-based detection engine
+// (Algorithm 1), the serial profiler (§III), the lock-free parallel profiler
+// for sequential targets (§IV) with heavy-hitter load balancing (§IV-A), and
+// the multi-threaded-target profiler with timestamp-based data-race flagging
+// (§V).
+package core
+
+import (
+	"ddprof/internal/dep"
+	"ddprof/internal/event"
+	"ddprof/internal/prog"
+	"ddprof/internal/sig"
+)
+
+// LoopDeps aggregates, per static loop, the dependences carried by that loop.
+// Parallelism discovery consumes this table: a loop with no carried RAW is a
+// candidate for parallelization (paper §VII-A).
+type LoopDeps struct {
+	// CarriedRAW counts distinct carried RAW dependences; CarriedRAWRed of
+	// those, the ones whose every instance joined two reduction accesses.
+	CarriedRAW    int
+	CarriedRAWRed int
+	CarriedWAR    int
+	CarriedWAW    int
+	// MinRAWDist is the smallest iteration gap observed over all carried
+	// RAW instances of this loop (0 when CarriedRAW is 0). A distance of
+	// d >= 2 means iterations i and i+1 never conflict: the loop supports
+	// d-way DOACROSS/wavefront execution even though it is not DOALL.
+	MinRAWDist uint32
+	// Iterations is the total number of iterations observed (filled in from
+	// the interpreter's loop records by the caller, not by the engine).
+	Iterations uint64
+}
+
+// Engine applies Algorithm 1 to a stream of accesses against one Store.
+// It is not safe for concurrent use; the parallel profiler gives each worker
+// its own Engine over a disjoint address subset.
+type Engine struct {
+	store sig.Store
+	meta  *prog.Meta
+	deps  *dep.Set
+	loops map[prog.LoopID]*loopAgg
+	// raceCheck enables timestamp-reversal detection (MT-target mode).
+	raceCheck bool
+}
+
+// loopAgg tracks distinct carried dependence keys per loop so LoopDeps can
+// report unique counts rather than instance counts.
+type loopAgg struct {
+	rawKeys    map[dep.Key]bool // value: all-instances-reduction so far
+	warKeys    map[dep.Key]struct{}
+	wawKeys    map[dep.Key]struct{}
+	minRAWDist uint32
+}
+
+// NewEngine returns an engine writing to a fresh dependence set. meta may be
+// nil when loop-carried classification is not needed.
+func NewEngine(store sig.Store, meta *prog.Meta, raceCheck bool) *Engine {
+	return &Engine{
+		store:     store,
+		meta:      meta,
+		deps:      dep.NewSet(),
+		loops:     make(map[prog.LoopID]*loopAgg),
+		raceCheck: raceCheck,
+	}
+}
+
+// Deps returns the dependence set accumulated so far.
+func (e *Engine) Deps() *dep.Set { return e.deps }
+
+// Store returns the engine's access-history store.
+func (e *Engine) Store() sig.Store { return e.store }
+
+// Process runs one access through Algorithm 1.
+//
+// The paper's pseudocode nests the WAR check inside the "write slot
+// non-empty" branch, which would miss a WAR whose address was only read so
+// far (read x; first write x). We build the WAR from the read slot
+// unconditionally — the semantically intended behaviour, consistent with the
+// paper's prose ("we run the membership check to see if x exists in the
+// signatures") and with its own Figure 1, and the INIT/WAW logic is
+// unchanged.
+func (e *Engine) Process(a event.Access) {
+	switch a.Kind {
+	case event.Write:
+		wslot, wok := e.store.LookupWrite(a.Addr)
+		if !wok {
+			// First write to this address: INIT (paper §III-A).
+			e.deps.Add(dep.Key{
+				Type: dep.INIT,
+				Sink: a.Loc, SinkThread: int16(a.Thread),
+				Var: a.Var,
+			}, false, false, false)
+		} else {
+			e.build(dep.WAW, wslot, a)
+		}
+		if rslot, rok := e.store.LookupRead(a.Addr); rok {
+			e.build(dep.WAR, rslot, a)
+		}
+		e.store.SetWrite(a.Addr, e.slotFor(a))
+	case event.Read:
+		if wslot, wok := e.store.LookupWrite(a.Addr); wok {
+			e.build(dep.RAW, wslot, a)
+		}
+		e.store.SetRead(a.Addr, e.slotFor(a))
+	case event.Remove:
+		// Variable-lifetime analysis: deallocated storage is forgotten so a
+		// later reuse of the address cannot fabricate a dependence.
+		e.store.Remove(a.Addr)
+	}
+}
+
+// slotFor packs the access into a store slot.
+func (e *Engine) slotFor(a event.Access) sig.Slot {
+	s := sig.PackSlot(a.Loc, a.Var, a.Thread, a.CtxID, a.IterVec, a.TS)
+	if a.Flags&event.FlagReduction != 0 {
+		s = s.WithReduction()
+	}
+	if a.Flags&event.FlagInduction != 0 {
+		s = s.WithInduction()
+	}
+	return s
+}
+
+// build records a dependence from the stored source slot to the sink access.
+func (e *Engine) build(t dep.Type, src sig.Slot, snk event.Access) {
+	carriedAt := prog.NoLoop
+	dist := uint32(0)
+	if e.meta != nil {
+		carriedAt, dist = e.meta.CarriedLoopDist(src.Ctx(), snk.CtxID, src.Iter, snk.IterVec)
+	}
+	// Induction-variable self-dependences (i = i + step feeding the next
+	// iteration's update) are loop control: a parallelizing transformation
+	// replaces the induction entirely, so they are recorded as ordinary
+	// dependences (Figure 1 keeps them) but never as parallelism-preventing
+	// carried dependences.
+	if carriedAt != prog.NoLoop &&
+		src.Induction() && snk.Flags&event.FlagInduction != 0 && src.Loc() == snk.Loc {
+		carriedAt, dist = prog.NoLoop, 0
+	}
+	reduction := src.Reduction() && snk.Flags&event.FlagReduction != 0 &&
+		src.Loc() == snk.Loc
+	reversed := e.raceCheck && snk.TS < src.TS()
+
+	k := dep.Key{
+		Type: t,
+		Sink: snk.Loc, SinkThread: int16(snk.Thread),
+		Src: src.Loc(), SrcThread: int16(src.Thread()),
+		Var: snk.Var,
+	}
+	e.deps.AddDist(k, carriedAt != prog.NoLoop, reduction, reversed, dist)
+
+	if carriedAt != prog.NoLoop {
+		agg := e.loops[carriedAt]
+		if agg == nil {
+			agg = &loopAgg{
+				rawKeys: make(map[dep.Key]bool),
+				warKeys: make(map[dep.Key]struct{}),
+				wawKeys: make(map[dep.Key]struct{}),
+			}
+			e.loops[carriedAt] = agg
+		}
+		switch t {
+		case dep.RAW:
+			red, seen := agg.rawKeys[k]
+			if !seen {
+				red = true
+			}
+			agg.rawKeys[k] = red && reduction
+			if agg.minRAWDist == 0 || dist < agg.minRAWDist {
+				agg.minRAWDist = dist
+			}
+		case dep.WAR:
+			agg.warKeys[k] = struct{}{}
+		case dep.WAW:
+			agg.wawKeys[k] = struct{}{}
+		}
+	}
+}
+
+// ProcessChunk runs every event of a chunk through the engine.
+func (e *Engine) ProcessChunk(c *event.Chunk) {
+	for i := range c.Events {
+		e.Process(c.Events[i])
+	}
+}
+
+// LoopDeps summarizes per-loop carried dependences.
+func (e *Engine) LoopDeps() map[prog.LoopID]*LoopDeps {
+	out := make(map[prog.LoopID]*LoopDeps, len(e.loops))
+	for id, agg := range e.loops {
+		ld := &LoopDeps{
+			CarriedRAW: len(agg.rawKeys),
+			CarriedWAR: len(agg.warKeys),
+			CarriedWAW: len(agg.wawKeys),
+			MinRAWDist: agg.minRAWDist,
+		}
+		for _, red := range agg.rawKeys {
+			if red {
+				ld.CarriedRAWRed++
+			}
+		}
+		out[id] = ld
+	}
+	return out
+}
+
+// mergeLoopDeps folds worker tables into a single table.
+func mergeLoopDeps(dst map[prog.LoopID]*LoopDeps, src map[prog.LoopID]*LoopDeps) {
+	for id, s := range src {
+		d := dst[id]
+		if d == nil {
+			cp := *s
+			dst[id] = &cp
+			continue
+		}
+		d.CarriedRAW += s.CarriedRAW
+		d.CarriedRAWRed += s.CarriedRAWRed
+		d.CarriedWAR += s.CarriedWAR
+		d.CarriedWAW += s.CarriedWAW
+		if d.MinRAWDist == 0 || (s.MinRAWDist > 0 && s.MinRAWDist < d.MinRAWDist) {
+			d.MinRAWDist = s.MinRAWDist
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"ddprof/internal/event"
+	"ddprof/internal/loc"
+	"ddprof/internal/queue"
+)
+
+// Existence is the set-based/untyped profiling variant the paper sketches
+// as future work (§VI-B): "determining only a binary value (whether a
+// dependence exists or not) instead of detailed types would allow a more
+// balanced workload".
+//
+// Because no temporal order is needed for mere existence, addresses no
+// longer have to be owned by a single worker: chunks are dealt round-robin,
+// which balances the workers perfectly even under the skewed access
+// frequencies that defeat the modulo rule (§IV-A). Each worker records,
+// per address, the sets of reader and writer lines; the merge unions them
+// and a dependence "exists" between two lines if they touched a common
+// address and at least one wrote it.
+type Existence struct {
+	workers []*eworker
+	open    *event.Chunk
+	next    int
+	stats   RunStats
+	wg      sync.WaitGroup
+	flushed bool
+}
+
+type eworker struct {
+	in     *queue.SPSC[*event.Chunk]
+	lines  map[uint64]*lineSets
+	events uint64
+}
+
+type lineSets struct {
+	readers map[loc.SourceLoc]struct{}
+	writers map[loc.SourceLoc]struct{}
+}
+
+// LinePair is an unordered pair of source lines with a dependence between
+// them (A < B by construction; A == B for self-dependences).
+type LinePair struct {
+	A, B loc.SourceLoc
+}
+
+// ExistenceResult is the untyped profile.
+type ExistenceResult struct {
+	// Pairs is the set of line pairs with at least one dependence.
+	Pairs map[LinePair]struct{}
+	// WorkerEvents lists how many accesses each worker processed — the
+	// balance the round-robin distribution achieves.
+	WorkerEvents []uint64
+	Stats        RunStats
+}
+
+// NewExistence starts the untyped pipeline with the given worker count.
+func NewExistence(workers int) *Existence {
+	if workers <= 0 {
+		workers = 8
+	}
+	e := &Existence{open: event.NewChunk()}
+	for i := 0; i < workers; i++ {
+		w := &eworker{
+			in:    queue.NewSPSC[*event.Chunk](64),
+			lines: make(map[uint64]*lineSets),
+		}
+		e.workers = append(e.workers, w)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			w.run()
+		}()
+	}
+	return e
+}
+
+// Access implements the producer side; single-threaded like Parallel.
+func (e *Existence) Access(a event.Access) {
+	if a.Kind != event.Read && a.Kind != event.Write {
+		return
+	}
+	e.stats.Accesses++
+	e.open.Append(a)
+	if e.open.Full() {
+		e.push()
+	}
+}
+
+// push deals the current chunk to the next worker, round-robin: any worker
+// can take any chunk because existence needs no per-address ordering.
+func (e *Existence) push() {
+	if e.open.Len() == 0 {
+		return
+	}
+	e.workers[e.next].in.Push(e.open)
+	e.next = (e.next + 1) % len(e.workers)
+	e.stats.Chunks++
+	e.open = event.NewChunk()
+}
+
+// Flush drains the pipeline and merges the per-worker line sets.
+func (e *Existence) Flush() *ExistenceResult {
+	if e.flushed {
+		panic("core: Flush called twice")
+	}
+	e.flushed = true
+	e.push()
+	for _, w := range e.workers {
+		fc := event.NewChunk()
+		fc.Append(event.Access{Kind: event.Flush})
+		w.in.Push(fc)
+	}
+	e.wg.Wait()
+
+	// Union the per-address line sets across workers, then emit pairs.
+	merged := make(map[uint64]*lineSets)
+	res := &ExistenceResult{Pairs: make(map[LinePair]struct{}), Stats: e.stats}
+	for _, w := range e.workers {
+		res.WorkerEvents = append(res.WorkerEvents, w.events)
+		for addr, ls := range w.lines {
+			m := merged[addr]
+			if m == nil {
+				merged[addr] = ls
+				continue
+			}
+			for l := range ls.readers {
+				m.readers[l] = struct{}{}
+			}
+			for l := range ls.writers {
+				m.writers[l] = struct{}{}
+			}
+		}
+	}
+	for _, ls := range merged {
+		for w := range ls.writers {
+			for w2 := range ls.writers {
+				res.Pairs[pairOf(w, w2)] = struct{}{}
+			}
+			for r := range ls.readers {
+				res.Pairs[pairOf(w, r)] = struct{}{}
+			}
+		}
+	}
+	return res
+}
+
+func pairOf(a, b loc.SourceLoc) LinePair {
+	if b < a {
+		a, b = b, a
+	}
+	return LinePair{A: a, B: b}
+}
+
+func (w *eworker) run() {
+	for spin := 0; ; {
+		c, ok := w.in.TryPop()
+		if !ok {
+			spin++
+			if spin > 64 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spin = 0
+		done := false
+		for i := range c.Events {
+			ev := &c.Events[i]
+			if ev.Kind == event.Flush {
+				done = true
+				continue
+			}
+			w.events++
+			ls := w.lines[ev.Addr]
+			if ls == nil {
+				ls = &lineSets{
+					readers: make(map[loc.SourceLoc]struct{}),
+					writers: make(map[loc.SourceLoc]struct{}),
+				}
+				w.lines[ev.Addr] = ls
+			}
+			if ev.Kind == event.Write {
+				ls.writers[ev.Loc] = struct{}{}
+			} else {
+				ls.readers[ev.Loc] = struct{}{}
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// Imbalance summarizes a worker-event distribution as max/mean; 1.0 is a
+// perfect balance.
+func Imbalance(events []uint64) float64 {
+	if len(events) == 0 {
+		return 1
+	}
+	var max, sum uint64
+	for _, e := range events {
+		sum += e
+		if e > max {
+			max = e
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(events))
+	return float64(max) / mean
+}
+
+// SortedPairs returns the pairs in deterministic order for reporting.
+func (r *ExistenceResult) SortedPairs() []LinePair {
+	out := make([]LinePair, 0, len(r.Pairs))
+	for p := range r.Pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

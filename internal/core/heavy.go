@@ -1,0 +1,74 @@
+package core
+
+import "sort"
+
+// heavySketch tracks approximately the most frequently accessed addresses
+// (paper §IV-A: "we also monitor how many times an address is accessed
+// dynamically ... to ensure that the top ten most heavily accessed addresses
+// are always evenly distributed among worker threads").
+//
+// The paper keeps exact counts in a map; we use the SpaceSaving algorithm
+// with a small capacity instead, which bounds the producer-side cost per
+// access to O(1) map operations regardless of how many distinct addresses
+// the target touches, while still identifying heavy hitters whose frequency
+// exceeds 1/capacity of the stream — far coarser than the top-10 needs.
+type heavySketch struct {
+	counts map[uint64]uint64
+	cap    int
+}
+
+func newHeavySketch(capacity int) *heavySketch {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &heavySketch{counts: make(map[uint64]uint64, capacity+1), cap: capacity}
+}
+
+// Offer counts one access to addr.
+func (h *heavySketch) Offer(addr uint64) {
+	if c, ok := h.counts[addr]; ok {
+		h.counts[addr] = c + 1
+		return
+	}
+	if len(h.counts) < h.cap {
+		h.counts[addr] = 1
+		return
+	}
+	// SpaceSaving: evict the minimum and inherit its count.
+	var minAddr uint64
+	minCount := ^uint64(0)
+	for a, c := range h.counts {
+		if c < minCount {
+			minCount, minAddr = c, a
+		}
+	}
+	delete(h.counts, minAddr)
+	h.counts[addr] = minCount + 1
+}
+
+// Top returns up to n addresses ordered by descending estimated count.
+// Ties break by address for determinism.
+func (h *heavySketch) Top(n int) []uint64 {
+	type ac struct {
+		a uint64
+		c uint64
+	}
+	all := make([]ac, 0, len(h.counts))
+	for a, c := range h.counts {
+		all = append(all, ac{a, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].a < all[j].a
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].a
+	}
+	return out
+}

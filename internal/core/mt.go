@@ -1,0 +1,123 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ddprof/internal/dep"
+	"ddprof/internal/event"
+	"ddprof/internal/prog"
+	"ddprof/internal/queue"
+)
+
+// MT is the profiler of §V for multi-threaded target programs.
+//
+// Every target thread calls Access concurrently; to keep the per-address
+// order observable, the target must hold its own lock around conflicting
+// accesses and the instrumentation calls Access *inside the same lock
+// region* (paper Figure 4) — the interpreter substrate guarantees this.
+// Each access is pushed individually (not chunked) into the owning worker's
+// lock-free MPSC queue; per-access pushes plus producer contention are the
+// reason MT profiling is slower (Figure 6) and hungrier (Figure 8) than
+// sequential-target profiling.
+//
+// Accesses carry global timestamps; a worker observing a timestamp reversal
+// for an address has proven the two accesses were not mutually exclusive and
+// flags the dependence as a potential data race (§V-B).
+type MT struct {
+	w        int
+	workers  []*mtworker
+	accesses atomic.Uint64
+	wg       sync.WaitGroup
+	flushed  bool
+}
+
+type mtworker struct {
+	in   *queue.MPSC[event.Access]
+	eng  *Engine
+	done atomic.Bool
+}
+
+// NewMT builds the MT pipeline and starts the workers. RaceCheck defaults on
+// because timestamps are already being collected.
+func NewMT(cfg Config) *MT {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	qcap := cfg.QueueCap
+	if qcap <= 0 {
+		qcap = 1 << 16
+	}
+	m := &MT{w: cfg.Workers}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &mtworker{
+			in:  queue.NewMPSC[event.Access](qcap),
+			eng: NewEngine(cfg.store(), cfg.Meta, true),
+		}
+		m.workers = append(m.workers, w)
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			w.run()
+		}()
+	}
+	return m
+}
+
+// Access implements Profiler; safe for concurrent use by target threads.
+func (m *MT) Access(a event.Access) {
+	if a.Kind == event.Read || a.Kind == event.Write {
+		m.accesses.Add(1)
+	}
+	m.workers[(a.Addr>>3)%uint64(m.w)].in.Push(a)
+}
+
+// Flush implements Profiler. It must be called after every target thread has
+// finished (the interpreter joins them first), so no Access call can race
+// with the flush sentinels.
+func (m *MT) Flush() *Result {
+	if m.flushed {
+		panic("core: Flush called twice")
+	}
+	m.flushed = true
+	for _, w := range m.workers {
+		w.in.Push(event.Access{Kind: event.Flush})
+	}
+	m.wg.Wait()
+
+	res := &Result{
+		Deps:  dep.NewSet(),
+		Loops: make(map[prog.LoopID]*LoopDeps),
+	}
+	res.Stats.Accesses = m.accesses.Load()
+	for _, w := range m.workers {
+		res.Deps.Merge(w.eng.Deps())
+		mergeLoopDeps(res.Loops, w.eng.LoopDeps())
+		res.Stats.StoreBytes += w.eng.Store().Bytes()
+		res.Stats.StoreModeledBytes += w.eng.Store().ModeledBytes()
+		res.Stats.QueueBytes += uint64(48 * cap48(w.in))
+	}
+	return res
+}
+
+// cap48 reports the element capacity of an MPSC ring for byte accounting.
+func cap48(q *queue.MPSC[event.Access]) int { return q.Cap() }
+
+func (w *mtworker) run() {
+	for spin := 0; ; {
+		a, ok := w.in.TryPop()
+		if !ok {
+			spin++
+			if spin > 64 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spin = 0
+		if a.Kind == event.Flush {
+			return
+		}
+		w.eng.Process(a)
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ddprof/internal/dep"
+	"ddprof/internal/event"
+	"ddprof/internal/prog"
+	"ddprof/internal/queue"
+	"ddprof/internal/sig"
+)
+
+// chunkQueue is the queue surface the pipeline needs; satisfied by both the
+// lock-free queue.SPSC and the lock-based queue.Locked, which is how the
+// Figure 5 lock-based/lock-free ablation swaps implementations.
+type chunkQueue interface {
+	TryPush(*event.Chunk) bool
+	TryPop() (*event.Chunk, bool)
+	Push(*event.Chunk)
+	Len() int
+}
+
+// migState is the signature state of one address in flight between workers
+// during redistribution.
+type migState struct {
+	addr        uint64
+	write, read sig.Slot
+	wok, rok    bool
+}
+
+// Parallel is the profiler of §IV for sequential targets: the main (target)
+// thread produces accesses, distributes them into per-worker chunks by
+// address, and W workers detect dependences in disjoint address subsets
+// using worker-local signatures and dependence maps.
+//
+// Access must be called from a single goroutine (the target is sequential);
+// Flush drains the pipeline, joins the workers and merges their results.
+type Parallel struct {
+	cfg     Config
+	w       int
+	workers []*pworker
+	open    []*event.Chunk
+	// redirect overrides the modulo rule for migrated addresses
+	// ("redistribution rules are stored in a map and have higher priority
+	// than the modulo function", §IV-A).
+	redirect map[uint64]int
+	heavy    *heavySketch
+	sample   uint64
+
+	chunksSinceCheck int
+	allocatedChunks  uint64
+	stats            RunStats
+	wg               sync.WaitGroup
+	flushed          bool
+}
+
+// pworker is one consumer thread of the pipeline.
+type pworker struct {
+	id      int
+	in      chunkQueue
+	recycle *queue.SPSC[*event.Chunk]
+	eng     *Engine
+	events  uint64
+
+	// migration mailboxes (producer <-> this worker)
+	migOut    atomic.Pointer[migState] // worker publishes state to producer
+	installIn atomic.Pointer[migState] // producer publishes state to worker
+}
+
+// NewParallel builds the pipeline and starts the workers.
+func NewParallel(cfg Config) *Parallel {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	qcap := cfg.QueueCap
+	if qcap <= 0 {
+		qcap = 64
+	}
+	p := &Parallel{
+		cfg:      cfg,
+		w:        cfg.Workers,
+		open:     make([]*event.Chunk, cfg.Workers),
+		redirect: make(map[uint64]int),
+		heavy:    newHeavySketch(64),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		var in chunkQueue
+		if cfg.LockBased {
+			in = queue.NewLocked[*event.Chunk](qcap)
+		} else {
+			in = queue.NewSPSC[*event.Chunk](qcap)
+		}
+		w := &pworker{
+			id:      i,
+			in:      in,
+			recycle: queue.NewSPSC[*event.Chunk](qcap),
+			eng:     NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck),
+		}
+		p.workers = append(p.workers, w)
+		p.open[i] = p.newChunk(w)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			w.run()
+		}()
+	}
+	return p
+}
+
+// owner maps an address to its worker. The paper uses `address % W`
+// (Equation 1) on byte addresses; our substrate allocates 8-byte words, so
+// the three alignment bits are shifted out first to keep the distribution
+// even.
+func (p *Parallel) owner(addr uint64) int {
+	if w, ok := p.redirect[addr]; ok {
+		return w
+	}
+	return int((addr >> 3) % uint64(p.w))
+}
+
+// Access implements Profiler.
+func (p *Parallel) Access(a event.Access) {
+	if a.Kind == event.Read || a.Kind == event.Write {
+		p.stats.Accesses++
+		// Sample the access statistics: every 16th access keeps producer
+		// overhead bounded while heavily accessed addresses still dominate
+		// the sketch.
+		if p.sample++; p.sample&15 == 0 {
+			p.heavy.Offer(a.Addr)
+		}
+	}
+	w := p.owner(a.Addr)
+	c := p.open[w]
+	c.Append(a)
+	if c.Full() {
+		p.pushOpen(w)
+		if p.cfg.RedistributeEvery > 0 {
+			p.chunksSinceCheck++
+			if p.chunksSinceCheck >= p.cfg.RedistributeEvery {
+				p.chunksSinceCheck = 0
+				p.rebalance()
+			}
+		}
+	}
+}
+
+// newChunk takes a recycled chunk if available, else allocates.
+func (p *Parallel) newChunk(w *pworker) *event.Chunk {
+	if c, ok := w.recycle.TryPop(); ok {
+		return c
+	}
+	p.allocatedChunks++
+	return event.NewChunk()
+}
+
+// pushOpen sends worker w's open chunk and opens a fresh one.
+func (p *Parallel) pushOpen(w int) {
+	c := p.open[w]
+	if c.Len() == 0 {
+		return
+	}
+	p.workers[w].in.Push(c)
+	p.stats.Chunks++
+	p.open[w] = p.newChunk(p.workers[w])
+}
+
+// rebalance checks whether the top heavy hitters are spread evenly over the
+// workers and migrates them if not (§IV-A).
+func (p *Parallel) rebalance() {
+	top := p.heavy.Top(10)
+	if len(top) == 0 {
+		return
+	}
+	counts := make([]int, p.w)
+	for _, a := range top {
+		counts[p.owner(a)]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min <= 1 {
+		return // already even
+	}
+	moved := false
+	for rank, addr := range top {
+		want := rank % p.w
+		if cur := p.owner(addr); cur != want {
+			p.migrate(addr, cur, want)
+			moved = true
+		}
+	}
+	if moved {
+		p.stats.Redistributions++
+	}
+}
+
+// migrate moves one address and its signature state from worker `from` to
+// worker `to`. The protocol preserves the per-address total order:
+//
+//  1. All accesses routed so far are in from's queue; a MIGRATE control
+//     event is pushed behind them, so `from` processes it only after every
+//     earlier access.
+//  2. `from` publishes the address's slot state in its mailbox and forgets
+//     the address; the producer spins for the mailbox.
+//  3. The producer hands the state to `to` via its install mailbox and
+//     pushes an INSTALL control event; accesses routed after the redirect
+//     update follow INSTALL in `to`'s queue, preserving order.
+func (p *Parallel) migrate(addr uint64, from, to int) {
+	fw, tw := p.workers[from], p.workers[to]
+
+	// Step 1: flush pending accesses, then MIGRATE.
+	p.pushOpen(from)
+	mc := p.newChunk(fw)
+	mc.Append(event.Access{Addr: addr, Kind: event.Migrate})
+	fw.in.Push(mc)
+	p.stats.Chunks++
+
+	// Step 2: wait for the state.
+	var st *migState
+	for {
+		if st = fw.migOut.Swap(nil); st != nil {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	// Step 3: install at the destination. The install mailbox must be free:
+	// wait until the previous installation (if any) was consumed.
+	for !tw.installIn.CompareAndSwap(nil, st) {
+		runtime.Gosched()
+	}
+	p.pushOpen(to)
+	ic := p.newChunk(tw)
+	ic.Append(event.Access{Addr: addr, Kind: event.Install})
+	tw.in.Push(ic)
+	p.stats.Chunks++
+
+	p.redirect[addr] = to
+	p.stats.Migrations++
+}
+
+// Flush implements Profiler.
+func (p *Parallel) Flush() *Result {
+	if p.flushed {
+		panic("core: Flush called twice")
+	}
+	p.flushed = true
+	for i := range p.workers {
+		p.pushOpen(i)
+		fc := p.newChunk(p.workers[i])
+		fc.Append(event.Access{Kind: event.Flush})
+		p.workers[i].in.Push(fc)
+		p.stats.Chunks++
+	}
+	p.wg.Wait()
+
+	// Merge worker-local results into a global map; "this step incurs only
+	// minor overhead since the local maps are free of duplicates" (§IV).
+	res := &Result{
+		Deps:  dep.NewSet(),
+		Loops: make(map[prog.LoopID]*LoopDeps),
+		Stats: p.stats,
+	}
+	for _, w := range p.workers {
+		res.Deps.Merge(w.eng.Deps())
+		mergeLoopDeps(res.Loops, w.eng.LoopDeps())
+		res.Stats.StoreBytes += w.eng.Store().Bytes()
+		res.Stats.StoreModeledBytes += w.eng.Store().ModeledBytes()
+		res.WorkerEvents = append(res.WorkerEvents, w.events)
+	}
+	const chunkBytes = event.ChunkSize*48 + 64
+	res.Stats.QueueBytes = p.allocatedChunks * chunkBytes
+	return res
+}
+
+// run is the worker loop: fetch chunks, analyze them, recycle them
+// ("worker threads consume chunks from their queues, analyze them, and
+// store detected data dependences in thread-local maps. Empty chunks are
+// recycled", §IV).
+func (w *pworker) run() {
+	for spin := 0; ; {
+		c, ok := w.in.TryPop()
+		if !ok {
+			spin++
+			if spin > 64 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spin = 0
+		done := false
+		for i := range c.Events {
+			ev := &c.Events[i]
+			switch ev.Kind {
+			case event.Flush:
+				done = true
+			case event.Migrate:
+				st := &migState{addr: ev.Addr}
+				st.write, st.wok = w.eng.Store().LookupWrite(ev.Addr)
+				st.read, st.rok = w.eng.Store().LookupRead(ev.Addr)
+				w.eng.Store().Remove(ev.Addr)
+				w.migOut.Store(st)
+			case event.Install:
+				var st *migState
+				for {
+					if st = w.installIn.Swap(nil); st != nil {
+						break
+					}
+					runtime.Gosched()
+				}
+				if st.wok {
+					w.eng.Store().SetWrite(st.addr, st.write)
+				}
+				if st.rok {
+					w.eng.Store().SetRead(st.addr, st.read)
+				}
+			default:
+				w.events++
+				w.eng.Process(*ev)
+			}
+		}
+		c.Reset()
+		w.recycle.TryPush(c) // if the recycle ring is full, let GC take it
+		if done {
+			return
+		}
+	}
+}

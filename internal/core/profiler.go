@@ -1,0 +1,128 @@
+package core
+
+import (
+	"ddprof/internal/dep"
+	"ddprof/internal/prog"
+	"ddprof/internal/sig"
+
+	"ddprof/internal/event"
+)
+
+// Profiler is the uniform surface of all profiler variants. Access is the
+// instrumentation entry point called once per memory access of the target;
+// Flush drains the pipeline and returns the merged result. For the serial
+// and parallel (sequential-target) profilers Access must be called from a
+// single goroutine; the multi-threaded-target profiler accepts concurrent
+// callers.
+type Profiler interface {
+	Access(a event.Access)
+	Flush() *Result
+}
+
+// Result is the merged output of a profiling run.
+type Result struct {
+	// Deps is the merged dependence set.
+	Deps *dep.Set
+	// Loops maps static loops to their carried dependences.
+	Loops map[prog.LoopID]*LoopDeps
+	// Stats describes the run itself.
+	Stats RunStats
+	// WorkerEvents lists per-worker processed access counts (parallel
+	// modes), the quantity the §IV-A load-balancing discussion is about.
+	WorkerEvents []uint64
+}
+
+// RunStats reports pipeline counters and memory accounting.
+type RunStats struct {
+	// Accesses is the number of read/write events processed.
+	Accesses uint64
+	// Chunks is the number of chunks pushed to workers (0 for serial).
+	Chunks uint64
+	// Migrations is the number of address redistributions performed.
+	Migrations uint64
+	// Redistributions is the number of rebalance rounds that moved at
+	// least one address.
+	Redistributions uint64
+	// StoreBytes is the actual memory held by all access-history stores.
+	StoreBytes uint64
+	// StoreModeledBytes is the same under the paper's 4 B/slot model.
+	StoreModeledBytes uint64
+	// QueueBytes is the memory held by the pipeline queues and chunks.
+	QueueBytes uint64
+}
+
+// Config configures a profiler.
+type Config struct {
+	// Workers is the number of profiling worker threads (parallel modes).
+	Workers int
+	// SlotsPerWorker is the signature size each worker uses. The paper's
+	// reference configuration is 6.25e6 slots per worker × 16 workers =
+	// 1e8 slots total (§VI-B2).
+	SlotsPerWorker int
+	// NewStore overrides the store factory; by default each worker gets a
+	// sig.Signature with SlotsPerWorker slots. Experiments inject
+	// PerfectSignature, shadow memory or the hash table here.
+	NewStore func() sig.Store
+	// Meta enables loop-carried classification when non-nil.
+	Meta *prog.Meta
+	// LockBased selects mutex-protected queues instead of lock-free ones
+	// (the Figure 5 ablation baseline).
+	LockBased bool
+	// RaceCheck enables timestamp-reversal detection (§V-B).
+	RaceCheck bool
+	// QueueCap is the per-worker queue capacity in chunks (sequential-target
+	// mode) or accesses (MT mode). Defaults to 64 chunks / 64Ki accesses.
+	QueueCap int
+	// RedistributeEvery triggers a load-balance check every N chunks
+	// (paper: 50,000). 0 disables redistribution.
+	RedistributeEvery int
+}
+
+// store builds one worker store.
+func (c *Config) store() sig.Store {
+	if c.NewStore != nil {
+		return c.NewStore()
+	}
+	slots := c.SlotsPerWorker
+	if slots <= 0 {
+		slots = 1 << 20
+	}
+	return sig.NewSignature(slots)
+}
+
+// Serial is the single-threaded profiler of §III: the target program and
+// Algorithm 1 run on the same thread, one global signature pair.
+type Serial struct {
+	eng   *Engine
+	stats RunStats
+}
+
+// NewSerial returns a serial profiler. In serial mode the whole signature
+// budget (Workers×SlotsPerWorker if both set, else SlotsPerWorker) backs a
+// single store.
+func NewSerial(cfg Config) *Serial {
+	if cfg.NewStore == nil && cfg.SlotsPerWorker > 0 && cfg.Workers > 1 {
+		total := cfg.SlotsPerWorker * cfg.Workers
+		cfg.NewStore = func() sig.Store { return sig.NewSignature(total) }
+	}
+	return &Serial{eng: NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck)}
+}
+
+// Access implements Profiler.
+func (s *Serial) Access(a event.Access) {
+	if a.Kind == event.Read || a.Kind == event.Write {
+		s.stats.Accesses++
+	}
+	s.eng.Process(a)
+}
+
+// Flush implements Profiler.
+func (s *Serial) Flush() *Result {
+	s.stats.StoreBytes = s.eng.Store().Bytes()
+	s.stats.StoreModeledBytes = s.eng.Store().ModeledBytes()
+	return &Result{
+		Deps:  s.eng.Deps(),
+		Loops: s.eng.LoopDeps(),
+		Stats: s.stats,
+	}
+}

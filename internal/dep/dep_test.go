@@ -1,0 +1,196 @@
+package dep
+
+import (
+	"testing"
+
+	"ddprof/internal/loc"
+)
+
+func key(t Type, sink, src int, v loc.VarID) Key {
+	return Key{Type: t, Sink: loc.Pack(1, sink), Src: loc.Pack(1, src), Var: v}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{RAW: "RAW", WAR: "WAR", WAW: "WAW", INIT: "INIT", Type(9): "???"} {
+		if ty.String() != want {
+			t.Errorf("Type(%d) = %q, want %q", ty, ty.String(), want)
+		}
+	}
+}
+
+func TestSetMergesIdentical(t *testing.T) {
+	s := NewSet()
+	k := key(RAW, 60, 59, 1)
+	for i := 0; i < 1000; i++ {
+		s.Add(k, false, false, false)
+	}
+	if s.Unique() != 1 {
+		t.Fatalf("Unique = %d, want 1 (identical deps must merge)", s.Unique())
+	}
+	if s.Instances() != 1000 {
+		t.Fatalf("Instances = %d, want 1000", s.Instances())
+	}
+	st, ok := s.Lookup(k)
+	if !ok || st.Count != 1000 {
+		t.Fatalf("Lookup count = %d, want 1000", st.Count)
+	}
+}
+
+func TestSetDistinctKeys(t *testing.T) {
+	s := NewSet()
+	s.Add(key(RAW, 60, 59, 1), false, false, false)
+	s.Add(key(WAR, 60, 59, 1), false, false, false) // type differs
+	s.Add(key(RAW, 60, 58, 1), false, false, false) // src differs
+	s.Add(key(RAW, 61, 59, 1), false, false, false) // sink differs
+	s.Add(key(RAW, 60, 59, 2), false, false, false) // var differs
+	k := key(RAW, 60, 59, 1)
+	k.SrcThread = 1
+	s.Add(k, false, false, false) // thread differs
+	if s.Unique() != 6 {
+		t.Fatalf("Unique = %d, want 6", s.Unique())
+	}
+}
+
+func TestStatsStickyFlags(t *testing.T) {
+	s := NewSet()
+	k := key(RAW, 10, 9, 1)
+	s.Add(k, false, true, false)
+	s.Add(k, true, true, false) // one carried instance
+	s.Add(k, false, true, true) // one reversed instance
+	st, _ := s.Lookup(k)
+	if !st.Carried {
+		t.Error("Carried must be sticky-true")
+	}
+	if !st.Reversed {
+		t.Error("Reversed must be sticky-true")
+	}
+	if !st.Reduction {
+		t.Error("all instances were reduction; flag should hold")
+	}
+	s.Add(k, false, false, false) // one non-reduction instance
+	st, _ = s.Lookup(k)
+	if st.Reduction {
+		t.Error("Reduction must be sticky-false")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	shared := key(RAW, 5, 4, 1)
+	onlyA := key(WAW, 6, 5, 1)
+	onlyB := key(WAR, 7, 6, 2)
+	a.Add(shared, true, false, false)
+	a.Add(onlyA, false, false, false)
+	b.Add(shared, false, false, true)
+	b.Add(shared, false, false, false)
+	b.Add(onlyB, false, false, false)
+
+	a.Merge(b)
+	if a.Unique() != 3 {
+		t.Fatalf("Unique after merge = %d, want 3", a.Unique())
+	}
+	if a.Instances() != 5 {
+		t.Fatalf("Instances after merge = %d, want 5", a.Instances())
+	}
+	st, _ := a.Lookup(shared)
+	if st.Count != 3 {
+		t.Errorf("shared count = %d, want 3", st.Count)
+	}
+	if !st.Carried || !st.Reversed {
+		t.Error("merge must OR the sticky flags")
+	}
+	// b unchanged.
+	if b.Unique() != 2 || b.Instances() != 3 {
+		t.Error("Merge modified its argument")
+	}
+	a.Merge(nil) // no panic
+}
+
+func TestLookupMissing(t *testing.T) {
+	s := NewSet()
+	if _, ok := s.Lookup(key(RAW, 1, 2, 3)); ok {
+		t.Error("Lookup on empty set returned ok")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 10; i++ {
+		s.Add(key(RAW, i+1, i, 1), false, false, false)
+	}
+	n := 0
+	s.Range(func(Key, Stats) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("Range visited %d, want 3", n)
+	}
+}
+
+func TestFilterType(t *testing.T) {
+	s := NewSet()
+	s.Add(key(RAW, 1, 0, 1), false, false, false)
+	s.Add(key(RAW, 2, 0, 1), false, false, false)
+	s.Add(key(WAW, 3, 0, 1), false, false, false)
+	if got := len(s.FilterType(RAW)); got != 2 {
+		t.Errorf("FilterType(RAW) = %d, want 2", got)
+	}
+	if got := len(s.FilterType(INIT)); got != 0 {
+		t.Errorf("FilterType(INIT) = %d, want 0", got)
+	}
+	if got := len(s.Keys()); got != 3 {
+		t.Errorf("Keys = %d, want 3", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	shared := key(RAW, 1, 0, 1)
+	onlyA := key(WAW, 2, 1, 1)
+	onlyB := key(WAR, 3, 2, 1)
+	a.Add(shared, false, false, false)
+	a.Add(onlyA, false, false, false)
+	b.Add(shared, false, false, false)
+	b.Add(onlyB, false, false, false)
+
+	d := Diff(a, b)
+	if d.Common != 1 {
+		t.Errorf("Common = %d", d.Common)
+	}
+	if len(d.OnlyA) != 1 || d.OnlyA[0] != onlyA {
+		t.Errorf("OnlyA = %v", d.OnlyA)
+	}
+	if len(d.OnlyB) != 1 || d.OnlyB[0] != onlyB {
+		t.Errorf("OnlyB = %v", d.OnlyB)
+	}
+	if d.Identical() {
+		t.Error("differing sets reported identical")
+	}
+	if !Diff(a, a).Identical() {
+		t.Error("self diff not identical")
+	}
+	// Counts must not matter.
+	b2 := NewSet()
+	for i := 0; i < 10; i++ {
+		b2.Add(shared, false, false, false)
+	}
+	a2 := NewSet()
+	a2.Add(shared, false, false, false)
+	if !Diff(a2, b2).Identical() {
+		t.Error("count differences must not affect Diff")
+	}
+}
+
+func TestDiffDeterministicOrder(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	for i := 20; i > 0; i-- {
+		a.Add(key(RAW, i, 0, 1), false, false, false)
+	}
+	d := Diff(a, b)
+	for i := 1; i < len(d.OnlyA); i++ {
+		if d.OnlyA[i].Sink < d.OnlyA[i-1].Sink {
+			t.Fatal("OnlyA not sorted")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package dep
+
+import "sort"
+
+// DiffResult lists the dependence keys present in one set but not the other
+// — the tool behind input-sensitivity studies (paper §I: profiles from
+// different inputs are unioned; Diff shows what each input contributed) and
+// accuracy comparisons.
+type DiffResult struct {
+	// OnlyA are dependences present in a but missing from b.
+	OnlyA []Key
+	// OnlyB are dependences present in b but missing from a.
+	OnlyB []Key
+	// Common counts dependences present in both.
+	Common int
+}
+
+// Diff compares two dependence sets by key.
+func Diff(a, b *Set) DiffResult {
+	var r DiffResult
+	a.Range(func(k Key, _ Stats) bool {
+		if _, ok := b.Lookup(k); ok {
+			r.Common++
+		} else {
+			r.OnlyA = append(r.OnlyA, k)
+		}
+		return true
+	})
+	b.Range(func(k Key, _ Stats) bool {
+		if _, ok := a.Lookup(k); !ok {
+			r.OnlyB = append(r.OnlyB, k)
+		}
+		return true
+	})
+	sortKeys(r.OnlyA)
+	sortKeys(r.OnlyB)
+	return r
+}
+
+// Identical reports whether the diff found no differences.
+func (r DiffResult) Identical() bool {
+	return len(r.OnlyA) == 0 && len(r.OnlyB) == 0
+}
+
+func sortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool { return lessKey(ks[i], ks[j]) })
+}

@@ -1,0 +1,242 @@
+package dep
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"ddprof/internal/loc"
+)
+
+// Binary profile format. The text format (Write/Parse) is the paper's
+// human-readable output; the binary format is the compact on-disk form for
+// toolchains, preserving what the text drops: instance counts, carried and
+// reduction flags, and dependence distances. Layout (all integers varint
+// unless noted):
+//
+//	magic "DDP1" (4 bytes)
+//	varCount, then per variable: name (len-prefixed string)
+//	loopCount, then per loop: begin, end, iterations
+//	depCount, then per dependence:
+//	    type (1 byte), sink, src, var, sinkThread+1, srcThread+1 (zigzag-free:
+//	    threads are small non-negative), count, flags (1 byte:
+//	    carried|reversed|reduction), minDist, maxDist
+const binaryMagic = "DDP1"
+
+// Encode writes the set, loop records and variable table in binary form.
+func Encode(w io.Writer, s *Set, tab *loc.Table, loops []LoopRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+
+	// Variable table: IDs are dense, so emit names in ID order.
+	nv := tab.NumVars()
+	if err := put(uint64(nv)); err != nil {
+		return err
+	}
+	for i := 0; i < nv; i++ {
+		name := tab.VarName(loc.VarID(i))
+		if err := put(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+
+	if err := put(uint64(len(loops))); err != nil {
+		return err
+	}
+	for _, l := range loops {
+		if err := put(uint64(l.Begin)); err != nil {
+			return err
+		}
+		if err := put(uint64(l.End)); err != nil {
+			return err
+		}
+		if err := put(l.Iterations); err != nil {
+			return err
+		}
+	}
+
+	// Deterministic dependence order.
+	keys := s.Keys()
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
+	if err := put(uint64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		st, _ := s.Lookup(k)
+		if err := bw.WriteByte(byte(k.Type)); err != nil {
+			return err
+		}
+		for _, v := range []uint64{
+			uint64(k.Sink), uint64(k.Src), uint64(k.Var),
+			uint64(k.SinkThread) + 1, uint64(k.SrcThread) + 1,
+			st.Count,
+		} {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+		var fl byte
+		if st.Carried {
+			fl |= 1
+		}
+		if st.Reversed {
+			fl |= 2
+		}
+		if st.Reduction {
+			fl |= 4
+		}
+		if err := bw.WriteByte(fl); err != nil {
+			return err
+		}
+		if err := put(uint64(st.MinDist)); err != nil {
+			return err
+		}
+		if err := put(uint64(st.MaxDist)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func lessKey(a, b Key) bool {
+	if a.Sink != b.Sink {
+		return a.Sink < b.Sink
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	if a.Var != b.Var {
+		return a.Var < b.Var
+	}
+	if a.SinkThread != b.SinkThread {
+		return a.SinkThread < b.SinkThread
+	}
+	return a.SrcThread < b.SrcThread
+}
+
+// Decode reads a binary profile written by Encode.
+func Decode(r io.Reader) (*Set, []LoopRecord, *loc.Table, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, nil, fmt.Errorf("dep: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, nil, nil, fmt.Errorf("dep: bad magic %q", magic)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+
+	tab := loc.NewTable()
+	nv, err := get()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if nv > 1<<24 {
+		return nil, nil, nil, fmt.Errorf("dep: implausible variable count %d", nv)
+	}
+	for i := uint64(0); i < nv; i++ {
+		ln, err := get()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if ln > 1<<16 {
+			return nil, nil, nil, fmt.Errorf("dep: implausible name length %d", ln)
+		}
+		name := make([]byte, ln)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, nil, nil, err
+		}
+		tab.Var(string(name)) // IDs reassigned densely in the same order
+	}
+
+	nl, err := get()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if nl > 1<<24 {
+		return nil, nil, nil, fmt.Errorf("dep: implausible loop count %d", nl)
+	}
+	loops := make([]LoopRecord, 0, nl)
+	for i := uint64(0); i < nl; i++ {
+		var l LoopRecord
+		v, err := get()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		l.Begin = loc.SourceLoc(v)
+		if v, err = get(); err != nil {
+			return nil, nil, nil, err
+		}
+		l.End = loc.SourceLoc(v)
+		if l.Iterations, err = get(); err != nil {
+			return nil, nil, nil, err
+		}
+		loops = append(loops, l)
+	}
+
+	nd, err := get()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if nd > 1<<28 {
+		return nil, nil, nil, fmt.Errorf("dep: implausible dependence count %d", nd)
+	}
+	set := NewSet()
+	for i := uint64(0); i < nd; i++ {
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var vals [6]uint64
+		for j := range vals {
+			if vals[j], err = get(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		fl, err := br.ReadByte()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		minD, err := get()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		maxD, err := get()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		k := Key{
+			Type: Type(tb),
+			Sink: loc.SourceLoc(vals[0]), Src: loc.SourceLoc(vals[1]),
+			Var:        loc.VarID(vals[2]),
+			SinkThread: int16(vals[3] - 1), SrcThread: int16(vals[4] - 1),
+		}
+		st := &Stats{
+			Count:     vals[5],
+			Carried:   fl&1 != 0,
+			Reversed:  fl&2 != 0,
+			Reduction: fl&4 != 0,
+			MinDist:   uint32(minD),
+			MaxDist:   uint32(maxD),
+		}
+		set.m[k] = st
+		set.instances += st.Count
+	}
+	return set, loops, tab, nil
+}

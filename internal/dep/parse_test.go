@@ -1,0 +1,176 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+
+	"ddprof/internal/loc"
+)
+
+func TestParseFigure1(t *testing.T) {
+	input := strings.Join([]string{
+		"1:60 BGN loop",
+		"1:60 NOM {RAW 1:60|i} {WAR 1:60|i} {INIT *}",
+		"1:63 NOM {RAW 1:59|temp1} {RAW 1:67|temp1}",
+		"1:74 END loop 1200",
+	}, "\n")
+	set, loops, tab, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Unique() != 5 {
+		t.Fatalf("parsed %d deps, want 5: %v", set.Unique(), set.Keys())
+	}
+	k := Key{Type: RAW, Sink: loc.Pack(1, 60), Src: loc.Pack(1, 60), Var: tab.Var("i")}
+	if _, ok := set.Lookup(k); !ok {
+		t.Errorf("missing RAW i self dep")
+	}
+	if _, ok := set.Lookup(Key{Type: INIT, Sink: loc.Pack(1, 60)}); !ok {
+		t.Error("missing INIT")
+	}
+	if len(loops) != 1 || loops[0].Iterations != 1200 ||
+		loops[0].Begin != loc.Pack(1, 60) || loops[0].End != loc.Pack(1, 74) {
+		t.Errorf("loops = %+v", loops)
+	}
+}
+
+func TestParseFigure3Threaded(t *testing.T) {
+	input := strings.Join([]string{
+		"4:58|2 NOM {WAR 4:77|2|iter}",
+		"4:80|1 NOM {WAW 4:80|1|green} {INIT *}",
+	}, "\n")
+	set, _, tab, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Type: WAR, Sink: loc.Pack(4, 58), SinkThread: 2, Src: loc.Pack(4, 77), SrcThread: 2, Var: tab.Var("iter")}
+	if _, ok := set.Lookup(k); !ok {
+		t.Fatalf("missing threaded WAR; have %+v", set.Keys())
+	}
+	ki := Key{Type: INIT, Sink: loc.Pack(4, 80), SinkThread: 1}
+	if _, ok := set.Lookup(ki); !ok {
+		t.Error("missing threaded INIT")
+	}
+}
+
+func TestParseRaceMark(t *testing.T) {
+	input := "1:9|1 NOM {RAW 1:8|2|flag [race?]}\n"
+	set, _, tab, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Type: RAW, Sink: loc.Pack(1, 9), SinkThread: 1, Src: loc.Pack(1, 8), SrcThread: 2, Var: tab.Var("flag")}
+	st, ok := set.Lookup(k)
+	if !ok {
+		t.Fatal("race-marked dep missing")
+	}
+	if !st.Reversed {
+		t.Error("race mark not restored")
+	}
+}
+
+// TestWriteParseRoundTrip: writing a set and parsing it back must preserve
+// every dependence key and every loop record.
+func TestWriteParseRoundTrip(t *testing.T) {
+	for _, threaded := range []bool{false, true} {
+		tab := loc.NewTable()
+		tab.File("rt")
+		orig := NewSet()
+		for i := 0; i < 40; i++ {
+			k := Key{
+				Type: Type(i % 3),
+				Sink: loc.Pack(1, 10+i%5),
+				Src:  loc.Pack(1, 1+i%7),
+				Var:  tab.Var([]string{"a", "b", "c"}[i%3]),
+			}
+			if threaded {
+				k.SinkThread = int16(i % 4)
+				k.SrcThread = int16((i + 1) % 4)
+			}
+			orig.Add(k, false, false, threaded && i%5 == 0)
+		}
+		orig.Add(Key{Type: INIT, Sink: loc.Pack(1, 10)}, false, false, false)
+		loops := []LoopRecord{
+			{Begin: loc.Pack(1, 2), End: loc.Pack(1, 9), Iterations: 77},
+			{Begin: loc.Pack(1, 12), End: loc.Pack(1, 20), Iterations: 3},
+		}
+
+		var b strings.Builder
+		if err := Write(&b, orig, tab, loops, WriterOptions{Threads: threaded, MarkRaces: threaded}); err != nil {
+			t.Fatal(err)
+		}
+		parsed, ploops, ptab, err := Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("threaded=%v: %v\ninput:\n%s", threaded, err, b.String())
+		}
+		if parsed.Unique() != orig.Unique() {
+			t.Fatalf("threaded=%v: %d deps parsed, want %d", threaded, parsed.Unique(), orig.Unique())
+		}
+		orig.Range(func(k Key, st Stats) bool {
+			// Variable IDs are re-interned; translate through names.
+			k2 := k
+			k2.Var = ptab.Var(tab.VarName(k.Var))
+			pst, ok := parsed.Lookup(k2)
+			if !ok {
+				t.Errorf("threaded=%v: lost %+v", threaded, k)
+				return false
+			}
+			if threaded && pst.Reversed != st.Reversed {
+				t.Errorf("threaded=%v: race flag lost for %+v", threaded, k)
+			}
+			return true
+		})
+		if len(ploops) != len(loops) {
+			t.Fatalf("loops parsed = %d, want %d", len(ploops), len(loops))
+		}
+		for i, l := range ploops {
+			if l != loops[i] {
+				t.Errorf("loop %d = %+v, want %+v", i, l, loops[i])
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"garbage",
+		"1:60 XYZ something",
+		"nope NOM {RAW 1:1|x}",
+		"1:60 NOM {NOPE 1:1|x}",
+		"1:60 NOM {RAW 1:1|x",
+		"1:60 END loop",
+		"1:60 NOM {RAW badloc|x}",
+	}
+	for _, c := range cases {
+		if _, _, _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestParseNestedLoops(t *testing.T) {
+	// Two nested loops: ENDs must match the innermost open BGN.
+	input := strings.Join([]string{
+		"1:1 BGN loop",
+		"1:2 BGN loop",
+		"1:3 END loop 10",
+		"1:4 END loop 2",
+	}, "\n")
+	_, loops, _, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	byBegin := map[int]LoopRecord{}
+	for _, l := range loops {
+		byBegin[l.Begin.Line()] = l
+	}
+	if byBegin[2].Iterations != 10 || byBegin[2].End.Line() != 3 {
+		t.Errorf("inner loop wrong: %+v", byBegin[2])
+	}
+	if byBegin[1].Iterations != 2 || byBegin[1].End.Line() != 4 {
+		t.Errorf("outer loop wrong: %+v", byBegin[1])
+	}
+}

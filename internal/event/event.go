@@ -1,0 +1,143 @@
+// Package event defines the memory-access event stream the profiler consumes.
+//
+// The instrumentation substrate (internal/interp) calls the profiler once per
+// memory access; the profiler's parallel pipeline groups accesses into fixed
+// size Chunks (paper §IV: "the main thread ... collects memory accesses in
+// chunks, whose size can be configured"), pushes full chunks to per-worker
+// queues, and recycles empty chunks through a pool.
+package event
+
+import "ddprof/internal/loc"
+
+// Kind classifies a memory-access event.
+type Kind uint8
+
+const (
+	// Read is a load from memory.
+	Read Kind = iota
+	// Write is a store to memory.
+	Write
+	// Remove instructs the owning worker to forget an address. Emitted by
+	// variable-lifetime analysis when storage is deallocated (paper §III-B:
+	// "addresses that become obsolete after deallocating the corresponding
+	// variable are removed from signatures").
+	Remove
+	// Migrate instructs the owning worker to publish its signature state for
+	// an address into the migration mailbox (load-balancing, paper §IV-A).
+	Migrate
+	// Install instructs the new owner to adopt the migrated signature state
+	// currently published in the migration mailbox.
+	Install
+	// Flush instructs a worker to finish processing and acknowledge; used at
+	// end-of-stream.
+	Flush
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Remove:
+		return "remove"
+	case Migrate:
+		return "migrate"
+	case Install:
+		return "install"
+	case Flush:
+		return "flush"
+	}
+	return "invalid"
+}
+
+// Access is one instrumented memory access (or a pipeline control event).
+//
+// Loop-carried classification (Table II) needs iteration context: CtxID
+// identifies the static stack of loops enclosing the access, and IterVec packs
+// the iteration counters of up to four innermost enclosing loops (16 bits
+// each, deepest loop in the low bits). Timestamps are only populated when
+// profiling multi-threaded targets (paper §V-B).
+type Access struct {
+	Addr    uint64        // simulated memory address
+	TS      uint64        // global timestamp (MT-target mode only)
+	IterVec uint64        // packed iteration vector of enclosing loops
+	Loc     loc.SourceLoc // source location of the access
+	Var     loc.VarID     // variable accessed
+	CtxID   uint32        // static loop-context ID (0 = outside any loop)
+	Thread  int32         // target-program thread ID
+	Kind    Kind
+	Flags   Flags
+}
+
+// Flags carry per-access attributes.
+type Flags uint8
+
+const (
+	// FlagReduction marks an access belonging to a reduction statement
+	// (x = x ⊕ expr, ⊕ commutative-associative). A loop-carried RAW between
+	// two reduction accesses of the same statement is removable by a
+	// reduction transformation, which parallelism discovery reports
+	// separately.
+	FlagReduction Flags = 1 << 0
+	// FlagInduction marks an induction-variable update (i = i + step at a
+	// loop header). Its carried self-RAW is loop control, not a
+	// parallelism-preventing dependence.
+	FlagInduction Flags = 1 << 1
+)
+
+// ChunkSize is the default number of accesses per chunk. 4096 events keeps
+// the per-push synchronization cost negligible while bounding the reordering
+// window.
+const ChunkSize = 4096
+
+// Chunk is a fixed-capacity batch of accesses bound for one worker.
+type Chunk struct {
+	Events []Access
+	buf    [ChunkSize]Access
+}
+
+// NewChunk returns an empty chunk with the default capacity.
+func NewChunk() *Chunk {
+	c := &Chunk{}
+	c.Events = c.buf[:0]
+	return c
+}
+
+// Append adds an access; the caller must check Full first.
+func (c *Chunk) Append(a Access) {
+	c.Events = append(c.Events, a)
+}
+
+// Full reports whether the chunk has reached capacity.
+func (c *Chunk) Full() bool { return len(c.Events) == cap(c.Events) }
+
+// Len returns the number of buffered accesses.
+func (c *Chunk) Len() int { return len(c.Events) }
+
+// Reset empties the chunk for reuse.
+func (c *Chunk) Reset() { c.Events = c.buf[:0] }
+
+// PackIterVec packs the iteration counters of the enclosing loops, deepest
+// last in iters, into a 64-bit vector: the deepest loop occupies bits 0–15,
+// its parent bits 16–31, and so on. Only the four innermost loops are kept;
+// counters are truncated to 16 bits, which is exact for the workloads in this
+// repository and degrades to a conservative hash beyond that.
+func PackIterVec(iters []uint32) uint64 {
+	var v uint64
+	n := len(iters)
+	for d := 0; d < 4 && d < n; d++ {
+		// d=0 is the deepest (last) loop.
+		v |= uint64(uint16(iters[n-1-d])) << (16 * d)
+	}
+	return v
+}
+
+// IterAt extracts the 16-bit iteration counter at depth-from-innermost d
+// (0 = innermost) from a packed vector.
+func IterAt(vec uint64, d int) uint16 {
+	if d < 0 || d > 3 {
+		return 0
+	}
+	return uint16(vec >> (16 * d))
+}

@@ -1,0 +1,114 @@
+package hashtab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ddprof/internal/loc"
+	"ddprof/internal/sig"
+)
+
+var _ sig.Store = (*Table)(nil)
+
+func slot(line int) sig.Slot {
+	return sig.PackSlot(loc.Pack(1, line), 0, 0, 0, 0, 0)
+}
+
+func TestBasicOps(t *testing.T) {
+	h := New(64)
+	if _, ok := h.LookupWrite(1); ok {
+		t.Fatal("fresh table has entries")
+	}
+	h.SetWrite(1, slot(10))
+	h.SetRead(1, slot(20))
+	if w, ok := h.LookupWrite(1); !ok || w.Loc().Line() != 10 {
+		t.Fatal("write lookup failed")
+	}
+	if r, ok := h.LookupRead(1); !ok || r.Loc().Line() != 20 {
+		t.Fatal("read lookup failed")
+	}
+	if h.Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1 (read+write share an entry)", h.Entries())
+	}
+	h.Remove(1)
+	if _, ok := h.LookupWrite(1); ok {
+		t.Fatal("entry survives Remove")
+	}
+	if h.Entries() != 0 {
+		t.Fatal("Entries != 0 after Remove")
+	}
+}
+
+func TestChainingExactness(t *testing.T) {
+	// Tiny directory forces long chains; lookups must still be exact.
+	h := New(4)
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		h.SetWrite(i*8, slot(int(i)+1))
+	}
+	if h.Entries() != n {
+		t.Fatalf("Entries = %d, want %d", h.Entries(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		s, ok := h.LookupWrite(i * 8)
+		if !ok || s.Loc().Line() != int(i)+1 {
+			t.Fatalf("chained entry %d wrong", i)
+		}
+	}
+	if _, ok := h.LookupWrite(n * 8); ok {
+		t.Error("false positive in hash table")
+	}
+}
+
+func TestRemoveFromChainMiddle(t *testing.T) {
+	h := New(1) // single bucket: everything chains
+	h.SetWrite(1, slot(1))
+	h.SetWrite(2, slot(2))
+	h.SetWrite(3, slot(3))
+	h.Remove(2)
+	if _, ok := h.LookupWrite(2); ok {
+		t.Fatal("removed entry still found")
+	}
+	for _, a := range []uint64{1, 3} {
+		if s, ok := h.LookupWrite(a); !ok || s.Loc().Line() != int(a) {
+			t.Fatalf("neighbour %d damaged by removal", a)
+		}
+	}
+	h.Remove(99) // absent: no panic, no change
+	if h.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2", h.Entries())
+	}
+}
+
+func TestBucketRounding(t *testing.T) {
+	h := New(100)
+	if len(h.buckets) != 128 {
+		t.Errorf("buckets = %d, want next power of two 128", len(h.buckets))
+	}
+}
+
+func TestBytesGrow(t *testing.T) {
+	h := New(16)
+	b0 := h.Bytes()
+	h.SetWrite(1, slot(1))
+	if h.Bytes() <= b0 {
+		t.Error("Bytes did not grow with an entry")
+	}
+	if h.ModeledBytes() != h.Bytes() {
+		t.Error("exact store model must equal actual bytes")
+	}
+}
+
+func TestSetReadAndWriteSameEntry(t *testing.T) {
+	f := func(addr uint64, wl, rl uint16) bool {
+		h := New(32)
+		h.SetWrite(addr, slot(int(wl)+1))
+		h.SetRead(addr, slot(int(rl)+1))
+		w, okw := h.LookupWrite(addr)
+		r, okr := h.LookupRead(addr)
+		return okw && okr && w.Loc().Line() == int(wl)+1 && r.Loc().Line() == int(rl)+1 && h.Entries() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

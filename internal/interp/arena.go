@@ -1,0 +1,90 @@
+package interp
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// arena is the simulated address space. Every minilang scalar and array
+// element occupies one 8-byte word; word w lives at byte address
+// baseAddr + w*8. Freed ranges are recycled (exact-size free lists), so
+// address reuse after deallocation — the case variable-lifetime analysis
+// exists for — actually happens.
+//
+// Values are stored as float64 bits through atomic loads/stores: target
+// programs are allowed to race (that is §V-B's subject), and atomics keep
+// such logical races from being undefined behaviour in the host process.
+type arena struct {
+	mu    sync.Mutex
+	pages [maxPages]*arenaPage
+	free  map[int][]uint64 // words -> free base word indices
+	next  uint64           // next unallocated word index
+}
+
+const (
+	pageWordsBits = 16
+	pageWords     = 1 << pageWordsBits // 64 Ki words = 512 KiB per page
+	maxPages      = 4096               // 2 GiB simulated memory ceiling
+	baseAddr      = uint64(0x10000000)
+)
+
+type arenaPage [pageWords]uint64
+
+func newArena() *arena {
+	return &arena{free: make(map[int][]uint64)}
+}
+
+// alloc reserves a run of words and returns its base word index.
+func (a *arena) alloc(words int) uint64 {
+	if words <= 0 {
+		words = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if lst := a.free[words]; len(lst) > 0 {
+		base := lst[len(lst)-1]
+		a.free[words] = lst[:len(lst)-1]
+		return base
+	}
+	base := a.next
+	a.next += uint64(words)
+	lastPage := (a.next - 1) >> pageWordsBits
+	if lastPage >= maxPages {
+		panic(rtError{"simulated memory exhausted"})
+	}
+	for pg := base >> pageWordsBits; pg <= lastPage; pg++ {
+		if a.pages[pg] == nil {
+			a.pages[pg] = new(arenaPage)
+		}
+	}
+	return base
+}
+
+// release recycles a run for future allocations of the same size.
+func (a *arena) release(base uint64, words int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free[words] = append(a.free[words], base)
+}
+
+// load reads the word at index w.
+func (a *arena) load(w uint64) float64 {
+	p := a.pages[w>>pageWordsBits]
+	return math.Float64frombits(atomic.LoadUint64(&p[w&(pageWords-1)]))
+}
+
+// store writes the word at index w.
+func (a *arena) store(w uint64, v float64) {
+	p := a.pages[w>>pageWordsBits]
+	atomic.StoreUint64(&p[w&(pageWords-1)], math.Float64bits(v))
+}
+
+// addrOf converts a word index to a simulated byte address.
+func addrOf(w uint64) uint64 { return baseAddr + w*8 }
+
+// rtError is a minilang runtime error (out-of-bounds index, unknown
+// variable, …) carried by panic to the Run boundary.
+type rtError struct{ msg string }
+
+func (e rtError) Error() string { return "minilang runtime error: " + e.msg }

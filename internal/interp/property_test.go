@@ -1,0 +1,173 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	. "ddprof/internal/minilang"
+)
+
+// genExpr builds a random expression tree over variables x, y, z together
+// with a Go reference evaluator for it. Division-like operators guard their
+// right operand so the reference never traps.
+func genExpr(r *rand.Rand, depth int, env map[string]float64) (Expr, func() float64) {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			v := float64(r.Intn(41) - 20)
+			return C(v), func() float64 { return v }
+		case 1:
+			names := []string{"x", "y", "z"}
+			n := names[r.Intn(len(names))]
+			return V(n), func() float64 { return env[n] }
+		default:
+			v := float64(r.Intn(7) + 1)
+			return C(v), func() float64 { return v }
+		}
+	}
+	l, lf := genExpr(r, depth-1, env)
+	rr, rf := genExpr(r, depth-1, env)
+	switch r.Intn(12) {
+	case 0:
+		return Add(l, rr), func() float64 { return lf() + rf() }
+	case 1:
+		return Sub(l, rr), func() float64 { return lf() - rf() }
+	case 2:
+		return Mul(l, rr), func() float64 { return lf() * rf() }
+	case 3:
+		// Guarded integer division.
+		return IDiv(l, Add(Mul(rr, C(0)), C(3))), func() float64 {
+			return float64(int64(lf()) / 3)
+		}
+	case 4:
+		return Mod(l, Add(Mul(rr, C(0)), C(7))), func() float64 {
+			return float64(int64(lf()) % 7)
+		}
+	case 5:
+		return BAnd(l, rr), func() float64 { return float64(int64(lf()) & int64(rf())) }
+	case 6:
+		return Xor(l, rr), func() float64 { return float64(int64(lf()) ^ int64(rf())) }
+	case 7:
+		return Lt(l, rr), func() float64 { return b2f(lf() < rf()) }
+	case 8:
+		return Ge(l, rr), func() float64 { return b2f(lf() >= rf()) }
+	case 9:
+		return And(l, rr), func() float64 { return b2f(lf() != 0 && rf() != 0) }
+	case 10:
+		return Neg(l), func() float64 { return -lf() }
+	default:
+		return CallE("abs", l), func() float64 { return math.Abs(lf()) }
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestExpressionSemanticsProperty evaluates 300 random expression trees in
+// minilang and compares against the Go reference evaluation.
+func TestExpressionSemanticsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20150512)) // the paper's conference date
+	for trial := 0; trial < 300; trial++ {
+		env := map[string]float64{
+			"x": float64(r.Intn(201) - 100),
+			"y": float64(r.Intn(201) - 100),
+			"z": float64(r.Intn(11)),
+		}
+		ex, ref := genExpr(r, 4, env)
+		p := New("prop")
+		p.MainFunc(func(b *Block) {
+			b.Decl("x", C(env["x"]))
+			b.Decl("y", C(env["y"]))
+			b.Decl("z", C(env["z"]))
+			b.Decl("result", ex)
+		})
+		info, err := Run(p, nil, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := ref()
+		got := info.Vars["result"]
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d: minilang %v, reference %v (env %v)", trial, got, want, env)
+		}
+	}
+}
+
+// TestAccessCountInvariant: the hook must be called exactly Accesses times
+// regardless of program shape, and native/hooked runs must agree on both
+// the computation and the count.
+func TestAccessCountInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + r.Intn(40)
+		build := func() *Program {
+			p := New("count")
+			p.MainFunc(func(b *Block) {
+				b.Decl("acc", Ci(0))
+				b.DeclArr("a", Ci(n))
+				b.For("i", Ci(0), Ci(n), Ci(1), LoopOpt{}, func(l *Block) {
+					l.Set("a", V("i"), Mul(V("i"), Ci(3)))
+					l.If(Eq(Mod(V("i"), Ci(2)), Ci(0)), func(tb *Block) {
+						tb.Reduce("acc", OpAdd, Idx("a", V("i")))
+					}, nil)
+				})
+			})
+			return p
+		}
+		nat, err := Run(build(), nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &countingHook{}
+		hook, err := Run(build(), h, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nat.Accesses != hook.Accesses || uint64(h.n) != hook.Accesses {
+			t.Fatalf("trial %d: native %d, hooked %d, hook calls %d",
+				trial, nat.Accesses, hook.Accesses, h.n)
+		}
+		if nat.Vars["acc"] != hook.Vars["acc"] {
+			t.Fatalf("trial %d: computation diverged under instrumentation", trial)
+		}
+	}
+}
+
+// TestDeepLoopNests: iteration vectors track only four levels; deeper nests
+// must still classify correctly for the four innermost loops and degrade
+// conservatively beyond.
+func TestDeepLoopNests(t *testing.T) {
+	p := New("deep")
+	p.MainFunc(func(b *Block) {
+		b.Decl("acc", Ci(0))
+		var nest func(bb *Block, depth int)
+		nest = func(bb *Block, depth int) {
+			if depth == 0 {
+				bb.Reduce("acc", OpAdd, Ci(1))
+				return
+			}
+			bb.For("i"+string(rune('0'+depth)), Ci(0), Ci(2), Ci(1),
+				LoopOpt{Name: "L" + string(rune('0'+depth))}, func(l *Block) {
+					nest(l, depth-1)
+				})
+		}
+		nest(b, 6)
+	})
+	info := runNative(t, p)
+	if info.Vars["acc"] != 64 {
+		t.Errorf("acc = %v, want 64 (2^6)", info.Vars["acc"])
+	}
+	// All six loops executed the expected total iterations.
+	total := uint64(0)
+	for _, n := range info.LoopIters {
+		total += n
+	}
+	if total != 2+4+8+16+32+64 {
+		t.Errorf("total iterations = %d, want 126", total)
+	}
+}

@@ -1,0 +1,155 @@
+// Package loc provides interned source locations and variable names.
+//
+// The profiler records, for every memory access, the source code location
+// (file:line, printed as "1:60" in the paper's output format) and the name of
+// the variable involved. Storing strings per access would dominate both time
+// and space, so files and variable names are interned once into small integer
+// IDs, and a full location is packed into a single 32-bit word.
+package loc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SourceLoc is a packed source location: the upper 8 bits hold the file ID,
+// the lower 24 bits the line number. The zero value means "unknown location"
+// and prints as "?".
+type SourceLoc uint32
+
+// Pack builds a SourceLoc from a file ID and a line number. File IDs above
+// 255 and lines above 2^24-1 are saturated; real inputs never get close.
+func Pack(file FileID, line int) SourceLoc {
+	if file > 255 {
+		file = 255
+	}
+	if line < 0 {
+		line = 0
+	}
+	if line > 0xFFFFFF {
+		line = 0xFFFFFF
+	}
+	return SourceLoc(uint32(file)<<24 | uint32(line))
+}
+
+// File returns the file ID component.
+func (s SourceLoc) File() FileID { return FileID(s >> 24) }
+
+// Line returns the line number component.
+func (s SourceLoc) Line() int { return int(s & 0xFFFFFF) }
+
+// IsZero reports whether the location is the unknown location.
+func (s SourceLoc) IsZero() bool { return s == 0 }
+
+// String renders the location the way the paper prints it: "file:line",
+// e.g. "1:60".
+func (s SourceLoc) String() string {
+	if s.IsZero() {
+		return "?"
+	}
+	return fmt.Sprintf("%d:%d", s.File(), s.Line())
+}
+
+// FileID identifies an interned file name.
+type FileID uint8
+
+// VarID identifies an interned variable name. The zero VarID prints as "*",
+// which the paper uses for anonymous or compiler-temporary storage.
+type VarID uint32
+
+// Table interns file names and variable names. It is safe for concurrent use.
+// The zero value is ready to use.
+type Table struct {
+	mu      sync.RWMutex
+	files   []string
+	fileIDs map[string]FileID
+	vars    []string
+	varIDs  map[string]VarID
+}
+
+// NewTable returns an empty intern table. File IDs start at 1 so that file 0
+// can mean "unknown"; variable IDs start at 1 so that VarID(0) means "*".
+func NewTable() *Table {
+	return &Table{
+		files:   []string{"?"},
+		fileIDs: make(map[string]FileID),
+		vars:    []string{"*"},
+		varIDs:  make(map[string]VarID),
+	}
+}
+
+// File interns a file name and returns its ID. Interning the same name twice
+// returns the same ID.
+func (t *Table) File(name string) FileID {
+	t.mu.RLock()
+	id, ok := t.fileIDs[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.fileIDs[name]; ok {
+		return id
+	}
+	id = FileID(len(t.files))
+	t.files = append(t.files, name)
+	t.fileIDs[name] = id
+	return id
+}
+
+// Var interns a variable name and returns its ID.
+func (t *Table) Var(name string) VarID {
+	if name == "" || name == "*" {
+		return 0
+	}
+	t.mu.RLock()
+	id, ok := t.varIDs[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.varIDs[name]; ok {
+		return id
+	}
+	id = VarID(len(t.vars))
+	t.vars = append(t.vars, name)
+	t.varIDs[name] = id
+	return id
+}
+
+// FileName returns the name for a file ID, or "?" if unknown.
+func (t *Table) FileName(id FileID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) < len(t.files) {
+		return t.files[id]
+	}
+	return "?"
+}
+
+// VarName returns the name for a variable ID, or "*" if unknown.
+func (t *Table) VarName(id VarID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) < len(t.vars) {
+		return t.vars[id]
+	}
+	return "*"
+}
+
+// NumVars returns the number of interned variables including the implicit "*".
+func (t *Table) NumVars() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.vars)
+}
+
+// NumFiles returns the number of interned files including the implicit "?".
+func (t *Table) NumFiles() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.files)
+}

@@ -1,0 +1,135 @@
+package loc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		file FileID
+		line int
+	}{
+		{1, 60}, {1, 74}, {4, 58}, {0, 0}, {255, 0xFFFFFF},
+	}
+	for _, c := range cases {
+		s := Pack(c.file, c.line)
+		if s.File() != c.file {
+			t.Errorf("Pack(%d,%d).File() = %d", c.file, c.line, s.File())
+		}
+		if s.Line() != c.line {
+			t.Errorf("Pack(%d,%d).Line() = %d", c.file, c.line, s.Line())
+		}
+	}
+}
+
+func TestPackSaturates(t *testing.T) {
+	s := Pack(10, 1<<30)
+	if s.Line() != 0xFFFFFF {
+		t.Errorf("line not saturated: %d", s.Line())
+	}
+	if s.File() != 10 {
+		t.Errorf("file corrupted by line overflow: %d", s.File())
+	}
+	if got := Pack(3, -5).Line(); got != 0 {
+		t.Errorf("negative line should clamp to 0, got %d", got)
+	}
+}
+
+func TestPackProperty(t *testing.T) {
+	f := func(file uint8, line uint32) bool {
+		l := int(line & 0xFFFFFF)
+		s := Pack(FileID(file), l)
+		return s.File() == FileID(file) && s.Line() == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := Pack(1, 60).String(); got != "1:60" {
+		t.Errorf("String() = %q, want 1:60", got)
+	}
+	if got := SourceLoc(0).String(); got != "?" {
+		t.Errorf("zero String() = %q, want ?", got)
+	}
+}
+
+func TestTableInterning(t *testing.T) {
+	tab := NewTable()
+	a := tab.File("main.c")
+	b := tab.File("util.c")
+	if a == b {
+		t.Fatal("distinct files got same ID")
+	}
+	if tab.File("main.c") != a {
+		t.Error("re-interning changed the ID")
+	}
+	if tab.FileName(a) != "main.c" {
+		t.Errorf("FileName = %q", tab.FileName(a))
+	}
+	if tab.FileName(200) != "?" {
+		t.Error("unknown file should map to ?")
+	}
+
+	v := tab.Var("temp1")
+	if tab.Var("temp1") != v {
+		t.Error("re-interning var changed the ID")
+	}
+	if tab.VarName(v) != "temp1" {
+		t.Errorf("VarName = %q", tab.VarName(v))
+	}
+	if tab.Var("") != 0 || tab.Var("*") != 0 {
+		t.Error("empty/star names must be VarID(0)")
+	}
+	if tab.VarName(0) != "*" {
+		t.Error("VarID(0) must print as *")
+	}
+	if tab.VarName(9999) != "*" {
+		t.Error("unknown var should map to *")
+	}
+}
+
+func TestTableCounts(t *testing.T) {
+	tab := NewTable()
+	if tab.NumFiles() != 1 || tab.NumVars() != 1 {
+		t.Fatalf("fresh table counts: files=%d vars=%d", tab.NumFiles(), tab.NumVars())
+	}
+	tab.File("a")
+	tab.Var("x")
+	tab.Var("y")
+	if tab.NumFiles() != 2 || tab.NumVars() != 3 {
+		t.Fatalf("counts after interning: files=%d vars=%d", tab.NumFiles(), tab.NumVars())
+	}
+}
+
+func TestTableConcurrent(t *testing.T) {
+	tab := NewTable()
+	var wg sync.WaitGroup
+	const workers = 8
+	ids := make([][]VarID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]VarID, 100)
+			for i := 0; i < 100; i++ {
+				ids[w][i] = tab.Var(fmt.Sprintf("v%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ids[0] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got different ID for v%d", w, i)
+			}
+		}
+	}
+	if tab.NumVars() != 101 {
+		t.Errorf("expected 101 vars, got %d", tab.NumVars())
+	}
+}

@@ -1,0 +1,271 @@
+// Package minilang defines the small imperative intermediate representation
+// the profiler's instrumentation substrate executes.
+//
+// The paper instruments LLVM IR compiled from C/C++; Go has no equivalent
+// native instrumentation path, so target programs in this repository are
+// written in minilang — a language with scalars, arrays (dynamically sized,
+// i.e. pointer-like storage), arithmetic, loops, branches, functions,
+// dynamic allocation/deallocation, threads and mutexes. The interpreter
+// (internal/interp) assigns every scalar and array element a simulated
+// memory address and reports every read and write to the profiler, which is
+// exactly the event stream an exhaustive LLVM instrumentation pass produces.
+//
+// Programs are constructed through the Builder API (builder.go); every
+// statement receives a unique, increasing source line so profiled
+// dependences carry meaningful "file:line" locations.
+package minilang
+
+import (
+	"ddprof/internal/loc"
+	"ddprof/internal/prog"
+)
+
+// Program is a complete minilang target program.
+type Program struct {
+	Name string
+	// Tab interns this program's file and variable names.
+	Tab *loc.Table
+	// Meta is the static loop metadata consumed by the profiler.
+	Meta *prog.Meta
+	// FileID is the file statements are currently being built into
+	// (initially the program's own name, ID 1; see SetFile).
+	FileID loc.FileID
+	// Funcs maps function names to definitions. "main" is the entry point.
+	Funcs map[string]*Func
+
+	nextLine int
+	lines    map[loc.FileID]int // per-file line counters
+}
+
+// Func is a function definition. Parameters are passed by value; arrays are
+// passed by reference (the binding is shared).
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv  // float division
+	OpIDiv // integer division
+	OpMod  // integer modulo
+	OpBAnd
+	OpBOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd // logical, short-circuit
+	OpOr  // logical, short-circuit
+)
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+const (
+	OpNeg UnOp = iota
+	OpNot
+)
+
+// Expr is a minilang expression. Expressions evaluate to float64; integer
+// operators truncate. Reading a variable or array element emits a Read
+// access event.
+type Expr interface{ exprNode() }
+
+// ConstExpr is a literal.
+type ConstExpr struct{ V float64 }
+
+// VarExpr reads a scalar variable.
+type VarExpr struct{ Name string }
+
+// IndexExpr reads arr[idx].
+type IndexExpr struct {
+	Name string
+	Idx  Expr
+}
+
+// LenExpr yields an array's length without touching memory.
+type LenExpr struct{ Name string }
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnExpr applies a unary operator.
+type UnExpr struct {
+	Op UnOp
+	X  Expr
+}
+
+// CallExpr calls a builtin ("sqrt", "abs", "floor", "min", "max", "sin",
+// "cos", "exp", "log", "pow") or a user function and yields its return
+// value.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+// TidExpr yields the executing thread's ID (0 outside Spawn) without
+// touching memory.
+type TidExpr struct{}
+
+func (*ConstExpr) exprNode() {}
+func (*VarExpr) exprNode()   {}
+func (*IndexExpr) exprNode() {}
+func (*LenExpr) exprNode()   {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*CallExpr) exprNode()  {}
+func (*TidExpr) exprNode()   {}
+
+// Stmt is a minilang statement. Each carries the source line assigned at
+// build time and the static loop context it appears in.
+type Stmt interface {
+	stmtNode()
+	// Pos returns the statement's source line and static loop context.
+	Pos() (loc.SourceLoc, uint32)
+}
+
+// pos is embedded by all statements.
+type pos struct {
+	Line loc.SourceLoc
+	Ctx  uint32
+}
+
+func (p pos) Pos() (loc.SourceLoc, uint32) { return p.Line, p.Ctx }
+
+// DeclStmt declares (allocates) a scalar and writes its initial value.
+// Re-executing a declaration reuses the existing storage of the enclosing
+// frame, modeling a C block-scoped local.
+type DeclStmt struct {
+	pos
+	Name string
+	Init Expr
+}
+
+// DeclArrStmt declares an array of dynamic size — the minilang equivalent
+// of malloc, the dynamically allocated memory static analyses cannot track.
+type DeclArrStmt struct {
+	pos
+	Name string
+	Size Expr
+}
+
+// AssignStmt stores into a scalar. Reduction marks "x = x ⊕ e" statements.
+type AssignStmt struct {
+	pos
+	Name      string
+	Val       Expr
+	Reduction bool
+}
+
+// AssignIdxStmt stores into arr[idx].
+type AssignIdxStmt struct {
+	pos
+	Name      string
+	Idx       Expr
+	Val       Expr
+	Reduction bool
+}
+
+// ForStmt is a counted loop: for v = From; v < To; v += Step. The loop
+// variable is real storage: initialization writes it, the condition reads
+// it, and the increment reads and writes it, all attributed to the loop's
+// line — reproducing the {RAW i} {WAR i} self-dependences of Figure 1.
+type ForStmt struct {
+	pos
+	Var      string
+	From, To Expr
+	Step     Expr
+	Body     []Stmt
+	Loop     prog.LoopID
+	BodyCtx  uint32
+	EndLine  loc.SourceLoc
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	pos
+	Cond    Expr
+	Body    []Stmt
+	Loop    prog.LoopID
+	BodyCtx uint32
+	EndLine loc.SourceLoc
+}
+
+// IfStmt branches on Cond.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// CallStmt calls a user function for effect.
+type CallStmt struct {
+	pos
+	Fn   string
+	Args []Expr
+}
+
+// ReturnStmt returns from the current function with an optional value.
+type ReturnStmt struct {
+	pos
+	Val Expr // may be nil
+}
+
+// FreeStmt deallocates a scalar or array. The interpreter emits Remove
+// events for every word, driving the profiler's variable-lifetime analysis,
+// and recycles the address range.
+type FreeStmt struct {
+	pos
+	Name string
+}
+
+// SpawnStmt runs Body on Threads concurrent target threads and joins them.
+// Inside the body, Tid() yields the thread ID.
+type SpawnStmt struct {
+	pos
+	Threads int
+	Body    []Stmt
+}
+
+// LockStmt executes Body while holding the named mutex. Instrumentation of
+// accesses inside the region happens inside the lock (paper Figure 4).
+type LockStmt struct {
+	pos
+	Mutex string
+	Body  []Stmt
+}
+
+// BarrierStmt synchronizes all threads of the enclosing Spawn.
+type BarrierStmt struct {
+	pos
+}
+
+func (*DeclStmt) stmtNode()      {}
+func (*DeclArrStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode()    {}
+func (*AssignIdxStmt) stmtNode() {}
+func (*ForStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()        {}
+func (*CallStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()    {}
+func (*FreeStmt) stmtNode()      {}
+func (*SpawnStmt) stmtNode()     {}
+func (*LockStmt) stmtNode()      {}
+func (*BarrierStmt) stmtNode()   {}

@@ -1,0 +1,275 @@
+package minilang
+
+import (
+	"fmt"
+
+	"ddprof/internal/loc"
+	"ddprof/internal/prog"
+)
+
+// New starts a new program. Statements added through the returned builder
+// receive consecutive source lines in the program's initial file (named
+// after the program, file ID 1); SetFile switches to further files, like a
+// multi-file C program.
+func New(name string) *Program {
+	p := &Program{
+		Name:     name,
+		Tab:      loc.NewTable(),
+		Meta:     prog.NewMeta(),
+		Funcs:    make(map[string]*Func),
+		lines:    make(map[loc.FileID]int),
+		nextLine: 0,
+	}
+	p.FileID = p.Tab.File(name)
+	return p
+}
+
+// SetFile switches subsequently built statements to the named source file,
+// interning it on first use. Each file keeps its own line counter, so
+// profiled locations read like the paper's "4:58" (file 4, line 58).
+func (p *Program) SetFile(name string) {
+	p.lines[p.FileID] = p.nextLine
+	p.FileID = p.Tab.File(name)
+	p.nextLine = p.lines[p.FileID]
+}
+
+// line hands out the next source line in the current file.
+func (p *Program) line() loc.SourceLoc {
+	p.nextLine++
+	return loc.Pack(p.FileID, p.nextLine)
+}
+
+// Block builds a statement list. Its methods append one statement each and
+// assign it the next source line.
+type Block struct {
+	p     *Program
+	stmts []Stmt
+	ctx   uint32
+}
+
+// Func defines a function; build its body inside fn. Defining "main" sets
+// the program entry point.
+func (p *Program) Func(name string, params []string, fn func(*Block)) {
+	if _, dup := p.Funcs[name]; dup {
+		panic(fmt.Sprintf("minilang: function %q defined twice", name))
+	}
+	for _, prm := range params {
+		p.Tab.Var(prm)
+	}
+	b := &Block{p: p}
+	fn(b)
+	p.Funcs[name] = &Func{Name: name, Params: params, Body: b.stmts}
+}
+
+// MainFunc defines the entry point.
+func (p *Program) MainFunc(fn func(*Block)) { p.Func("main", nil, fn) }
+
+func (b *Block) add(s Stmt) { b.stmts = append(b.stmts, s) }
+
+// SetFile switches the program's current source file for subsequently built
+// statements (see Program.SetFile).
+func (b *Block) SetFile(name string) { b.p.SetFile(name) }
+
+func (b *Block) at() pos { return pos{Line: b.p.line(), Ctx: b.ctx} }
+
+// Decl declares a scalar with an initial value.
+func (b *Block) Decl(name string, init Expr) {
+	b.p.Tab.Var(name)
+	b.add(&DeclStmt{pos: b.at(), Name: name, Init: init})
+}
+
+// DeclArr declares (allocates) an array of the given dynamic size.
+func (b *Block) DeclArr(name string, size Expr) {
+	b.p.Tab.Var(name)
+	b.add(&DeclArrStmt{pos: b.at(), Name: name, Size: size})
+}
+
+// Assign stores val into a scalar.
+func (b *Block) Assign(name string, val Expr) {
+	b.add(&AssignStmt{pos: b.at(), Name: name, Val: val})
+}
+
+// Reduce appends the reduction statement name = name ⊕ val, marked so the
+// profiler can recognize reduction dependences.
+func (b *Block) Reduce(name string, op BinOp, val Expr) {
+	b.add(&AssignStmt{pos: b.at(), Name: name,
+		Val: &BinExpr{Op: op, L: &VarExpr{Name: name}, R: val}, Reduction: true})
+}
+
+// Set stores val into arr[idx].
+func (b *Block) Set(name string, idx, val Expr) {
+	b.add(&AssignIdxStmt{pos: b.at(), Name: name, Idx: idx, Val: val})
+}
+
+// SetReduce appends arr[idx] = arr[idx] ⊕ val as a reduction statement.
+// The index expression is shared; it is evaluated twice (read and write
+// side), like a C compiler would re-emit the address computation.
+func (b *Block) SetReduce(name string, idx Expr, op BinOp, val Expr) {
+	b.add(&AssignIdxStmt{pos: b.at(), Name: name, Idx: idx,
+		Val: &BinExpr{Op: op, L: &IndexExpr{Name: name, Idx: idx}, R: val}, Reduction: true})
+}
+
+// LoopOpt carries per-loop metadata.
+type LoopOpt struct {
+	// Name labels the loop in diagnostics and Table II listings.
+	Name string
+	// OMP records that the hand-parallelized version of this benchmark
+	// annotates the loop as a parallel worksharing loop (Table II ground
+	// truth).
+	OMP bool
+}
+
+// For builds a counted loop: for v = from; v < to; v += step { body }.
+func (b *Block) For(v string, from, to, step Expr, opt LoopOpt, fn func(*Block)) {
+	b.p.Tab.Var(v)
+	at := b.at()
+	id := b.p.Meta.AddLoop(prog.Loop{Name: opt.Name, Begin: at.Line, OMP: opt.OMP})
+	inner := &Block{p: b.p, ctx: b.p.Meta.PushCtx(b.ctx, id)}
+	fn(inner)
+	end := b.p.line()
+	b.p.Meta.SetLoopEnd(id, end)
+	b.add(&ForStmt{pos: at, Var: v, From: from, To: to, Step: step,
+		Body: inner.stmts, Loop: id, BodyCtx: inner.ctx, EndLine: end})
+}
+
+// While builds a condition-controlled loop.
+func (b *Block) While(cond Expr, opt LoopOpt, fn func(*Block)) {
+	at := b.at()
+	id := b.p.Meta.AddLoop(prog.Loop{Name: opt.Name, Begin: at.Line, OMP: opt.OMP})
+	inner := &Block{p: b.p, ctx: b.p.Meta.PushCtx(b.ctx, id)}
+	fn(inner)
+	end := b.p.line()
+	b.p.Meta.SetLoopEnd(id, end)
+	b.add(&WhileStmt{pos: at, Cond: cond, Body: inner.stmts, Loop: id,
+		BodyCtx: inner.ctx, EndLine: end})
+}
+
+// If builds a branch; elseFn may be nil.
+func (b *Block) If(cond Expr, thenFn func(*Block), elseFn func(*Block)) {
+	at := b.at()
+	tb := &Block{p: b.p, ctx: b.ctx}
+	thenFn(tb)
+	var eb *Block
+	if elseFn != nil {
+		eb = &Block{p: b.p, ctx: b.ctx}
+		elseFn(eb)
+	}
+	st := &IfStmt{pos: at, Cond: cond, Then: tb.stmts}
+	if eb != nil {
+		st.Else = eb.stmts
+	}
+	b.add(st)
+}
+
+// Call invokes a user function for effect.
+func (b *Block) Call(fn string, args ...Expr) {
+	b.add(&CallStmt{pos: b.at(), Fn: fn, Args: args})
+}
+
+// Ret returns from the current function; val may be nil.
+func (b *Block) Ret(val Expr) {
+	b.add(&ReturnStmt{pos: b.at(), Val: val})
+}
+
+// Free deallocates a scalar or array.
+func (b *Block) Free(name string) {
+	b.add(&FreeStmt{pos: b.at(), Name: name})
+}
+
+// Spawn runs the body on n concurrent target threads.
+func (b *Block) Spawn(n int, fn func(*Block)) {
+	at := b.at()
+	inner := &Block{p: b.p, ctx: b.ctx}
+	fn(inner)
+	b.add(&SpawnStmt{pos: at, Threads: n, Body: inner.stmts})
+}
+
+// Lock executes the body holding the named mutex.
+func (b *Block) Lock(mutex string, fn func(*Block)) {
+	at := b.at()
+	inner := &Block{p: b.p, ctx: b.ctx}
+	fn(inner)
+	b.add(&LockStmt{pos: at, Mutex: mutex, Body: inner.stmts})
+}
+
+// Barrier synchronizes all threads of the enclosing Spawn.
+func (b *Block) Barrier() { b.add(&BarrierStmt{pos: b.at()}) }
+
+// Expression helpers. These are package-level so workload code reads close
+// to the pseudo-source it models.
+
+// C is a float constant.
+func C(v float64) Expr { return &ConstExpr{V: v} }
+
+// Ci is an integer constant.
+func Ci(v int) Expr { return &ConstExpr{V: float64(v)} }
+
+// V reads a scalar variable.
+func V(name string) Expr { return &VarExpr{Name: name} }
+
+// Idx reads arr[idx].
+func Idx(name string, idx Expr) Expr { return &IndexExpr{Name: name, Idx: idx} }
+
+// LenOf yields an array's length.
+func LenOf(name string) Expr { return &LenExpr{Name: name} }
+
+// Tid yields the executing thread ID.
+func Tid() Expr { return &TidExpr{} }
+
+func bin(op BinOp, l, r Expr) Expr { return &BinExpr{Op: op, L: l, R: r} }
+
+// Add returns l + r; further operands fold left.
+func Add(l, r Expr, more ...Expr) Expr {
+	e := bin(OpAdd, l, r)
+	for _, m := range more {
+		e = bin(OpAdd, e, m)
+	}
+	return e
+}
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return bin(OpSub, l, r) }
+
+// Mul returns l * r; further operands fold left.
+func Mul(l, r Expr, more ...Expr) Expr {
+	e := bin(OpMul, l, r)
+	for _, m := range more {
+		e = bin(OpMul, e, m)
+	}
+	return e
+}
+
+// Div returns l / r (float).
+func Div(l, r Expr) Expr { return bin(OpDiv, l, r) }
+
+// IDiv returns trunc(l / r).
+func IDiv(l, r Expr) Expr { return bin(OpIDiv, l, r) }
+
+// Mod returns l mod r on integers.
+func Mod(l, r Expr) Expr { return bin(OpMod, l, r) }
+
+// BAnd/BOr/Xor/Shl/Shr are integer bitwise operators.
+func BAnd(l, r Expr) Expr { return bin(OpBAnd, l, r) }
+func BOr(l, r Expr) Expr  { return bin(OpBOr, l, r) }
+func Xor(l, r Expr) Expr  { return bin(OpXor, l, r) }
+func Shl(l, r Expr) Expr  { return bin(OpShl, l, r) }
+func Shr(l, r Expr) Expr  { return bin(OpShr, l, r) }
+
+// Comparisons yield 1 or 0.
+func Eq(l, r Expr) Expr { return bin(OpEq, l, r) }
+func Ne(l, r Expr) Expr { return bin(OpNe, l, r) }
+func Lt(l, r Expr) Expr { return bin(OpLt, l, r) }
+func Le(l, r Expr) Expr { return bin(OpLe, l, r) }
+func Gt(l, r Expr) Expr { return bin(OpGt, l, r) }
+func Ge(l, r Expr) Expr { return bin(OpGe, l, r) }
+
+// And/Or are short-circuit logical operators.
+func And(l, r Expr) Expr { return bin(OpAnd, l, r) }
+func Or(l, r Expr) Expr  { return bin(OpOr, l, r) }
+
+// Neg returns -x; Not returns !x.
+func Neg(x Expr) Expr { return &UnExpr{Op: OpNeg, X: x} }
+func Not(x Expr) Expr { return &UnExpr{Op: OpNot, X: x} }
+
+// CallE calls a builtin or user function as an expression.
+func CallE(fn string, args ...Expr) Expr { return &CallExpr{Fn: fn, Args: args} }

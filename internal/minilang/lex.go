@@ -1,0 +1,139 @@
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Token kinds for the minilang source reader.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // single or double punctuation: ( ) { } [ ] , ; = += *= < <= etc.
+	tKeyword
+)
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "arr": true, "for": true, "while": true,
+	"if": true, "else": true, "spawn": true, "lock": true, "barrier": true,
+	"free": true, "return": true, "omp": true, "tid": true, "len": true,
+	"file": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer splits minilang source into tokens, tracking physical line numbers
+// so the parsed program's dependences report real source locations.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			kind := tIdent
+			if keywords[word] {
+				kind = tKeyword
+			}
+			l.emit(kind, word)
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && (isNumPart(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			if _, err := strconv.ParseFloat(strings.TrimPrefix(text, "0x"), 64); err != nil {
+				if _, err2 := strconv.ParseUint(strings.TrimPrefix(text, "0x"), 16, 64); err2 != nil {
+					return nil, fmt.Errorf("line %d: bad number %q", l.line, text)
+				}
+			}
+			l.emit(tNumber, text)
+		case c == '"':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '"' && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) || l.src[l.pos] != '"' {
+				return nil, fmt.Errorf("line %d: unterminated string", l.line)
+			}
+			l.emit(tString, l.src[start:l.pos])
+			l.pos++
+		default:
+			if op := l.twoChar(); op != "" {
+				l.emit(tPunct, op)
+				l.pos += 2
+				continue
+			}
+			if strings.ContainsRune("(){}[],;=<>+-*/%&|^!", rune(c)) {
+				l.emit(tPunct, string(c))
+				l.pos++
+				continue
+			}
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+// twoChar recognizes two-character operators at the current position.
+func (l *lexer) twoChar() string {
+	if l.pos+1 >= len(l.src) {
+		return ""
+	}
+	op := l.src[l.pos : l.pos+2]
+	switch op {
+	case "+=", "-=", "*=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "//":
+		return op
+	}
+	return ""
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isNumPart(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == 'x' || c == 'e' || c == 'E' ||
+		c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,264 @@
+package minilang
+
+import (
+	"testing"
+)
+
+func TestLineAssignment(t *testing.T) {
+	p := New("lines")
+	p.MainFunc(func(b *Block) {
+		b.Decl("x", Ci(1))                                          // line 1
+		b.Assign("x", Ci(2))                                        // line 2
+		b.For("i", Ci(0), Ci(3), Ci(1), LoopOpt{}, func(l *Block) { // line 3
+			l.Assign("x", V("i")) // line 4
+		}) // END -> line 5
+		b.Free("x") // line 6
+	})
+	body := p.Funcs["main"].Body
+	wantLines := []int{1, 2, 3, 6}
+	for i, st := range body {
+		l, _ := st.Pos()
+		if l.Line() != wantLines[i] {
+			t.Errorf("stmt %d at line %d, want %d", i, l.Line(), wantLines[i])
+		}
+		if l.File() != p.FileID {
+			t.Errorf("stmt %d in file %d, want %d", i, l.File(), p.FileID)
+		}
+	}
+	fs := body[2].(*ForStmt)
+	inner, _ := fs.Body[0].Pos()
+	if inner.Line() != 4 {
+		t.Errorf("loop body at line %d, want 4", inner.Line())
+	}
+	if fs.EndLine.Line() != 5 {
+		t.Errorf("loop END at line %d, want 5", fs.EndLine.Line())
+	}
+}
+
+func TestLoopRegistration(t *testing.T) {
+	p := New("loops")
+	p.MainFunc(func(b *Block) {
+		b.For("i", Ci(0), Ci(2), Ci(1), LoopOpt{Name: "outer", OMP: true}, func(o *Block) {
+			o.For("j", Ci(0), Ci(2), Ci(1), LoopOpt{Name: "inner"}, func(in *Block) {
+				in.Decl("x", Ci(1))
+			})
+		})
+		b.While(Lt(Ci(0), Ci(1)), LoopOpt{Name: "w"}, func(w *Block) {
+			w.Ret(nil)
+		})
+	})
+	loops := p.Meta.Loops()
+	if len(loops) != 3 {
+		t.Fatalf("loops registered = %d, want 3", len(loops))
+	}
+	if loops[0].Name != "outer" || !loops[0].OMP {
+		t.Errorf("loop 0 = %+v", loops[0])
+	}
+	if loops[1].Name != "inner" || loops[1].OMP {
+		t.Errorf("loop 1 = %+v", loops[1])
+	}
+	if loops[0].Begin >= loops[0].End {
+		t.Error("outer loop begin/end not ordered")
+	}
+	// Context nesting: inner body context's stack is [outer, inner].
+	fs := p.Funcs["main"].Body[0].(*ForStmt)
+	innerFs := fs.Body[0].(*ForStmt)
+	stack := p.Meta.Stack(innerFs.BodyCtx)
+	if len(stack) != 2 || stack[0] != loops[0].ID || stack[1] != loops[1].ID {
+		t.Errorf("inner context stack = %v", stack)
+	}
+}
+
+func TestStatementContexts(t *testing.T) {
+	p := New("ctx")
+	p.MainFunc(func(b *Block) {
+		b.Decl("x", Ci(0)) // ctx 0
+		b.For("i", Ci(0), Ci(1), Ci(1), LoopOpt{}, func(l *Block) {
+			l.Assign("x", Ci(1)) // loop body ctx
+			l.If(Gt(V("x"), Ci(0)), func(tb *Block) {
+				tb.Assign("x", Ci(2)) // still loop body ctx
+			}, nil)
+		})
+	})
+	body := p.Funcs["main"].Body
+	if _, ctx := body[0].Pos(); ctx != 0 {
+		t.Errorf("top-level stmt ctx = %d, want 0", ctx)
+	}
+	fs := body[1].(*ForStmt)
+	if _, ctx := fs.Body[0].Pos(); ctx != fs.BodyCtx {
+		t.Error("loop body stmt not in body context")
+	}
+	ifs := fs.Body[1].(*IfStmt)
+	if _, ctx := ifs.Then[0].Pos(); ctx != fs.BodyCtx {
+		t.Error("if-branch must inherit the loop context")
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	p := New("dup")
+	p.Func("f", nil, func(b *Block) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate function definition did not panic")
+		}
+	}()
+	p.Func("f", nil, func(b *Block) {})
+}
+
+func TestReduceBuildsMarkedAssign(t *testing.T) {
+	p := New("red")
+	p.MainFunc(func(b *Block) {
+		b.Decl("s", Ci(0))
+		b.Reduce("s", OpAdd, Ci(1))
+	})
+	as := p.Funcs["main"].Body[1].(*AssignStmt)
+	if !as.Reduction {
+		t.Fatal("Reduce must set the Reduction flag")
+	}
+	be := as.Val.(*BinExpr)
+	if be.Op != OpAdd {
+		t.Errorf("op = %d", be.Op)
+	}
+	if ve, ok := be.L.(*VarExpr); !ok || ve.Name != "s" {
+		t.Error("reduction LHS must read the target variable")
+	}
+}
+
+func TestSetReduceBuildsMarkedAssignIdx(t *testing.T) {
+	p := New("sred")
+	p.MainFunc(func(b *Block) {
+		b.DeclArr("a", Ci(4))
+		b.SetReduce("a", Ci(2), OpAdd, Ci(1))
+	})
+	as := p.Funcs["main"].Body[1].(*AssignIdxStmt)
+	if !as.Reduction {
+		t.Fatal("SetReduce must set the Reduction flag")
+	}
+	be := as.Val.(*BinExpr)
+	if ie, ok := be.L.(*IndexExpr); !ok || ie.Name != "a" {
+		t.Error("array reduction LHS must read the target element")
+	}
+}
+
+func TestExpressionHelpers(t *testing.T) {
+	// Add/Mul fold extra operands left-associatively.
+	e := Add(Ci(1), Ci(2), Ci(3), Ci(4)).(*BinExpr)
+	if e.Op != OpAdd {
+		t.Fatal("outer op")
+	}
+	if _, ok := e.L.(*BinExpr); !ok {
+		t.Error("Add should fold left")
+	}
+	if m := Mul(Ci(1), Ci(2), Ci(3)).(*BinExpr); m.Op != OpMul {
+		t.Error("Mul op")
+	}
+	ops := map[BinOp]Expr{
+		OpSub: Sub(Ci(1), Ci(2)), OpDiv: Div(Ci(1), Ci(2)), OpIDiv: IDiv(Ci(1), Ci(2)),
+		OpMod: Mod(Ci(1), Ci(2)), OpBAnd: BAnd(Ci(1), Ci(2)), OpBOr: BOr(Ci(1), Ci(2)),
+		OpXor: Xor(Ci(1), Ci(2)), OpShl: Shl(Ci(1), Ci(2)), OpShr: Shr(Ci(1), Ci(2)),
+		OpEq: Eq(Ci(1), Ci(2)), OpNe: Ne(Ci(1), Ci(2)), OpLt: Lt(Ci(1), Ci(2)),
+		OpLe: Le(Ci(1), Ci(2)), OpGt: Gt(Ci(1), Ci(2)), OpGe: Ge(Ci(1), Ci(2)),
+		OpAnd: And(Ci(1), Ci(2)), OpOr: Or(Ci(1), Ci(2)),
+	}
+	for op, ex := range ops {
+		if be := ex.(*BinExpr); be.Op != op {
+			t.Errorf("helper for op %d built op %d", op, be.Op)
+		}
+	}
+	if ue := Neg(Ci(1)).(*UnExpr); ue.Op != OpNeg {
+		t.Error("Neg")
+	}
+	if ue := Not(Ci(1)).(*UnExpr); ue.Op != OpNot {
+		t.Error("Not")
+	}
+	if ce := CallE("sqrt", Ci(4)).(*CallExpr); ce.Fn != "sqrt" || len(ce.Args) != 1 {
+		t.Error("CallE")
+	}
+	if _, ok := Tid().(*TidExpr); !ok {
+		t.Error("Tid")
+	}
+	if le := LenOf("a").(*LenExpr); le.Name != "a" {
+		t.Error("LenOf")
+	}
+}
+
+func TestVarsInterned(t *testing.T) {
+	p := New("intern")
+	p.MainFunc(func(b *Block) {
+		b.Decl("alpha", Ci(0))
+		b.DeclArr("beta", Ci(4))
+		b.For("gamma", Ci(0), Ci(1), Ci(1), LoopOpt{}, func(l *Block) {})
+	})
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		id := p.Tab.Var(name)
+		if id == 0 {
+			t.Errorf("%s not interned", name)
+		}
+		if p.Tab.VarName(id) != name {
+			t.Errorf("round trip failed for %s", name)
+		}
+	}
+	if p.Tab.FileName(p.FileID) != "intern" {
+		t.Error("program file not interned")
+	}
+}
+
+func TestSpawnLockBarrierShapes(t *testing.T) {
+	p := New("mt")
+	p.MainFunc(func(b *Block) {
+		b.Decl("x", Ci(0))
+		b.Spawn(4, func(s *Block) {
+			s.Lock("m", func(cr *Block) {
+				cr.Reduce("x", OpAdd, Ci(1))
+			})
+			s.Barrier()
+		})
+	})
+	sp := p.Funcs["main"].Body[1].(*SpawnStmt)
+	if sp.Threads != 4 || len(sp.Body) != 2 {
+		t.Fatalf("spawn = %+v", sp)
+	}
+	lk := sp.Body[0].(*LockStmt)
+	if lk.Mutex != "m" || len(lk.Body) != 1 {
+		t.Errorf("lock = %+v", lk)
+	}
+	if _, ok := sp.Body[1].(*BarrierStmt); !ok {
+		t.Error("barrier missing")
+	}
+}
+
+func TestMultiFilePrograms(t *testing.T) {
+	p := New("main.c")
+	p.Func("helper", nil, func(b *Block) {
+		b.Ret(Ci(1))
+	})
+	p.SetFile("util.c")
+	p.Func("util", nil, func(b *Block) {
+		b.Decl("u", Ci(2)) // util.c line 1
+	})
+	p.SetFile("main.c")
+	p.MainFunc(func(b *Block) {
+		b.Decl("x", CallE("helper")) // main.c, continues its counter
+		b.Call("util")
+	})
+
+	mainID := p.Tab.File("main.c")
+	utilID := p.Tab.File("util.c")
+	if mainID == utilID {
+		t.Fatal("files not distinct")
+	}
+	// helper's body is main.c line 1; util's body is util.c line 1.
+	hLine, _ := p.Funcs["helper"].Body[0].Pos()
+	uLine, _ := p.Funcs["util"].Body[0].Pos()
+	if hLine.File() != mainID || hLine.Line() != 1 {
+		t.Errorf("helper at %v", hLine)
+	}
+	if uLine.File() != utilID || uLine.Line() != 1 {
+		t.Errorf("util at %v", uLine)
+	}
+	// main continues main.c's counter (line 2 after helper's ret at 1).
+	mLine, _ := p.Funcs["main"].Body[0].Pos()
+	if mLine.File() != mainID || mLine.Line() != 2 {
+		t.Errorf("main resumes at %v, want main.c:2", mLine)
+	}
+}

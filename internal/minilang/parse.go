@@ -1,0 +1,632 @@
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ddprof/internal/loc"
+	"ddprof/internal/prog"
+)
+
+// ParseProgram parses minilang source text into a Program, giving every
+// statement its physical source line so profiled dependences point back
+// into the file. The syntax is a small C-like language:
+//
+//	// one function per 'func'; 'main' is the entry point
+//	func main() {
+//	    var n = 100            // scalar declaration
+//	    arr a[n]               // array (dynamic) allocation
+//	    var sum = 0
+//	    for i = 0; i < n; i += 1 omp "fill" {
+//	        a[i] = i * i
+//	    }
+//	    for i = 0; i < n; i += 1 "sum" {
+//	        sum += a[i]        // '+=' / '*=' mark reductions
+//	    }
+//	    while sum > 10 "shrink" { sum = sum / 2 }
+//	    if sum == 0 { sum = 1 } else { sum = sum - 1 }
+//	    spawn 4 {
+//	        lock m { sum += tid }
+//	        barrier
+//	    }
+//	    free a
+//	}
+//
+// Loop headers take an optional `omp` marker (Table II ground truth) and an
+// optional quoted name. Expressions support || && | ^ & relational shifts
+// + - * / % unary -/!, calls f(x), a[i], len(a), tid, and numeric literals.
+// A `file "name.c"` directive switches the source file attribution.
+func ParseProgram(name, src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := New(name)
+	ps := &parser{toks: toks, p: p}
+	if err := ps.program(); err != nil {
+		return nil, err
+	}
+	if p.Funcs["main"] == nil {
+		return nil, fmt.Errorf("minilang: source defines no main function")
+	}
+	return p, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	p    *Program
+	ctx  uint32
+}
+
+// cur returns the current token; past the end it keeps returning the EOF
+// sentinel so error paths cannot run off the slice.
+func (ps *parser) cur() token {
+	if ps.pos >= len(ps.toks) {
+		return ps.toks[len(ps.toks)-1]
+	}
+	return ps.toks[ps.pos]
+}
+
+func (ps *parser) next() token {
+	t := ps.cur()
+	if ps.pos < len(ps.toks) {
+		ps.pos++
+	}
+	return t
+}
+
+func (ps *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", ps.cur().line, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a punct/keyword with the given text.
+func (ps *parser) expect(text string) error {
+	if ps.cur().text != text {
+		return ps.errf("expected %q, found %q", text, ps.cur().text)
+	}
+	ps.pos++
+	return nil
+}
+
+// at builds a statement position at the given physical line.
+func (ps *parser) at(line int) pos {
+	return pos{Line: loc.Pack(ps.p.FileID, line), Ctx: ps.ctx}
+}
+
+// program parses top-level declarations.
+func (ps *parser) program() error {
+	for ps.cur().kind != tEOF {
+		switch {
+		case ps.cur().text == "func":
+			if err := ps.function(); err != nil {
+				return err
+			}
+		case ps.cur().text == "file":
+			ps.next()
+			if ps.cur().kind != tString {
+				return ps.errf("file directive needs a quoted name")
+			}
+			ps.p.SetFile(ps.next().text)
+		default:
+			return ps.errf("expected 'func' or 'file', found %q", ps.cur().text)
+		}
+	}
+	return nil
+}
+
+func (ps *parser) function() error {
+	ps.next() // func
+	if ps.cur().kind != tIdent {
+		return ps.errf("function name expected")
+	}
+	name := ps.next().text
+	if _, dup := ps.p.Funcs[name]; dup {
+		return ps.errf("function %q defined twice", name)
+	}
+	if err := ps.expect("("); err != nil {
+		return err
+	}
+	var params []string
+	for ps.cur().text != ")" {
+		if ps.cur().kind != tIdent {
+			return ps.errf("parameter name expected")
+		}
+		prm := ps.next().text
+		params = append(params, prm)
+		ps.p.Tab.Var(prm)
+		if ps.cur().text == "," {
+			ps.next()
+		}
+	}
+	ps.next() // )
+	body, err := ps.block()
+	if err != nil {
+		return err
+	}
+	ps.p.Funcs[name] = &Func{Name: name, Params: params, Body: body}
+	return nil
+}
+
+// block parses "{ stmts }".
+func (ps *parser) block() ([]Stmt, error) {
+	if err := ps.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for ps.cur().text != "}" {
+		if ps.cur().kind == tEOF {
+			return nil, ps.errf("unexpected end of file in block")
+		}
+		st, err := ps.statement()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			out = append(out, st)
+		}
+	}
+	ps.next() // }
+	return out, nil
+}
+
+func (ps *parser) statement() (Stmt, error) {
+	t := ps.cur()
+	switch {
+	case t.text == ";":
+		ps.next()
+		return nil, nil
+	case t.text == "var":
+		return ps.varDecl()
+	case t.text == "arr":
+		return ps.arrDecl()
+	case t.text == "for":
+		return ps.forStmt()
+	case t.text == "while":
+		return ps.whileStmt()
+	case t.text == "if":
+		return ps.ifStmt()
+	case t.text == "spawn":
+		return ps.spawnStmt()
+	case t.text == "lock":
+		return ps.lockStmt()
+	case t.text == "barrier":
+		ps.next()
+		return &BarrierStmt{pos: ps.at(t.line)}, nil
+	case t.text == "free":
+		ps.next()
+		if ps.cur().kind != tIdent {
+			return nil, ps.errf("free needs a variable name")
+		}
+		return &FreeStmt{pos: ps.at(t.line), Name: ps.next().text}, nil
+	case t.text == "return":
+		ps.next()
+		st := &ReturnStmt{pos: ps.at(t.line)}
+		if ps.cur().text != ";" && ps.cur().text != "}" {
+			v, err := ps.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Val = v
+		}
+		return st, nil
+	case t.kind == tIdent:
+		return ps.assignOrCall()
+	}
+	return nil, ps.errf("unexpected token %q", t.text)
+}
+
+func (ps *parser) varDecl() (Stmt, error) {
+	line := ps.next().line // var
+	if ps.cur().kind != tIdent {
+		return nil, ps.errf("variable name expected")
+	}
+	name := ps.next().text
+	ps.p.Tab.Var(name)
+	if err := ps.expect("="); err != nil {
+		return nil, err
+	}
+	init, err := ps.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &DeclStmt{pos: ps.at(line), Name: name, Init: init}, nil
+}
+
+func (ps *parser) arrDecl() (Stmt, error) {
+	line := ps.next().line // arr
+	if ps.cur().kind != tIdent {
+		return nil, ps.errf("array name expected")
+	}
+	name := ps.next().text
+	ps.p.Tab.Var(name)
+	if err := ps.expect("["); err != nil {
+		return nil, err
+	}
+	size, err := ps.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := ps.expect("]"); err != nil {
+		return nil, err
+	}
+	return &DeclArrStmt{pos: ps.at(line), Name: name, Size: size}, nil
+}
+
+// assignOrCall parses `x = e`, `x += e`, `a[i] = e`, `a[i] += e`, `f(args)`.
+func (ps *parser) assignOrCall() (Stmt, error) {
+	line := ps.cur().line
+	name := ps.next().text
+	switch ps.cur().text {
+	case "(":
+		args, err := ps.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &CallStmt{pos: ps.at(line), Fn: name, Args: args}, nil
+	case "[":
+		ps.next()
+		idx, err := ps.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := ps.expect("]"); err != nil {
+			return nil, err
+		}
+		op := ps.next().text
+		val, err := ps.expr()
+		if err != nil {
+			return nil, err
+		}
+		st := &AssignIdxStmt{pos: ps.at(line), Name: name, Idx: idx, Val: val}
+		switch op {
+		case "=":
+		case "+=", "*=":
+			st.Reduction = true
+			st.Val = &BinExpr{Op: redOp(op), L: &IndexExpr{Name: name, Idx: idx}, R: val}
+		case "-=":
+			st.Val = &BinExpr{Op: OpSub, L: &IndexExpr{Name: name, Idx: idx}, R: val}
+		default:
+			return nil, ps.errf("expected assignment operator, found %q", op)
+		}
+		return st, nil
+	case "=", "+=", "*=", "-=":
+		op := ps.next().text
+		val, err := ps.expr()
+		if err != nil {
+			return nil, err
+		}
+		st := &AssignStmt{pos: ps.at(line), Name: name, Val: val}
+		switch op {
+		case "=":
+		case "+=", "*=":
+			st.Reduction = true
+			st.Val = &BinExpr{Op: redOp(op), L: &VarExpr{Name: name}, R: val}
+		case "-=":
+			st.Val = &BinExpr{Op: OpSub, L: &VarExpr{Name: name}, R: val}
+		}
+		return st, nil
+	}
+	return nil, ps.errf("expected assignment or call after %q", name)
+}
+
+func redOp(op string) BinOp {
+	if op == "*=" {
+		return OpMul
+	}
+	return OpAdd
+}
+
+// loopTail parses the optional `omp` marker and quoted loop name.
+func (ps *parser) loopTail() (omp bool, name string) {
+	for {
+		switch {
+		case ps.cur().text == "omp":
+			ps.next()
+			omp = true
+		case ps.cur().kind == tString:
+			name = ps.next().text
+		default:
+			return omp, name
+		}
+	}
+}
+
+func (ps *parser) forStmt() (Stmt, error) {
+	line := ps.next().line // for
+	if ps.cur().kind != tIdent {
+		return nil, ps.errf("loop variable expected")
+	}
+	v := ps.next().text
+	ps.p.Tab.Var(v)
+	if err := ps.expect("="); err != nil {
+		return nil, err
+	}
+	from, err := ps.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := ps.expect(";"); err != nil {
+		return nil, err
+	}
+	if ps.cur().text != v {
+		return nil, ps.errf("for condition must test the loop variable %q", v)
+	}
+	ps.next()
+	if err := ps.expect("<"); err != nil {
+		return nil, err
+	}
+	to, err := ps.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := ps.expect(";"); err != nil {
+		return nil, err
+	}
+	if ps.cur().text != v {
+		return nil, ps.errf("for step must update the loop variable %q", v)
+	}
+	ps.next()
+	if err := ps.expect("+="); err != nil {
+		return nil, err
+	}
+	step, err := ps.expr()
+	if err != nil {
+		return nil, err
+	}
+	omp, lname := ps.loopTail()
+
+	id := ps.p.Meta.AddLoop(prog.Loop{Name: lname, Begin: loc.Pack(ps.p.FileID, line), OMP: omp})
+	outer := ps.ctx
+	ps.ctx = ps.p.Meta.PushCtx(outer, id)
+	body, err := ps.block()
+	endLine := ps.toks[ps.pos-1].line // the closing brace
+	ps.ctx = outer
+	if err != nil {
+		return nil, err
+	}
+	end := loc.Pack(ps.p.FileID, endLine)
+	ps.p.Meta.SetLoopEnd(id, end)
+	return &ForStmt{
+		pos: pos{Line: loc.Pack(ps.p.FileID, line), Ctx: outer},
+		Var: v, From: from, To: to, Step: step,
+		Body: body, Loop: id, BodyCtx: ps.p.Meta.PushCtx(outer, id), EndLine: end,
+	}, nil
+}
+
+func (ps *parser) whileStmt() (Stmt, error) {
+	line := ps.next().line // while
+	cond, err := ps.expr()
+	if err != nil {
+		return nil, err
+	}
+	omp, lname := ps.loopTail()
+	id := ps.p.Meta.AddLoop(prog.Loop{Name: lname, Begin: loc.Pack(ps.p.FileID, line), OMP: omp})
+	outer := ps.ctx
+	ps.ctx = ps.p.Meta.PushCtx(outer, id)
+	body, err := ps.block()
+	endLine := ps.toks[ps.pos-1].line
+	ps.ctx = outer
+	if err != nil {
+		return nil, err
+	}
+	end := loc.Pack(ps.p.FileID, endLine)
+	ps.p.Meta.SetLoopEnd(id, end)
+	return &WhileStmt{
+		pos:  pos{Line: loc.Pack(ps.p.FileID, line), Ctx: outer},
+		Cond: cond, Body: body, Loop: id,
+		BodyCtx: ps.p.Meta.PushCtx(outer, id), EndLine: end,
+	}, nil
+}
+
+func (ps *parser) ifStmt() (Stmt, error) {
+	line := ps.next().line // if
+	cond, err := ps.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := ps.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{pos: ps.at(line), Cond: cond, Then: then}
+	if ps.cur().text == "else" {
+		ps.next()
+		if st.Else, err = ps.block(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (ps *parser) spawnStmt() (Stmt, error) {
+	line := ps.next().line // spawn
+	if ps.cur().kind != tNumber {
+		return nil, ps.errf("spawn needs a literal thread count")
+	}
+	n, err := strconv.Atoi(ps.next().text)
+	if err != nil || n <= 0 {
+		return nil, ps.errf("bad thread count")
+	}
+	body, err := ps.block()
+	if err != nil {
+		return nil, err
+	}
+	return &SpawnStmt{pos: ps.at(line), Threads: n, Body: body}, nil
+}
+
+func (ps *parser) lockStmt() (Stmt, error) {
+	line := ps.next().line // lock
+	if ps.cur().kind != tIdent {
+		return nil, ps.errf("lock needs a mutex name")
+	}
+	mu := ps.next().text
+	body, err := ps.block()
+	if err != nil {
+		return nil, err
+	}
+	return &LockStmt{pos: ps.at(line), Mutex: mu, Body: body}, nil
+}
+
+func (ps *parser) callArgs() ([]Expr, error) {
+	if err := ps.expect("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for ps.cur().text != ")" {
+		a, err := ps.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if ps.cur().text == "," {
+			ps.next()
+		}
+	}
+	ps.next() // )
+	return args, nil
+}
+
+// --- expressions, precedence climbing ------------------------------------
+
+// binary operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+var opByText = map[string]BinOp{
+	"||": OpOr, "&&": OpAnd, "|": OpBOr, "^": OpXor, "&": OpBAnd,
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	"<<": OpShl, ">>": OpShr, "+": OpAdd, "-": OpSub,
+	"*": OpMul, "/": OpDiv, "%": OpMod,
+}
+
+func (ps *parser) expr() (Expr, error) { return ps.binExpr(0) }
+
+func (ps *parser) binExpr(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return ps.unary()
+	}
+	l, err := ps.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, opText := range precLevels[level] {
+			if ps.cur().kind == tPunct && ps.cur().text == opText {
+				ps.next()
+				r, err := ps.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &BinExpr{Op: opByText[opText], L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (ps *parser) unary() (Expr, error) {
+	switch ps.cur().text {
+	case "-":
+		ps.next()
+		x, err := ps.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: OpNeg, X: x}, nil
+	case "!":
+		ps.next()
+		x, err := ps.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: OpNot, X: x}, nil
+	}
+	return ps.primary()
+}
+
+func (ps *parser) primary() (Expr, error) {
+	t := ps.cur()
+	switch {
+	case t.text == "(":
+		ps.next()
+		e, err := ps.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := ps.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tNumber:
+		ps.next()
+		var v float64
+		if strings.HasPrefix(t.text, "0x") {
+			u, err := strconv.ParseUint(t.text[2:], 16, 64)
+			if err != nil {
+				return nil, ps.errf("bad hex literal %q", t.text)
+			}
+			v = float64(u)
+		} else {
+			var err error
+			if v, err = strconv.ParseFloat(t.text, 64); err != nil {
+				return nil, ps.errf("bad number %q", t.text)
+			}
+		}
+		return &ConstExpr{V: v}, nil
+	case t.text == "tid":
+		ps.next()
+		return &TidExpr{}, nil
+	case t.text == "len":
+		ps.next()
+		if err := ps.expect("("); err != nil {
+			return nil, err
+		}
+		if ps.cur().kind != tIdent {
+			return nil, ps.errf("len needs an array name")
+		}
+		name := ps.next().text
+		if err := ps.expect(")"); err != nil {
+			return nil, err
+		}
+		return &LenExpr{Name: name}, nil
+	case t.kind == tIdent:
+		name := ps.next().text
+		switch ps.cur().text {
+		case "(":
+			args, err := ps.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Fn: name, Args: args}, nil
+		case "[":
+			ps.next()
+			idx, err := ps.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := ps.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Idx: idx}, nil
+		}
+		return &VarExpr{Name: name}, nil
+	}
+	return nil, ps.errf("unexpected token %q in expression", t.text)
+}

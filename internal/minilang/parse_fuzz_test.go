@@ -1,0 +1,24 @@
+package minilang
+
+import "testing"
+
+// FuzzParseProgram hardens the front-end: arbitrary source must parse or
+// error, never panic or hang.
+func FuzzParseProgram(f *testing.F) {
+	f.Add(demoSrc)
+	f.Add(`func main() { spawn 2 { lock m { barrier } } }`)
+	f.Add(`func main() { var x = len(a) + tid }`)
+	f.Add(`file "x.c"` + "\n" + `func main() { return }`)
+	f.Add(`func main() { for i = 0; i < 10; i += 1 omp "l" { a[i] += 1 } }`)
+	f.Add("func main() { var x = 0x1F % 7 }")
+	f.Add("{}{}{}((((")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseProgram("fuzz.ml", src)
+		if err != nil {
+			return
+		}
+		if p.Funcs["main"] == nil {
+			t.Fatal("nil-error parse without main")
+		}
+	})
+}

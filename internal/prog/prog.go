@@ -1,0 +1,175 @@
+// Package prog holds static program metadata shared between the
+// instrumentation substrate and the profiler: the loop table and the
+// registry of static loop contexts.
+//
+// A loop context is the static stack of loops enclosing a program point
+// (outermost first). Contexts are created once while the target program's IR
+// is built and referenced from every access event by a small integer ID, so
+// the hot instrumentation path never allocates. The detection engine uses
+// the context registry together with each access's packed iteration vector
+// to classify dependences as loop-carried or loop-independent, which is what
+// parallelism discovery (paper §VII-A) consumes.
+package prog
+
+import (
+	"fmt"
+
+	"ddprof/internal/loc"
+)
+
+// LoopID identifies a static loop in the target program.
+type LoopID uint16
+
+// NoLoop is the LoopID returned when a dependence is loop-independent.
+const NoLoop = LoopID(0xFFFF)
+
+// Loop describes one static loop.
+type Loop struct {
+	ID    LoopID
+	Name  string        // diagnostic name, e.g. "bt.x_solve.1"
+	Begin loc.SourceLoc // BGN line
+	End   loc.SourceLoc // END line
+	// OMP records the ground truth used by the Table II experiment: whether
+	// the (hand-)parallelized version of the benchmark annotates this loop
+	// as a parallel worksharing loop.
+	OMP bool
+}
+
+// Meta is the static metadata of one target program.
+type Meta struct {
+	loops []Loop
+	// ctxs[id] is the loop stack of context id, outermost first. Context 0
+	// is the empty stack (code outside any loop).
+	ctxs [][]LoopID
+}
+
+// NewMeta returns metadata with the empty context preallocated.
+func NewMeta() *Meta {
+	return &Meta{ctxs: [][]LoopID{nil}}
+}
+
+// AddLoop registers a loop and returns its ID.
+func (m *Meta) AddLoop(l Loop) LoopID {
+	id := LoopID(len(m.loops))
+	l.ID = id
+	m.loops = append(m.loops, l)
+	return id
+}
+
+// Loop returns the descriptor for id.
+func (m *Meta) Loop(id LoopID) Loop {
+	if int(id) >= len(m.loops) {
+		return Loop{ID: NoLoop, Name: fmt.Sprintf("unknown(%d)", id)}
+	}
+	return m.loops[id]
+}
+
+// Loops returns all registered loops.
+func (m *Meta) Loops() []Loop { return m.loops }
+
+// SetLoopEnd records the END location of a loop after its body is built.
+func (m *Meta) SetLoopEnd(id LoopID, end loc.SourceLoc) {
+	if int(id) < len(m.loops) {
+		m.loops[id].End = end
+	}
+}
+
+// PushCtx returns the context formed by pushing loop l onto context parent.
+// Contexts are interned: pushing the same loop onto the same parent twice
+// returns the same ID. Not safe for concurrent use; IR construction is
+// single-threaded.
+func (m *Meta) PushCtx(parent uint32, l LoopID) uint32 {
+	ps := m.Stack(parent)
+	// Linear scan over existing contexts; context creation happens once per
+	// static loop, so this is O(#loops²) at build time and free at run time.
+	for id, s := range m.ctxs {
+		if len(s) != len(ps)+1 {
+			continue
+		}
+		match := s[len(s)-1] == l
+		for i := range ps {
+			if s[i] != ps[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return uint32(id)
+		}
+	}
+	ns := make([]LoopID, len(ps)+1)
+	copy(ns, ps)
+	ns[len(ps)] = l
+	m.ctxs = append(m.ctxs, ns)
+	return uint32(len(m.ctxs) - 1)
+}
+
+// Stack returns the loop stack of a context, outermost first. The returned
+// slice must not be modified.
+func (m *Meta) Stack(ctx uint32) []LoopID {
+	if int(ctx) >= len(m.ctxs) {
+		return nil
+	}
+	return m.ctxs[ctx]
+}
+
+// NumCtxs returns the number of interned contexts including the empty one.
+func (m *Meta) NumCtxs() int { return len(m.ctxs) }
+
+// CarriedLoop determines at which loop, if any, a dependence between two
+// dynamic accesses is carried. srcCtx/sinkCtx are the accesses' static
+// contexts; srcIter/sinkIter their packed iteration vectors (innermost
+// counter in the low 16 bits — see event.PackIterVec).
+//
+// The dependence is carried at the *outermost* common enclosing loop whose
+// iteration counters differ (the outermost non-zero entry of the distance
+// vector). If all common counters are equal the dependence is
+// loop-independent and NoLoop is returned.
+func (m *Meta) CarriedLoop(srcCtx, sinkCtx uint32, srcIter, sinkIter uint64) LoopID {
+	l, _ := m.CarriedLoopDist(srcCtx, sinkCtx, srcIter, sinkIter)
+	return l
+}
+
+// CarriedLoopDist additionally returns the dependence distance: the
+// iteration gap at the carried loop (Alchemist-style dependence-distance
+// profiling). The distance is 0 for loop-independent dependences and is
+// computed modulo 2^16 (the packed counter width).
+func (m *Meta) CarriedLoopDist(srcCtx, sinkCtx uint32, srcIter, sinkIter uint64) (LoopID, uint32) {
+	ss := m.Stack(srcCtx)
+	ks := m.Stack(sinkCtx)
+	common := len(ss)
+	if len(ks) < common {
+		common = len(ks)
+	}
+	for i := 0; i < common; i++ {
+		if ss[i] != ks[i] {
+			common = i
+			break
+		}
+	}
+	for i := 0; i < common; i++ {
+		// Depth from innermost within each stack.
+		ds := len(ss) - 1 - i
+		dk := len(ks) - 1 - i
+		si, ki := iterAt(srcIter, ds), iterAt(sinkIter, dk)
+		if si != ki {
+			d := int32(ki) - int32(si)
+			if d < 0 {
+				d = -d
+			}
+			return ss[i], uint32(d)
+		}
+	}
+	return NoLoop, 0
+}
+
+// iterAt mirrors event.IterAt; duplicated to keep prog free of higher-level
+// imports. Depths beyond the packed window read as zero, which makes
+// counters at untracked depths compare equal — a conservative
+// (loop-independent) default.
+func iterAt(vec uint64, d int) uint16 {
+	if d < 0 || d > 3 {
+		return 0
+	}
+	return uint16(vec >> (16 * d))
+}

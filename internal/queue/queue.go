@@ -1,0 +1,235 @@
+// Package queue provides the bounded queues of the profiler's parallel
+// pipeline (paper §IV).
+//
+// Three implementations with one shape:
+//
+//   - SPSC: a lock-free single-producer/single-consumer ring. In
+//     sequential-target mode the main thread is the only producer and each
+//     worker the only consumer of its queue, so SPSC suffices; this is the
+//     "lock-free" design responsible for the paper's 1.3–1.6× speedup over
+//     the lock-based profiler.
+//   - MPSC: a lock-free multi-producer/single-consumer ring (Vyukov bounded
+//     queue). Multi-threaded targets push from every target thread inside
+//     its lock region (paper §V-A), so the worker's queue needs multiple
+//     producers — "the different implementation of lock-free queues" the
+//     paper cites as one source of the higher MT memory consumption.
+//   - Locked: a mutex-protected ring, kept as the ablation baseline for the
+//     lock-based series in Figure 5.
+//
+// All queues are bounded and allocation-free after construction.
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pad keeps hot atomics on separate cache lines.
+type pad [56]byte
+
+// SPSC is a lock-free single-producer/single-consumer bounded ring.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	_    pad
+	head atomic.Uint64 // next index to pop (consumer-owned)
+	_    pad
+	tail atomic.Uint64 // next index to push (producer-owned)
+	_    pad
+}
+
+// NewSPSC returns a ring with capacity rounded up to a power of two.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// TryPush appends v; it fails if the ring is full. Producer-side only.
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() >= uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// TryPop removes the oldest element; it fails if the ring is empty.
+// Consumer-side only.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero // release references for GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Push spins until v is accepted.
+func (q *SPSC[T]) Push(v T) {
+	for i := 0; !q.TryPush(v); i++ {
+		backoff(i)
+	}
+}
+
+// Len returns the approximate number of queued elements.
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// Cap returns the ring capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// mpscCell pairs an element with its sequence number (Vyukov scheme).
+type mpscCell[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPSC is a lock-free multi-producer/single-consumer bounded ring.
+type MPSC[T any] struct {
+	cells []mpscCell[T]
+	mask  uint64
+	_     pad
+	head  atomic.Uint64 // consumer position
+	_     pad
+	tail  atomic.Uint64 // producers CAS here
+	_     pad
+}
+
+// NewMPSC returns a ring with capacity rounded up to a power of two.
+func NewMPSC[T any](capacity int) *MPSC[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &MPSC[T]{cells: make([]mpscCell[T], n), mask: uint64(n - 1)}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// TryPush appends v; it fails if the ring is full. Safe for any number of
+// concurrent producers.
+func (q *MPSC[T]) TryPush(v T) bool {
+	for {
+		t := q.tail.Load()
+		cell := &q.cells[t&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == t:
+			if q.tail.CompareAndSwap(t, t+1) {
+				cell.val = v
+				cell.seq.Store(t + 1)
+				return true
+			}
+		case seq < t:
+			return false // cell not yet consumed: full
+		default:
+			// Another producer claimed t; retry with a fresh tail.
+		}
+	}
+}
+
+// TryPop removes the oldest element; single consumer only.
+func (q *MPSC[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	cell := &q.cells[h&q.mask]
+	if cell.seq.Load() != h+1 {
+		return zero, false
+	}
+	v := cell.val
+	cell.val = zero
+	cell.seq.Store(h + uint64(len(q.cells)))
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Push spins until v is accepted.
+func (q *MPSC[T]) Push(v T) {
+	for i := 0; !q.TryPush(v); i++ {
+		backoff(i)
+	}
+}
+
+// Len returns the approximate number of queued elements.
+func (q *MPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// Cap returns the ring capacity.
+func (q *MPSC[T]) Cap() int { return len(q.cells) }
+
+// Locked is the lock-based ring used as the Figure 5 ablation baseline.
+// "The major synchronization overhead comes from locking and unlocking the
+// queues" (paper §IV) — this type is that overhead.
+type Locked[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	head uint64
+	tail uint64
+	mask uint64
+}
+
+// NewLocked returns a ring with capacity rounded up to a power of two.
+func NewLocked[T any](capacity int) *Locked[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Locked[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// TryPush appends v; it fails if the ring is full.
+func (q *Locked[T]) TryPush(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.tail-q.head >= uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[q.tail&q.mask] = v
+	q.tail++
+	return true
+}
+
+// TryPop removes the oldest element; it fails if the ring is empty.
+func (q *Locked[T]) TryPop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == q.tail {
+		return zero, false
+	}
+	v := q.buf[q.head&q.mask]
+	q.buf[q.head&q.mask] = zero
+	q.head++
+	return v, true
+}
+
+// Push spins until v is accepted.
+func (q *Locked[T]) Push(v T) {
+	for i := 0; !q.TryPush(v); i++ {
+		backoff(i)
+	}
+}
+
+// Len returns the number of queued elements.
+func (q *Locked[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int(q.tail - q.head)
+}
+
+// backoff yields progressively: first busy spins, then scheduler yields.
+func backoff(i int) {
+	if i < 64 {
+		return
+	}
+	runtime.Gosched()
+}

@@ -1,0 +1,201 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+// basicQueue is the common surface all three implementations share.
+type basicQueue[T any] interface {
+	TryPush(T) bool
+	TryPop() (T, bool)
+	Push(T)
+	Len() int
+}
+
+func runFIFO(t *testing.T, name string, q basicQueue[int], capacity int) {
+	t.Helper()
+	if _, ok := q.TryPop(); ok {
+		t.Fatalf("%s: pop from empty succeeded", name)
+	}
+	for i := 0; i < capacity; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("%s: push %d/%d failed", name, i, capacity)
+		}
+	}
+	if q.TryPush(999) {
+		t.Fatalf("%s: push beyond capacity succeeded", name)
+	}
+	if q.Len() != capacity {
+		t.Fatalf("%s: Len = %d, want %d", name, q.Len(), capacity)
+	}
+	for i := 0; i < capacity; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("%s: pop %d got (%d,%v)", name, i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatalf("%s: drained queue still pops", name)
+	}
+	// Wraparound: push/pop interleaved past the ring boundary.
+	for i := 0; i < 3*capacity; i++ {
+		q.Push(i)
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("%s: wraparound pop %d got (%d,%v)", name, i, v, ok)
+		}
+	}
+}
+
+func TestFIFOSemantics(t *testing.T) {
+	runFIFO(t, "SPSC", NewSPSC[int](16), 16)
+	runFIFO(t, "MPSC", NewMPSC[int](16), 16)
+	runFIFO(t, "Locked", NewLocked[int](16), 16)
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if got := NewSPSC[int](100).Cap(); got != 128 {
+		t.Errorf("SPSC cap = %d, want 128", got)
+	}
+}
+
+func TestSPSCConcurrent(t *testing.T) {
+	const n = 50000
+	q := NewSPSC[int](256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	// Consumer verifies exact FIFO order: SPSC must never reorder or drop.
+	for i := 0; i < n; i++ {
+		for {
+			v, ok := q.TryPop()
+			if ok {
+				if v != i {
+					t.Fatalf("reordered: got %d at position %d", v, i)
+				}
+				break
+			}
+		}
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Errorf("queue not empty at end: %d", q.Len())
+	}
+}
+
+func TestMPSCConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 5000
+	q := NewMPSC[int](512)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	// Single consumer: per-producer order must be preserved (the property
+	// the profiler relies on: per-thread access order survives the queue),
+	// and nothing may be lost or duplicated.
+	seen := make([]int, producers*perProducer)
+	lastPer := make([]int, producers)
+	for p := range lastPer {
+		lastPer[p] = -1
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for total := 0; total < producers*perProducer; {
+			v, ok := q.TryPop()
+			if !ok {
+				continue
+			}
+			seen[v]++
+			p := v / perProducer
+			i := v % perProducer
+			if i <= lastPer[p] {
+				t.Errorf("producer %d order violated: %d after %d", p, i, lastPer[p])
+				return
+			}
+			lastPer[p] = i
+			total++
+		}
+	}()
+	wg.Wait()
+	<-done
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+}
+
+func TestLockedConcurrent(t *testing.T) {
+	const producers = 4
+	const perProducer = 4000
+	q := NewLocked[int](128)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*perProducer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for total := 0; total < producers*perProducer; {
+			if v, ok := q.TryPop(); ok {
+				if seen[v] {
+					t.Errorf("duplicate %d", v)
+					return
+				}
+				seen[v] = true
+				total++
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost", v)
+		}
+	}
+}
+
+func TestPointerReleaseForGC(t *testing.T) {
+	// After TryPop, the ring must not retain the popped pointer.
+	q := NewSPSC[*int](4)
+	x := new(int)
+	q.Push(x)
+	q.TryPop()
+	if q.buf[0] != nil {
+		t.Error("SPSC retains popped pointer")
+	}
+	m := NewMPSC[*int](4)
+	m.Push(x)
+	m.TryPop()
+	if m.cells[0].val != nil {
+		t.Error("MPSC retains popped pointer")
+	}
+	l := NewLocked[*int](4)
+	l.Push(x)
+	l.TryPop()
+	if l.buf[0] != nil {
+		t.Error("Locked retains popped pointer")
+	}
+}

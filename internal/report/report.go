@@ -1,0 +1,97 @@
+// Package report renders experiment results as aligned ASCII tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple titled table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are printed after the table body.
+	Notes []string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat prints a float compactly: two decimals, trimming ".00".
+func FormatFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimSuffix(s, "0")
+	s = strings.TrimSuffix(s, "0")
+	s = strings.TrimSuffix(s, ".")
+	return s
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// SI formats a count in engineering notation like the paper's tables
+// (1.9E+9).
+func SI(v float64) string {
+	return strings.ToUpper(fmt.Sprintf("%.1e", v))
+}
+
+// MB formats bytes as megabytes.
+func MB(b uint64) string {
+	return fmt.Sprintf("%.0f", float64(b)/(1<<20))
+}

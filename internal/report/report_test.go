@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Headers: []string{"Program", "Slowdown", "MB"},
+		Notes:   []string{"small scale"},
+	}
+	tab.AddRow("c-ray", 86.5, 1020)
+	tab.AddRow("kmeans", 4.0, 12)
+	out := tab.String()
+	for _, want := range []string{"Demo", "Program", "c-ray", "86.5", "kmeans", "note: small scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header and first row start of column 2 match.
+	lines := strings.Split(out, "\n")
+	h := strings.Index(lines[1], "Slowdown")
+	r := strings.Index(lines[3], "86.5")
+	if h != r {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", h, r, out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		86.5:  "86.5",
+		4.0:   "4",
+		0.25:  "0.25",
+		100.0: "100",
+		0.1:   "0.1",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSI(t *testing.T) {
+	if got := SI(1.9e9); got != "1.9E+09" {
+		t.Errorf("SI = %q", got)
+	}
+	if got := SI(420); got != "4.2E+02" {
+		t.Errorf("SI = %q", got)
+	}
+}
+
+func TestMB(t *testing.T) {
+	if got := MB(382 << 20); got != "382" {
+		t.Errorf("MB = %q", got)
+	}
+}

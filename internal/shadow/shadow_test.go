@@ -1,0 +1,97 @@
+package shadow
+
+import (
+	"testing"
+
+	"ddprof/internal/loc"
+	"ddprof/internal/sig"
+)
+
+var _ sig.Store = (*Memory)(nil)
+
+func slot(line int) sig.Slot {
+	return sig.PackSlot(loc.Pack(1, line), 0, 0, 0, 0, 0)
+}
+
+func TestBasicOps(t *testing.T) {
+	m := New()
+	if _, ok := m.LookupWrite(0x1234); ok {
+		t.Fatal("fresh shadow memory has entries")
+	}
+	m.SetWrite(0x1234, slot(10))
+	m.SetRead(0x1234, slot(20))
+	w, ok := m.LookupWrite(0x1234)
+	if !ok || w.Loc().Line() != 10 {
+		t.Fatal("write lookup failed")
+	}
+	r, ok := m.LookupRead(0x1234)
+	if !ok || r.Loc().Line() != 20 {
+		t.Fatal("read lookup failed")
+	}
+	m.Remove(0x1234)
+	if _, ok := m.LookupWrite(0x1234); ok {
+		t.Fatal("write survives Remove")
+	}
+	if _, ok := m.LookupRead(0x1234); ok {
+		t.Fatal("read survives Remove")
+	}
+}
+
+func TestExactness(t *testing.T) {
+	// Shadow memory must never confuse two addresses, however many are used.
+	m := New()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		m.SetWrite(i*8, slot(int(i%1000)+1))
+	}
+	for i := uint64(0); i < n; i++ {
+		s, ok := m.LookupWrite(i * 8)
+		if !ok {
+			t.Fatalf("address %#x lost", i*8)
+		}
+		if s.Loc().Line() != int(i%1000)+1 {
+			t.Fatalf("address %#x returned wrong record", i*8)
+		}
+	}
+	// Untouched addresses must miss.
+	if _, ok := m.LookupWrite(n*8 + 4); ok {
+		t.Error("false positive in shadow memory")
+	}
+}
+
+func TestPageGrowth(t *testing.T) {
+	m := New()
+	m.SetWrite(0, slot(1))
+	if m.Pages() != 1 {
+		t.Fatalf("Pages = %d, want 1", m.Pages())
+	}
+	b1 := m.Bytes()
+	if b1 == 0 {
+		t.Fatal("Bytes = 0 after allocation")
+	}
+	// Same page: no growth.
+	m.SetWrite(pageSize-1, slot(2))
+	if m.Pages() != 1 {
+		t.Fatal("write within page allocated a new page")
+	}
+	// Far address: new page. This is the footprint problem signatures solve:
+	// memory grows with the address range actually touched.
+	m.SetWrite(1<<40, slot(3))
+	if m.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", m.Pages())
+	}
+	if m.Bytes() != 2*b1 {
+		t.Errorf("Bytes = %d, want %d", m.Bytes(), 2*b1)
+	}
+	if m.ModeledBytes() != m.Bytes() {
+		t.Error("exact store model must equal actual bytes")
+	}
+}
+
+func TestRemoveMissingAddress(t *testing.T) {
+	m := New()
+	m.Remove(0xDEAD) // must not allocate or panic
+	if m.Pages() != 0 {
+		t.Error("Remove allocated a page")
+	}
+}

@@ -1,0 +1,64 @@
+// Package stats quantifies profiler accuracy: the false positive and false
+// negative rates of Table I and the collision-probability prediction of the
+// paper's Equation (2).
+package stats
+
+import (
+	"math"
+
+	"ddprof/internal/dep"
+)
+
+// Rates holds the accuracy of a measured dependence set against the exact
+// (perfect-signature) ground truth, as percentages like Table I reports.
+type Rates struct {
+	// Truth and Measured are the unique dependence counts.
+	Truth    int
+	Measured int
+	// FP and FN are absolute counts of spurious and missed dependences.
+	FP int
+	FN int
+	// FPR is FP as a percentage of reported dependences; FNR is FN as a
+	// percentage of true dependences.
+	FPR float64
+	FNR float64
+}
+
+// Compare computes FPR/FNR of measured against truth. Identity is the
+// dependence Key (type, sink, source, variable, threads); instance counts do
+// not matter, matching the paper's merged-dependence granularity.
+func Compare(truth, measured *dep.Set) Rates {
+	r := Rates{Truth: truth.Unique(), Measured: measured.Unique()}
+	measured.Range(func(k dep.Key, _ dep.Stats) bool {
+		if _, ok := truth.Lookup(k); !ok {
+			r.FP++
+		}
+		return true
+	})
+	truth.Range(func(k dep.Key, _ dep.Stats) bool {
+		if _, ok := measured.Lookup(k); !ok {
+			r.FN++
+		}
+		return true
+	})
+	if r.Measured > 0 {
+		r.FPR = 100 * float64(r.FP) / float64(r.Measured)
+	}
+	if r.Truth > 0 {
+		r.FNR = 100 * float64(r.FN) / float64(r.Truth)
+	}
+	return r
+}
+
+// PredictedFP is the paper's Equation (2): the probability that a given slot
+// of an m-slot signature is occupied after inserting n distinct elements,
+//
+//	Pfp = 1 − (1 − 1/m)^n,
+//
+// i.e. the chance a membership probe for a fresh address false-positives.
+func PredictedFP(m, n float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	return 1 - math.Pow(1-1/m, n)
+}

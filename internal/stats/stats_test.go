@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ddprof/internal/dep"
+	"ddprof/internal/loc"
+)
+
+func key(sink int) dep.Key {
+	return dep.Key{Type: dep.RAW, Sink: loc.Pack(1, sink), Src: loc.Pack(1, 1)}
+}
+
+func setOf(sinks ...int) *dep.Set {
+	s := dep.NewSet()
+	for _, k := range sinks {
+		s.Add(key(k), false, false, false)
+	}
+	return s
+}
+
+func TestCompareExactMatch(t *testing.T) {
+	r := Compare(setOf(1, 2, 3), setOf(1, 2, 3))
+	if r.FP != 0 || r.FN != 0 || r.FPR != 0 || r.FNR != 0 {
+		t.Errorf("identical sets should have zero rates: %+v", r)
+	}
+	if r.Truth != 3 || r.Measured != 3 {
+		t.Errorf("counts wrong: %+v", r)
+	}
+}
+
+func TestCompareFPAndFN(t *testing.T) {
+	truth := setOf(1, 2, 3, 4)
+	measured := setOf(1, 2, 5) // misses 3,4; invents 5
+	r := Compare(truth, measured)
+	if r.FP != 1 || r.FN != 2 {
+		t.Fatalf("FP=%d FN=%d, want 1,2", r.FP, r.FN)
+	}
+	if math.Abs(r.FPR-100.0/3) > 1e-9 {
+		t.Errorf("FPR = %v", r.FPR)
+	}
+	if math.Abs(r.FNR-50) > 1e-9 {
+		t.Errorf("FNR = %v", r.FNR)
+	}
+}
+
+func TestCompareInstanceCountsIrrelevant(t *testing.T) {
+	truth := dep.NewSet()
+	truth.Add(key(1), false, false, false)
+	measured := dep.NewSet()
+	for i := 0; i < 100; i++ {
+		measured.Add(key(1), false, false, false)
+	}
+	r := Compare(truth, measured)
+	if r.FP != 0 || r.FN != 0 {
+		t.Errorf("instance counts must not matter: %+v", r)
+	}
+}
+
+func TestCompareEmptySets(t *testing.T) {
+	r := Compare(dep.NewSet(), dep.NewSet())
+	if r.FPR != 0 || r.FNR != 0 {
+		t.Errorf("empty/empty should be 0/0: %+v", r)
+	}
+	r = Compare(setOf(1), dep.NewSet())
+	if r.FNR != 100 {
+		t.Errorf("all-missed FNR = %v, want 100", r.FNR)
+	}
+	r = Compare(dep.NewSet(), setOf(1))
+	if r.FPR != 100 {
+		t.Errorf("all-spurious FPR = %v, want 100", r.FPR)
+	}
+}
+
+func TestPredictedFPBasics(t *testing.T) {
+	if got := PredictedFP(100, 0); got != 0 {
+		t.Errorf("n=0 should predict 0, got %v", got)
+	}
+	// One slot, one insertion: certain collision for the next probe.
+	if got := PredictedFP(1, 1); got != 1 {
+		t.Errorf("m=1,n=1 should predict 1, got %v", got)
+	}
+	// Monotone in n, anti-monotone in m — the paper's "Pfp is inversely
+	// proportional to m and proportional to n".
+	if PredictedFP(1e6, 1e5) >= PredictedFP(1e6, 1e6) {
+		t.Error("prediction not increasing in n")
+	}
+	if PredictedFP(1e6, 1e5) <= PredictedFP(1e7, 1e5) {
+		t.Error("prediction not decreasing in m")
+	}
+	if got := PredictedFP(0, 10); got != 1 {
+		t.Errorf("degenerate m should saturate at 1, got %v", got)
+	}
+}
+
+func TestPredictedFPRange(t *testing.T) {
+	f := func(m16, n16 uint16) bool {
+		m, n := float64(m16)+1, float64(n16)
+		p := PredictedFP(m, n)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredictedFPMatchesSimulation cross-checks Eq.(2) against a direct
+// Monte-Carlo occupancy simulation.
+func TestPredictedFPMatchesSimulation(t *testing.T) {
+	const m, n = 1000.0, 700.0
+	// Deterministic LCG-based simulation of n inserts into m slots.
+	occupied := make(map[int]bool)
+	seed := uint64(12345)
+	for i := 0; i < int(n); i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		occupied[int(seed%uint64(m))] = true
+	}
+	sim := float64(len(occupied)) / m
+	pred := PredictedFP(m, n)
+	if math.Abs(sim-pred) > 0.05 {
+		t.Errorf("simulated occupancy %.3f vs predicted %.3f", sim, pred)
+	}
+}

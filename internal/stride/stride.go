@@ -1,0 +1,167 @@
+// Package stride implements SD3-style stride compression of memory-access
+// streams (Kim, Kim, Luk — MICRO'10), the space optimization the paper
+// discusses in related work (§II): "SD3 reduces memory overhead by
+// compressing strided accesses using a finite state machine."
+//
+// A Detector watches the address stream of one instruction (source line)
+// and learns whether it accesses memory at a fixed stride. Strided runs are
+// stored as compact (base, stride, count) triples instead of per-address
+// history. The package serves as an ablation comparator for the signature
+// approach: Compress reports how much of a given stream stride compression
+// would capture, and the detector's FSM is tested against the published
+// state semantics.
+package stride
+
+// State is the learning state of the per-instruction FSM, following SD3's
+// Start → FirstObserved → StrideLearned → Weak progression.
+type State uint8
+
+const (
+	// Start: no access observed yet.
+	Start State = iota
+	// First: one address observed; no stride known.
+	First
+	// Learned: a constant stride has been confirmed.
+	Learned
+	// Weak: the last access broke the learned stride once; one more
+	// confirmation returns to Learned, another break demotes to random.
+	Weak
+	// Random: the stream is not strided; fall back to point storage.
+	Random
+)
+
+func (s State) String() string {
+	switch s {
+	case Start:
+		return "start"
+	case First:
+		return "first"
+	case Learned:
+		return "learned"
+	case Weak:
+		return "weak"
+	case Random:
+		return "random"
+	}
+	return "invalid"
+}
+
+// Run is a compressed strided access run.
+type Run struct {
+	Base   uint64
+	Stride int64
+	Count  uint64
+}
+
+// Last returns the last address of the run.
+func (r Run) Last() uint64 {
+	return uint64(int64(r.Base) + int64(r.Count-1)*r.Stride)
+}
+
+// Contains reports whether addr falls on the run.
+func (r Run) Contains(addr uint64) bool {
+	if r.Stride == 0 {
+		return addr == r.Base && r.Count > 0
+	}
+	d := int64(addr) - int64(r.Base)
+	if d%r.Stride != 0 {
+		return false
+	}
+	k := d / r.Stride
+	return k >= 0 && uint64(k) < r.Count
+}
+
+// Detector learns the stride behaviour of one instruction's address stream.
+type Detector struct {
+	state  State
+	last   uint64
+	stride int64
+	run    Run
+	runs   []Run
+	points []uint64
+}
+
+// NewDetector returns a detector in the Start state.
+func NewDetector() *Detector { return &Detector{} }
+
+// State returns the current FSM state.
+func (d *Detector) State() State { return d.state }
+
+// Observe feeds the next address.
+func (d *Detector) Observe(addr uint64) {
+	switch d.state {
+	case Start:
+		d.last = addr
+		d.state = First
+	case First:
+		d.stride = int64(addr) - int64(d.last)
+		d.run = Run{Base: d.last, Stride: d.stride, Count: 2}
+		d.last = addr
+		d.state = Learned
+	case Learned:
+		if int64(addr)-int64(d.last) == d.stride {
+			d.run.Count++
+			d.last = addr
+			return
+		}
+		d.state = Weak
+		d.points = append(d.points, addr)
+		d.last = addr
+	case Weak:
+		if int64(addr)-int64(d.last) == d.stride {
+			// Stride resumed: flush the current run and start a new one
+			// from the off-stride point's successor.
+			d.flushRun()
+			d.run = Run{Base: d.last, Stride: d.stride, Count: 2}
+			d.last = addr
+			d.state = Learned
+			return
+		}
+		d.state = Random
+		d.points = append(d.points, addr)
+		d.last = addr
+	case Random:
+		d.points = append(d.points, addr)
+		d.last = addr
+	}
+}
+
+func (d *Detector) flushRun() {
+	if d.run.Count > 0 {
+		d.runs = append(d.runs, d.run)
+		d.run = Run{}
+	}
+}
+
+// Finish closes the stream and returns the compressed representation:
+// strided runs plus residual point addresses.
+func (d *Detector) Finish() ([]Run, []uint64) {
+	d.flushRun()
+	if d.state == First {
+		// A single observed address is a degenerate run.
+		d.runs = append(d.runs, Run{Base: d.last, Stride: 0, Count: 1})
+	}
+	return d.runs, d.points
+}
+
+// CompressionRatio summarizes how well a stream compressed: observed
+// addresses per stored record (runs + points). Higher is better; 1.0 means
+// no compression.
+func CompressionRatio(observed int, runs []Run, points []uint64) float64 {
+	stored := len(runs) + len(points)
+	if stored == 0 {
+		return 1
+	}
+	return float64(observed) / float64(stored)
+}
+
+// Compress runs a detector over a whole stream and reports the ratio — the
+// ablation entry point.
+func Compress(addrs []uint64) (ratio float64, runs []Run, points []uint64) {
+	d := NewDetector()
+	for _, a := range addrs {
+		d.Observe(a)
+	}
+	runs, points = d.Finish()
+	return CompressionRatio(len(addrs), runs, points), runs, points
+}

@@ -1,0 +1,183 @@
+package stride
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Start: "start", First: "first", Learned: "learned",
+		Weak: "weak", Random: "random", State(99): "invalid",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("State(%d) = %q", s, s.String())
+		}
+	}
+}
+
+func TestPerfectStride(t *testing.T) {
+	d := NewDetector()
+	for i := uint64(0); i < 1000; i++ {
+		d.Observe(0x1000 + i*8)
+	}
+	if d.State() != Learned {
+		t.Fatalf("state = %v, want learned", d.State())
+	}
+	runs, points := d.Finish()
+	if len(runs) != 1 || len(points) != 0 {
+		t.Fatalf("runs=%d points=%d, want 1/0", len(runs), len(points))
+	}
+	r := runs[0]
+	if r.Base != 0x1000 || r.Stride != 8 || r.Count != 1000 {
+		t.Errorf("run = %+v", r)
+	}
+	if r.Last() != 0x1000+999*8 {
+		t.Errorf("Last = %#x", r.Last())
+	}
+	if ratio := CompressionRatio(1000, runs, points); ratio != 1000 {
+		t.Errorf("ratio = %v, want 1000", ratio)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	var addrs []uint64
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, uint64(0x8000-i*16))
+	}
+	ratio, runs, points := Compress(addrs)
+	if len(runs) != 1 || runs[0].Stride != -16 || len(points) != 0 {
+		t.Fatalf("runs=%+v points=%v", runs, points)
+	}
+	if ratio != 100 {
+		t.Errorf("ratio = %v", ratio)
+	}
+}
+
+func TestWeakRecovery(t *testing.T) {
+	// Strided run, one irregular access, then the stride resumes — SD3's
+	// Weak state must recover without demoting to Random.
+	d := NewDetector()
+	for i := uint64(0); i < 50; i++ {
+		d.Observe(i * 4)
+	}
+	d.Observe(0xDEAD0) // break
+	if d.State() != Weak {
+		t.Fatalf("state after break = %v, want weak", d.State())
+	}
+	for i := uint64(0); i < 50; i++ {
+		d.Observe(0xDEAD0 + 4 + i*4)
+	}
+	if d.State() != Learned {
+		t.Fatalf("state after recovery = %v, want learned", d.State())
+	}
+	runs, points := d.Finish()
+	if len(runs) != 2 {
+		t.Errorf("runs = %d, want 2 (before and after the break)", len(runs))
+	}
+	if len(points) != 1 || points[0] != 0xDEAD0 {
+		t.Errorf("points = %v, want the single break address", points)
+	}
+}
+
+func TestRandomStream(t *testing.T) {
+	// A hash-scatter stream must demote to Random and store points.
+	var addrs []uint64
+	x := uint64(12345)
+	for i := 0; i < 200; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addrs = append(addrs, x)
+	}
+	ratio, _, points := Compress(addrs)
+	if len(points) < 150 {
+		t.Errorf("random stream stored only %d points", len(points))
+	}
+	if ratio > 2 {
+		t.Errorf("random stream should not compress well: ratio %v", ratio)
+	}
+}
+
+func TestSingleAndEmptyStreams(t *testing.T) {
+	ratio, runs, points := Compress(nil)
+	if ratio != 1 || len(runs) != 0 || len(points) != 0 {
+		t.Errorf("empty stream: ratio=%v runs=%v points=%v", ratio, runs, points)
+	}
+	_, runs, _ = Compress([]uint64{42})
+	if len(runs) != 1 || runs[0].Base != 42 || runs[0].Count != 1 {
+		t.Errorf("single access: %+v", runs)
+	}
+}
+
+func TestRunContains(t *testing.T) {
+	r := Run{Base: 100, Stride: 8, Count: 5} // 100,108,...,132
+	for _, a := range []uint64{100, 108, 132} {
+		if !r.Contains(a) {
+			t.Errorf("run should contain %d", a)
+		}
+	}
+	for _, a := range []uint64{96, 104, 140, 101} {
+		if r.Contains(a) {
+			t.Errorf("run should not contain %d", a)
+		}
+	}
+	z := Run{Base: 7, Stride: 0, Count: 1}
+	if !z.Contains(7) || z.Contains(8) {
+		t.Error("zero-stride run membership wrong")
+	}
+}
+
+// TestCoverageProperty: every observed address is represented either by a
+// run or a residual point.
+func TestCoverageProperty(t *testing.T) {
+	f := func(seed uint16, strided bool) bool {
+		var addrs []uint64
+		x := uint64(seed) + 1
+		for i := 0; i < 64; i++ {
+			if strided {
+				addrs = append(addrs, 0x100+uint64(i)*uint64(seed%7+1))
+			} else {
+				x = x*2862933555777941757 + 3037000493
+				addrs = append(addrs, x%1024)
+			}
+		}
+		_, runs, points := Compress(addrs)
+		covered := func(a uint64) bool {
+			for _, r := range runs {
+				if r.Contains(a) {
+					return true
+				}
+			}
+			for _, p := range points {
+				if p == a {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range addrs {
+			if !covered(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadStreamsCompress(t *testing.T) {
+	// An array-sweep stream (the common case in the NAS kernels) should
+	// compress by orders of magnitude — the SD3 effect the paper cites.
+	var addrs []uint64
+	for rep := 0; rep < 10; rep++ {
+		for i := uint64(0); i < 1000; i++ {
+			addrs = append(addrs, 0x10000+i*8)
+		}
+	}
+	ratio, _, _ := Compress(addrs)
+	if ratio < 100 {
+		t.Errorf("sweep stream compressed only %vx", ratio)
+	}
+}

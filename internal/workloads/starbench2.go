@@ -1,0 +1,319 @@
+package workloads
+
+import (
+	. "ddprof/internal/minilang"
+)
+
+// --- tinyjpeg: table-driven block decoder --------------------------------
+//
+// The paper's tinyjpeg touches only ~420 distinct addresses while making
+// 2.3e7 accesses: a tiny working set (quantization and Huffman-style tables,
+// one 8x8 coefficient block, one 8x8 output block) hammered once per MCU.
+
+func tinyjpegTables(b *Block) {
+	initArrayLCG(b, "quant", Ci(64), 5, "tj.init_quant")
+	initArrayLCG(b, "huff", Ci(64), 77, "tj.init_huff")
+	b.DeclArr("coef", Ci(64))
+	b.DeclArr("block", Ci(64))
+}
+
+// tinyjpegMCU decodes one MCU: entropy-decode into coef (a sequential
+// while-style chain), dequantize, and run a row/column transform.
+func tinyjpegMCU(mb *Block) {
+	// Entropy decode: bit buffer chained across coefficients.
+	mb.Decl("bits", Add(Mod(V("mcu"), Ci(9973)), Ci(1)))
+	mb.Decl("k", Ci(0))
+	mb.While(Lt(V("k"), Ci(64)), LoopOpt{Name: "tj.entropy"}, func(w *Block) {
+		w.Assign("bits", lcgNext(V("bits")))
+		w.Decl("sym", Mod(Idx("huff", Mod(V("bits"), Ci(64))), Ci(32)))
+		w.Set("coef", V("k"), Sub(V("sym"), Ci(16)))
+		w.Assign("k", Add(V("k"), Ci(1)))
+	})
+	// Dequantize in place.
+	mb.For("i", Ci(0), Ci(64), Ci(1), LoopOpt{Name: "tj.dequant"}, func(l *Block) {
+		l.Set("coef", V("i"), Mul(Idx("coef", V("i")), Add(Mod(Idx("quant", V("i")), Ci(16)), Ci(1))))
+	})
+	// Separable transform: rows then columns, accumulating into block.
+	mb.For("rr", Ci(0), Ci(8), Ci(1), LoopOpt{Name: "tj.idct_rows"}, func(r *Block) {
+		r.For("cc", Ci(0), Ci(8), Ci(1), LoopOpt{Name: "tj.idct_cols"}, func(l *Block) {
+			l.Decl("acc", C(0))
+			l.For("t", Ci(0), Ci(8), Ci(1), LoopOpt{Name: "tj.idct_inner"}, func(in *Block) {
+				in.Reduce("acc", OpAdd, Mul(Idx("coef", Add(Mul(V("rr"), Ci(8)), V("t"))),
+					CallE("cos", Mul(V("t"), Add(V("cc"), C(0.5))))))
+			})
+			l.Set("block", Add(Mul(V("rr"), Ci(8)), V("cc")), V("acc"))
+		})
+	})
+	mb.Reduce("checksum", OpAdd, Idx("block", Mod(V("mcu"), Ci(64))))
+}
+
+// TinyJPEG decodes a stream of MCUs sequentially.
+func TinyJPEG(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("tinyjpeg")
+	p.MainFunc(func(b *Block) {
+		tinyjpegTables(b)
+		b.Decl("M", Ci(cfg.n(300, 8)))
+		b.Decl("checksum", C(0))
+		b.For("mcu", Ci(0), V("M"), Ci(1), LoopOpt{Name: "tj.mcus"}, tinyjpegMCU)
+	})
+	return p
+}
+
+// TinyJPEGParallel decodes MCU ranges per thread with thread-private blocks
+// (the pthread tinyjpeg decodes independent restart intervals).
+func TinyJPEGParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("tinyjpeg-pthread")
+	p.MainFunc(func(b *Block) {
+		initArrayLCG(b, "quant", Ci(64), 5, "tjp.init_quant")
+		initArrayLCG(b, "huff", Ci(64), 77, "tjp.init_huff")
+		b.Decl("M", Ci(cfg.n(300, 8)))
+		b.Decl("checksum", C(0))
+		b.Spawn(cfg.Threads, func(s *Block) {
+			threadSpan(s, V("M"), cfg.Threads)
+			s.DeclArr("coef", Ci(64))
+			s.DeclArr("block", Ci(64))
+			s.Decl("local", C(0))
+			s.For("mcu", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "tjp.mcus"}, func(mb *Block) {
+				mb.Decl("bits", Add(Mod(V("mcu"), Ci(9973)), Ci(1)))
+				mb.Decl("k", Ci(0))
+				mb.While(Lt(V("k"), Ci(64)), LoopOpt{Name: "tjp.entropy"}, func(w *Block) {
+					w.Assign("bits", lcgNext(V("bits")))
+					w.Decl("sym", Mod(Idx("huff", Mod(V("bits"), Ci(64))), Ci(32)))
+					w.Set("coef", V("k"), Sub(V("sym"), Ci(16)))
+					w.Assign("k", Add(V("k"), Ci(1)))
+				})
+				mb.For("i", Ci(0), Ci(64), Ci(1), LoopOpt{Name: "tjp.dequant"}, func(l *Block) {
+					l.Set("coef", V("i"), Mul(Idx("coef", V("i")), Add(Mod(Idx("quant", V("i")), Ci(16)), Ci(1))))
+				})
+				mb.For("rr", Ci(0), Ci(8), Ci(1), LoopOpt{Name: "tjp.idct_rows"}, func(r *Block) {
+					r.For("cc", Ci(0), Ci(8), Ci(1), LoopOpt{Name: "tjp.idct_cols"}, func(l *Block) {
+						l.Decl("acc", C(0))
+						l.For("t", Ci(0), Ci(8), Ci(1), LoopOpt{Name: "tjp.idct_inner"}, func(in *Block) {
+							in.Reduce("acc", OpAdd, Mul(Idx("coef", Add(Mul(V("rr"), Ci(8)), V("t"))),
+								CallE("cos", Mul(V("t"), Add(V("cc"), C(0.5))))))
+						})
+						l.Set("block", Add(Mul(V("rr"), Ci(8)), V("cc")), V("acc"))
+					})
+				})
+				mb.Reduce("local", OpAdd, Idx("block", Mod(V("mcu"), Ci(64))))
+			})
+			s.Lock("sum", func(cr *Block) {
+				cr.Reduce("checksum", OpAdd, V("local"))
+			})
+		})
+	})
+	return p
+}
+
+// --- bodytrack: particle filter ------------------------------------------
+
+func bodytrackData(b *Block, particles, obs int) {
+	b.Decl("NP", Ci(particles))
+	b.Decl("NO", Ci(obs))
+	initArrayLCG(b, "pose", V("NP"), 31, "bt.init_pose")
+	initArrayLCG(b, "obs", V("NO"), 63, "bt.init_obs")
+	b.DeclArr("weight", V("NP"))
+	b.DeclArr("cdf", V("NP"))
+	b.DeclArr("newpose", V("NP"))
+}
+
+// BodyTrack runs a particle filter: propagate, weigh, build a CDF (a scan —
+// genuinely sequential), and resample.
+func BodyTrack(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("bodytrack")
+	p.MainFunc(func(b *Block) {
+		bodytrackData(b, cfg.n(2500, 32), cfg.n(400, 16))
+		b.Decl("checksum", C(0))
+		b.For("frame", Ci(0), Ci(3), Ci(1), LoopOpt{Name: "bt.frames"}, func(fb *Block) {
+			fb.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "bt.propagate", OMP: true}, func(l *Block) {
+				l.Set("pose", V("i"), lcgNext(Idx("pose", V("i"))))
+			})
+			fb.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "bt.weigh", OMP: true}, func(l *Block) {
+				l.Decl("o", Idx("obs", Mod(Idx("pose", V("i")), V("NO"))))
+				l.Decl("d", Sub(Mod(Idx("pose", V("i")), Ci(1000)), Mod(V("o"), Ci(1000))))
+				l.Set("weight", V("i"), Div(C(1), Add(C(1), Mul(V("d"), V("d")))))
+			})
+			// Prefix-sum of weights: loop-carried scan.
+			fb.Set("cdf", Ci(0), Idx("weight", Ci(0)))
+			fb.For("i", Ci(1), V("NP"), Ci(1), LoopOpt{Name: "bt.scan"}, func(l *Block) {
+				l.Set("cdf", V("i"), Add(Idx("cdf", Sub(V("i"), Ci(1))), Idx("weight", V("i"))))
+			})
+			fb.Decl("total", Idx("cdf", Sub(V("NP"), Ci(1))))
+			fb.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "bt.resample", OMP: true}, func(l *Block) {
+				l.Decl("u", Mul(Div(Add(V("i"), C(0.5)), V("NP")), V("total")))
+				// Systematic resampling via a proportional jump (index
+				// computed from data, not a search, to stay O(1)).
+				l.Decl("j", Mod(Add(V("i"), Mod(V("u"), V("NP"))), V("NP")))
+				l.Set("newpose", V("i"), Idx("pose", V("j")))
+			})
+			fb.For("i", Ci(0), V("NP"), Ci(1), LoopOpt{Name: "bt.commit", OMP: true}, func(l *Block) {
+				l.Set("pose", V("i"), Idx("newpose", V("i")))
+			})
+			fb.Reduce("checksum", OpAdd, V("total"))
+		})
+	})
+	return p
+}
+
+// BodyTrackParallel partitions the per-particle phases; the scan stays on
+// thread 0 between barriers (as the pthread version serializes it).
+func BodyTrackParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("bodytrack-pthread")
+	p.MainFunc(func(b *Block) {
+		bodytrackData(b, cfg.n(2500, 32), cfg.n(400, 16))
+		b.Decl("checksum", C(0))
+		b.For("frame", Ci(0), Ci(3), Ci(1), LoopOpt{Name: "btp.frames"}, func(fb *Block) {
+			fb.Spawn(cfg.Threads, func(s *Block) {
+				threadSpan(s, V("NP"), cfg.Threads)
+				s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "btp.propagate"}, func(l *Block) {
+					l.Set("pose", V("i"), lcgNext(Idx("pose", V("i"))))
+				})
+				s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "btp.weigh"}, func(l *Block) {
+					l.Decl("o", Idx("obs", Mod(Idx("pose", V("i")), V("NO"))))
+					l.Decl("d", Sub(Mod(Idx("pose", V("i")), Ci(1000)), Mod(V("o"), Ci(1000))))
+					l.Set("weight", V("i"), Div(C(1), Add(C(1), Mul(V("d"), V("d")))))
+				})
+				s.Barrier()
+				s.If(Eq(Tid(), Ci(0)), func(t0 *Block) {
+					t0.Set("cdf", Ci(0), Idx("weight", Ci(0)))
+					t0.For("i", Ci(1), V("NP"), Ci(1), LoopOpt{Name: "btp.scan"}, func(l *Block) {
+						l.Set("cdf", V("i"), Add(Idx("cdf", Sub(V("i"), Ci(1))), Idx("weight", V("i"))))
+					})
+				}, nil)
+				s.Barrier()
+				s.Decl("total", Idx("cdf", Sub(V("NP"), Ci(1))))
+				s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "btp.resample"}, func(l *Block) {
+					l.Decl("u", Mul(Div(Add(V("i"), C(0.5)), V("NP")), V("total")))
+					l.Decl("j", Mod(Add(V("i"), Mod(V("u"), V("NP"))), V("NP")))
+					l.Set("newpose", V("i"), Idx("pose", V("j")))
+				})
+				s.Barrier()
+				s.For("i", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "btp.commit"}, func(l *Block) {
+					l.Set("pose", V("i"), Idx("newpose", V("i")))
+				})
+				s.Lock("sum", func(cr *Block) {
+					cr.Reduce("checksum", OpAdd, V("total"))
+				})
+			})
+		})
+	})
+	return p
+}
+
+// --- h264dec: macroblock decoder -----------------------------------------
+//
+// The dominant loops of an H.264 intra decoder: per-frame, per-macroblock
+// prediction from the left and top neighbours (the wavefront dependence),
+// residual transform, and a deblocking pass.
+
+func h264Data(b *Block, mbx, mby int) {
+	b.Decl("MX", Ci(mbx))
+	b.Decl("MY", Ci(mby))
+	b.DeclArr("frame", Mul(V("MX"), V("MY")))
+	initArrayLCG(b, "resid", Mul(V("MX"), V("MY")), 123, "h264.init_resid")
+	b.DeclArr("blk", Ci(16))
+}
+
+// h264DecodeMB decodes macroblock (bx,by): intra-predict from neighbours,
+// add a transformed residual, store.
+func h264DecodeMB(l *Block) {
+	l.Decl("idx", Add(Mul(V("by"), V("MX")), V("bx")))
+	l.Decl("pred", C(0))
+	l.If(Gt(V("bx"), C(0)), func(left *Block) {
+		left.Reduce("pred", OpAdd, Idx("frame", Sub(V("idx"), Ci(1))))
+	}, nil)
+	l.If(Gt(V("by"), C(0)), func(top *Block) {
+		top.Reduce("pred", OpAdd, Idx("frame", Sub(V("idx"), V("MX"))))
+	}, nil)
+	// 4x4 residual transform into blk.
+	l.For("u", Ci(0), Ci(16), Ci(1), LoopOpt{Name: "h264.transform"}, func(tb *Block) {
+		tb.Set("blk", V("u"), Mod(Add(Idx("resid", V("idx")), Mul(V("u"), Ci(7))), Ci(256)))
+	})
+	l.Decl("dc", C(0))
+	l.For("u", Ci(0), Ci(16), Ci(1), LoopOpt{Name: "h264.dc"}, func(tb *Block) {
+		tb.Reduce("dc", OpAdd, Idx("blk", V("u")))
+	})
+	l.Set("frame", V("idx"), Add(Mul(V("pred"), C(0.5)), Mul(V("dc"), C(0.0625))))
+}
+
+// H264Dec decodes frames sequentially: the macroblock loops carry the
+// wavefront dependence through frame[], so they are not annotated OMP.
+func H264Dec(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("h264dec")
+	// The real h264dec is the suite's only large multi-file program
+	// (42822 LOC); modelling the file split makes the profiled locations
+	// span file IDs like the paper's Figure 3 ("4:58").
+	p.MainFunc(func(b *Block) {
+		h264Data(b, cfg.n(24, 4), cfg.n(18, 3))
+		b.Decl("checksum", C(0))
+		b.SetFile("h264_decode.c")
+		b.For("f", Ci(0), Ci(3), Ci(1), LoopOpt{Name: "h264.frames"}, func(fb *Block) {
+			fb.For("by", Ci(0), V("MY"), Ci(1), LoopOpt{Name: "h264.mb_rows"}, func(r *Block) {
+				r.For("bx", Ci(0), V("MX"), Ci(1), LoopOpt{Name: "h264.mb_cols"}, h264DecodeMB)
+			})
+			// Deblocking: horizontal smoothing, reads left neighbour of the
+			// *same* array — carried; the real filter is ordered too.
+			fb.SetFile("h264_deblock.c")
+			fb.For("i", Ci(1), Mul(V("MX"), V("MY")), Ci(1), LoopOpt{Name: "h264.deblock"}, func(l *Block) {
+				l.Set("frame", V("i"), Add(Mul(Idx("frame", V("i")), C(0.75)),
+					Mul(Idx("frame", Sub(V("i"), Ci(1))), C(0.25))))
+			})
+			fb.Reduce("checksum", OpAdd, Idx("frame", Sub(Mul(V("MX"), V("MY")), Ci(1))))
+		})
+	})
+	return p
+}
+
+// H264DecParallel decodes independent horizontal slices per thread (slice
+// parallelism): intra prediction does not cross slice boundaries, and the
+// cross-slice deblocking runs under a mutex.
+func H264DecParallel(cfg Config) *Program {
+	cfg = cfg.norm()
+	p := New("h264dec-pthread")
+	p.MainFunc(func(b *Block) {
+		h264Data(b, cfg.n(24, 4), cfg.n(18, 3))
+		b.Decl("checksum", C(0))
+		b.For("f", Ci(0), Ci(3), Ci(1), LoopOpt{Name: "h264p.frames"}, func(fb *Block) {
+			fb.Spawn(cfg.Threads, func(s *Block) {
+				threadSpan(s, V("MY"), cfg.Threads)
+				s.DeclArr("blk", Ci(16)) // thread-private scratch, shadows the global
+				s.For("by", V("lo"), V("hi"), Ci(1), LoopOpt{Name: "h264p.mb_rows"}, func(r *Block) {
+					r.For("bx", Ci(0), V("MX"), Ci(1), LoopOpt{Name: "h264p.mb_cols"}, func(l *Block) {
+						l.Decl("idx", Add(Mul(V("by"), V("MX")), V("bx")))
+						l.Decl("pred", C(0))
+						l.If(Gt(V("bx"), C(0)), func(left *Block) {
+							left.Reduce("pred", OpAdd, Idx("frame", Sub(V("idx"), Ci(1))))
+						}, nil)
+						l.If(Gt(V("by"), V("lo")), func(top *Block) {
+							top.Reduce("pred", OpAdd, Idx("frame", Sub(V("idx"), V("MX"))))
+						}, nil)
+						l.For("u", Ci(0), Ci(16), Ci(1), LoopOpt{Name: "h264p.transform"}, func(tb *Block) {
+							tb.Set("blk", V("u"), Mod(Add(Idx("resid", V("idx")), Mul(V("u"), Ci(7))), Ci(256)))
+						})
+						l.Decl("dc", C(0))
+						l.For("u", Ci(0), Ci(16), Ci(1), LoopOpt{Name: "h264p.dc"}, func(tb *Block) {
+							tb.Reduce("dc", OpAdd, Idx("blk", V("u")))
+						})
+						l.Set("frame", V("idx"), Add(Mul(V("pred"), C(0.5)), Mul(V("dc"), C(0.0625))))
+					})
+				})
+				s.Barrier()
+				// Slice-boundary deblocking under a mutex.
+				s.If(Gt(V("lo"), C(0)), func(eb *Block) {
+					eb.Lock("deblock", func(cr *Block) {
+						cr.Decl("i", Mul(V("lo"), V("MX")))
+						cr.Set("frame", V("i"), Add(Mul(Idx("frame", V("i")), C(0.75)),
+							Mul(Idx("frame", Sub(V("i"), Ci(1))), C(0.25))))
+					})
+				}, nil)
+			})
+			fb.Reduce("checksum", OpAdd, Idx("frame", Sub(Mul(V("MX"), V("MY")), Ci(1))))
+		})
+	})
+	return p
+}
