@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test check fuzz
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# The full gate: what CI and pre-commit should run.
+check: build vet test
+
+# Short fuzz pass over the hardened decoders (trace, framing, server).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzHandshake -fuzztime=10s ./internal/server/

@@ -18,27 +18,45 @@
 //
 // Flags: -scale N (problem size multiplier), -paper (paper-scale signature
 // sizes and repetitions), -only a,b,c (restrict to named workloads),
-// -reps N (timing repetitions).
+// -reps N (timing repetitions), -metrics addr (serve live pipeline counters
+// over HTTP while the experiments run).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"strings"
 
 	"ddprof/internal/exp"
 	"ddprof/internal/report"
+	"ddprof/internal/telemetry"
 )
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0, "workload problem-size multiplier (0 = default)")
-		paper = flag.Bool("paper", false, "use the paper's signature sizes (1e6/1e7/1e8) and 3 timing reps")
-		only  = flag.String("only", "", "comma-separated workload names to restrict to")
-		reps  = flag.Int("reps", 0, "timing repetitions (0 = default)")
+		scale   = flag.Float64("scale", 0, "workload problem-size multiplier (0 = default)")
+		paper   = flag.Bool("paper", false, "use the paper's signature sizes (1e6/1e7/1e8) and 3 timing reps")
+		only    = flag.String("only", "", "comma-separated workload names to restrict to")
+		reps    = flag.Int("reps", 0, "timing repetitions (0 = default)")
+		metrics = flag.String("metrics", "", "HTTP address serving live /metrics while experiments run (e.g. :7078)")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		// Attach the same pipeline counters ddprofd exports to every profiler
+		// the experiments build, and serve them for the run's duration.
+		exp.Telemetry = telemetry.Default().Pipeline("pipeline")
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", telemetry.Default().Handler())
+			log.Printf("ddexp: metrics on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("ddexp: metrics server: %v", err)
+			}
+		}()
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ddexp [flags] table1|table2|fig5|fig6|fig7|fig8|fig9|eq2|merge|stores|balance|sweep|all")
 		os.Exit(2)

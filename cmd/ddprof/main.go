@@ -7,19 +7,30 @@
 //	ddprof -file prog.ml                         # profile a minilang source file
 //	ddprof -workload kmeans -mode parallel -workers 16
 //	ddprof -workload kmeans -mode mt -threads 4  # profile the pthread variant
+//	ddprof -workload kmeans -remote :7077        # profile on a ddprofd daemon
+//	ddprof -workload kmeans -cpuprofile cpu.out  # profile the profiler
 //	ddprof -list                                 # show available workloads
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ddprof"
+	"ddprof/internal/dep"
+	"ddprof/internal/server"
 	"ddprof/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		name    = flag.String("workload", "quick", "workload name (see -list), or 'quick' for a demo loop")
 		file    = flag.String("file", "", "profile a minilang source file instead of a bundled workload")
@@ -33,6 +44,9 @@ func main() {
 		summary = flag.Bool("summary", false, "print only the summary, not the dependence dump")
 		out     = flag.String("o", "", "write the dependence dump to a file instead of stdout")
 		format  = flag.String("format", "text", "dump format: text (Figure 1/3) | binary")
+		remote  = flag.String("remote", "", "profile on a ddprofd daemon: host:port or unix:/path.sock")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the profiler to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -46,7 +60,35 @@ func main() {
 			fmt.Printf("  %-14s %s%s\n", w.Name, w.Suite, par)
 		}
 		fmt.Println("  water-spatial  splash (pthread only)")
-		return
+		return 0
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddprof:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ddprof:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ddprof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ddprof:", err)
+			}
+		}()
 	}
 
 	var prog *ddprof.Program
@@ -56,7 +98,7 @@ func main() {
 		src, rerr := os.ReadFile(*file)
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "ddprof:", rerr)
-			os.Exit(1)
+			return 1
 		}
 		prog, err = ddprof.ParseTarget(*file, string(src))
 	} else {
@@ -64,7 +106,22 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddprof:", err)
-		os.Exit(1)
+		return 1
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddprof:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *remote != "" {
+		return runRemote(prog, isMT || *mode == "mt", w, *remote, *workers, *exact, *summary, *format)
 	}
 
 	cfg := ddprof.Config{Workers: *workers, Slots: *slots, Exact: *exact}
@@ -79,7 +136,7 @@ func main() {
 		cfg.Mode = ddprof.ModeMT
 	default:
 		fmt.Fprintf(os.Stderr, "ddprof: unknown mode %q\n", *mode)
-		os.Exit(2)
+		return 2
 	}
 	if isMT && cfg.Mode != ddprof.ModeMT {
 		fmt.Fprintln(os.Stderr, "ddprof: note: profiling a multi-threaded target; forcing -mode mt")
@@ -89,19 +146,9 @@ func main() {
 	res, err := ddprof.Profile(prog, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddprof:", err)
-		os.Exit(1)
+		return 1
 	}
 	if !*summary {
-		w := os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ddprof:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			w = f
-		}
 		switch *format {
 		case "text":
 			err = res.WriteDeps(w)
@@ -112,7 +159,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ddprof:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	fmt.Printf("\n# %s: %d accesses, %d dependences (%d dynamic instances merged)\n",
@@ -125,6 +172,45 @@ func main() {
 		fmt.Printf("# load balancing: %d migrations in %d redistribution rounds\n",
 			res.Stats.Migrations, res.Stats.Redistributions)
 	}
+	return 0
+}
+
+// runRemote executes the target locally while streaming its trace to a
+// ddprofd daemon, then renders the dependence set the daemon returned.
+func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers int, exact, summary bool, format string) int {
+	conn, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddprof:", err)
+		return 1
+	}
+	defer conn.Close()
+	rr, err := server.ProfileRemote(conn, prog, server.ClientOptions{
+		Workers: workers,
+		Exact:   exact,
+		MT:      mt,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddprof:", err)
+		return 1
+	}
+	if !summary {
+		switch format {
+		case "text":
+			err = dep.Write(w, rr.Deps, prog.Tab, rr.LoopRecords,
+				dep.WriterOptions{Threads: mt, MarkRaces: mt})
+		case "binary":
+			err = dep.Encode(w, rr.Deps, prog.Tab, rr.LoopRecords)
+		default:
+			err = fmt.Errorf("unknown format %q", format)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddprof:", err)
+			return 1
+		}
+	}
+	fmt.Printf("\n# %s: %d accesses streamed to %s, %d dependences (%d dynamic instances merged)\n",
+		prog.Name, rr.Events, addr, rr.Deps.Unique(), rr.Deps.Instances())
+	return 0
 }
 
 // buildTarget resolves a workload name to a program.

@@ -1,0 +1,119 @@
+// Command ddprofd is the data-dependence profiling daemon: a long-lived
+// service that accepts recorded trace streams from many concurrent clients
+// (ddprof -remote) over TCP and Unix sockets, profiles each session on its
+// own parallel pipeline, and returns the dependence set in the binary
+// profile format.
+//
+// Usage:
+//
+//	ddprofd                                  # TCP on :7077, metrics on :7078
+//	ddprofd -listen :9000 -unix /tmp/dd.sock # both transports
+//	ddprofd -budget 32 -session-workers 8    # bigger worker pool
+//	curl localhost:7078/metrics              # live pipeline counters
+//	curl localhost:7078/sessions             # live session table
+//
+// SIGINT/SIGTERM drain gracefully: listeners close, in-flight sessions
+// finish (up to -drain), then the daemon exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ddprof/internal/server"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7077", "TCP listen address (empty to disable)")
+		unixSock = flag.String("unix", "", "Unix socket path (empty to disable)")
+		httpAddr = flag.String("http", ":7078", "HTTP address for /metrics and /sessions (empty to disable)")
+		budget   = flag.Int("budget", 16, "global pipeline worker budget shared by all sessions")
+		perSess  = flag.Int("session-workers", 4, "pipeline workers per session (cap; shrinks when the budget runs low)")
+		maxSess  = flag.Int("max-sessions", 64, "maximum concurrent sessions")
+		slots    = flag.Int("slots", 1<<20, "signature slots per session")
+		idle     = flag.Duration("idle", 30*time.Second, "slow-client deadline: sessions silent this long are evicted")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful drain window on SIGTERM")
+		quiet    = flag.Bool("q", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+
+	if *listen == "" && *unixSock == "" {
+		fmt.Fprintln(os.Stderr, "ddprofd: nothing to listen on (-listen and -unix both empty)")
+		os.Exit(2)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		WorkerBudget:      *budget,
+		WorkersPerSession: *perSess,
+		MaxSessions:       *maxSess,
+		SessionSlots:      *slots,
+		IdleTimeout:       *idle,
+		Logf:              logf,
+	})
+
+	errc := make(chan error, 3)
+	serve := func(network, addr string) {
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			errc <- fmt.Errorf("listen %s %s: %w", network, addr, err)
+			return
+		}
+		log.Printf("ddprofd: listening on %s %s", network, ln.Addr())
+		errc <- srv.Serve(ln)
+	}
+	if *listen != "" {
+		go serve("tcp", *listen)
+	}
+	if *unixSock != "" {
+		os.Remove(*unixSock) // stale socket from a previous run
+		go serve("unix", *unixSock)
+	}
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
+		go func() {
+			log.Printf("ddprofd: metrics on http://%s/metrics", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("ddprofd: %s: draining (up to %s)", sig, *drain)
+	case err := <-errc:
+		if err != nil {
+			log.Printf("ddprofd: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("ddprofd: drain incomplete: %v", err)
+	}
+	if httpSrv != nil {
+		httpSrv.Shutdown(context.Background())
+	}
+	if *unixSock != "" {
+		os.Remove(*unixSock)
+	}
+	log.Printf("ddprofd: bye")
+}

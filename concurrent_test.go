@@ -1,0 +1,90 @@
+package ddprof_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ddprof"
+	"ddprof/internal/dep"
+)
+
+// buildVariant returns a program whose dependence set differs per variant, so
+// cross-talk between concurrent Profile calls would be visible.
+func buildVariant(v int) *ddprof.Program {
+	p := ddprof.NewProgram(fmt.Sprintf("variant%d", v))
+	p.MainFunc(func(b *ddprof.Block) {
+		n := 100 + 30*v
+		b.Decl("n", ddprof.Ci(n))
+		b.DeclArr("a", ddprof.V("n"))
+		b.Decl("sum", ddprof.Ci(0))
+		b.For("i", ddprof.Ci(0), ddprof.V("n"), ddprof.Ci(1),
+			ddprof.LoopOpt{Name: "fill"}, func(l *ddprof.Block) {
+				l.Set("a", ddprof.V("i"), ddprof.Mul(ddprof.V("i"), ddprof.Ci(v+2)))
+			})
+		b.For("i", ddprof.Ci(v+1), ddprof.V("n"), ddprof.Ci(1),
+			ddprof.LoopOpt{Name: "scan"}, func(l *ddprof.Block) {
+				l.Set("a", ddprof.V("i"),
+					ddprof.Add(ddprof.Idx("a", ddprof.Sub(ddprof.V("i"), ddprof.Ci(v+1))),
+						ddprof.Idx("a", ddprof.V("i"))))
+				l.Reduce("sum", ddprof.OpAdd, ddprof.Idx("a", ddprof.V("i")))
+			})
+		b.Free("a")
+	})
+	return p
+}
+
+// TestConcurrentProfileIsolation runs several Profile calls on different
+// programs from concurrent goroutines (run under -race): each result must be
+// exactly what a lone run of the same program produces — no shared state, no
+// cross-session contamination.
+func TestConcurrentProfileIsolation(t *testing.T) {
+	const variants = 4
+	cfg := func(mode ddprof.Mode) ddprof.Config {
+		return ddprof.Config{Mode: mode, Workers: 2, Exact: true}
+	}
+
+	// Reference results, profiled one at a time.
+	refs := make([]*ddprof.Result, variants)
+	for v := 0; v < variants; v++ {
+		res, err := ddprof.Profile(buildVariant(v), cfg(ddprof.ModeSerial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[v] = res
+	}
+
+	for _, mode := range []ddprof.Mode{ddprof.ModeSerial, ddprof.ModeParallel} {
+		var wg sync.WaitGroup
+		results := make([]*ddprof.Result, variants)
+		errs := make([]error, variants)
+		for v := 0; v < variants; v++ {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				results[v], errs[v] = ddprof.Profile(buildVariant(v), cfg(mode))
+			}(v)
+		}
+		wg.Wait()
+		for v := 0; v < variants; v++ {
+			if errs[v] != nil {
+				t.Fatalf("mode %d variant %d: %v", mode, v, errs[v])
+			}
+			got, want := results[v], refs[v]
+			if got.Accesses != want.Accesses {
+				t.Errorf("mode %d variant %d: %d accesses, want %d", mode, v, got.Accesses, want.Accesses)
+			}
+			if got.Deps.Unique() != want.Deps.Unique() {
+				t.Errorf("mode %d variant %d: %d unique deps, want %d", mode, v, got.Deps.Unique(), want.Deps.Unique())
+			}
+			want.Deps.Range(func(k dep.Key, st dep.Stats) bool {
+				gst, ok := got.Deps.Lookup(k)
+				if !ok || gst.Count != st.Count {
+					t.Errorf("mode %d variant %d: dependence %+v diverged: %+v vs %+v", mode, v, k, gst, st)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}

@@ -289,19 +289,21 @@ func ProfileUnion(builds []func() *Program, cfg Config) (*Result, error) {
 
 // RecordTrace executes the program once, writing its full access stream to
 // w in the compact trace format. The trace can be profiled offline many
-// times with ProfileTrace — run once, analyze often.
+// times with ProfileTrace — run once, analyze often. The recording hook is
+// wrapped in a trace.SyncWriter, so multi-threaded targets record safely.
 func RecordTrace(p *Program, w io.Writer) (events uint64, err error) {
 	tw, err := trace.NewWriter(w)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := interp.Run(p, tw, interp.Options{}); err != nil {
+	sw := trace.NewSyncWriter(tw)
+	if _, err := interp.Run(p, sw, interp.Options{}); err != nil {
 		return 0, err
 	}
-	if err := tw.Close(); err != nil {
+	if err := sw.Close(); err != nil {
 		return 0, err
 	}
-	return tw.Count(), nil
+	return sw.Count(), nil
 }
 
 // ProfileTrace replays a recorded trace through a serial profiler with the

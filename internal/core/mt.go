@@ -9,6 +9,7 @@ import (
 	"ddprof/internal/event"
 	"ddprof/internal/prog"
 	"ddprof/internal/queue"
+	"ddprof/internal/telemetry"
 )
 
 // MT is the profiler of §V for multi-threaded target programs.
@@ -29,6 +30,7 @@ type MT struct {
 	w        int
 	workers  []*mtworker
 	accesses atomic.Uint64
+	m        *telemetry.Pipeline
 	wg       sync.WaitGroup
 	flushed  bool
 }
@@ -49,7 +51,7 @@ func NewMT(cfg Config) *MT {
 	if qcap <= 0 {
 		qcap = 1 << 16
 	}
-	m := &MT{w: cfg.Workers}
+	m := &MT{w: cfg.Workers, m: cfg.Metrics}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &mtworker{
 			in:  queue.NewMPSC[event.Access](qcap),
@@ -69,6 +71,9 @@ func NewMT(cfg Config) *MT {
 func (m *MT) Access(a event.Access) {
 	if a.Kind == event.Read || a.Kind == event.Write {
 		m.accesses.Add(1)
+		if m.m != nil {
+			m.m.Events.Inc()
+		}
 	}
 	m.workers[(a.Addr>>3)%uint64(m.w)].in.Push(a)
 }

@@ -10,6 +10,7 @@ import (
 	"ddprof/internal/prog"
 	"ddprof/internal/queue"
 	"ddprof/internal/sig"
+	"ddprof/internal/telemetry"
 )
 
 // chunkQueue is the queue surface the pipeline needs; satisfied by both the
@@ -52,6 +53,7 @@ type Parallel struct {
 	chunksSinceCheck int
 	allocatedChunks  uint64
 	stats            RunStats
+	m                *telemetry.Pipeline
 	wg               sync.WaitGroup
 	flushed          bool
 }
@@ -84,6 +86,7 @@ func NewParallel(cfg Config) *Parallel {
 		open:     make([]*event.Chunk, cfg.Workers),
 		redirect: make(map[uint64]int),
 		heavy:    newHeavySketch(64),
+		m:        cfg.Metrics,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		var in chunkQueue
@@ -149,9 +152,15 @@ func (p *Parallel) Access(a event.Access) {
 // newChunk takes a recycled chunk if available, else allocates.
 func (p *Parallel) newChunk(w *pworker) *event.Chunk {
 	if c, ok := w.recycle.TryPop(); ok {
+		if p.m != nil {
+			p.m.ChunksRecycled.Inc()
+		}
 		return c
 	}
 	p.allocatedChunks++
+	if p.m != nil {
+		p.m.ChunksAllocated.Inc()
+	}
 	return event.NewChunk()
 }
 
@@ -161,8 +170,22 @@ func (p *Parallel) pushOpen(w int) {
 	if c.Len() == 0 {
 		return
 	}
+	n := c.Len()
 	p.workers[w].in.Push(c)
 	p.stats.Chunks++
+	if p.m != nil {
+		p.m.Events.Add(uint64(n))
+		p.m.Chunks.Inc()
+		// Depth right after the push; the pushed chunk may already have been
+		// consumed, so count it in to keep the gauge a lower bound of the
+		// burst the worker saw.
+		d := int64(p.workers[w].in.Len())
+		if d == 0 {
+			d = 1
+		}
+		p.m.QueueDepth[w%telemetry.MaxWorkerSlots].Set(d)
+		p.m.QueueDepthMax.SetMax(d)
+	}
 	p.open[w] = p.newChunk(p.workers[w])
 }
 
@@ -199,6 +222,9 @@ func (p *Parallel) rebalance() {
 	}
 	if moved {
 		p.stats.Redistributions++
+		if p.m != nil {
+			p.m.Redistributions.Inc()
+		}
 	}
 }
 
@@ -245,6 +271,9 @@ func (p *Parallel) migrate(addr uint64, from, to int) {
 
 	p.redirect[addr] = to
 	p.stats.Migrations++
+	if p.m != nil {
+		p.m.Migrations.Inc()
+	}
 }
 
 // Flush implements Profiler.
@@ -278,6 +307,13 @@ func (p *Parallel) Flush() *Result {
 	}
 	const chunkBytes = event.ChunkSize*48 + 64
 	res.Stats.QueueBytes = p.allocatedChunks * chunkBytes
+	if p.m != nil {
+		stores := make([]sig.Store, len(p.workers))
+		for i, w := range p.workers {
+			stores[i] = w.eng.Store()
+		}
+		publishOccupancy(p.m, stores...)
+	}
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"ddprof/internal/dep"
 	"ddprof/internal/prog"
 	"ddprof/internal/sig"
+	"ddprof/internal/telemetry"
 
 	"ddprof/internal/event"
 )
@@ -76,6 +77,11 @@ type Config struct {
 	// RedistributeEvery triggers a load-balance check every N chunks
 	// (paper: 50,000). 0 disables redistribution.
 	RedistributeEvery int
+	// Metrics, when non-nil, receives live pipeline telemetry (events in,
+	// queue depths, chunk recycling, redistributions, signature occupancy).
+	// Counters are bumped at chunk granularity so the hot path stays cheap;
+	// nil costs nothing.
+	Metrics *telemetry.Pipeline
 }
 
 // store builds one worker store.
@@ -93,8 +99,10 @@ func (c *Config) store() sig.Store {
 // Serial is the single-threaded profiler of §III: the target program and
 // Algorithm 1 run on the same thread, one global signature pair.
 type Serial struct {
-	eng   *Engine
-	stats RunStats
+	eng       *Engine
+	stats     RunStats
+	m         *telemetry.Pipeline
+	published uint64
 }
 
 // NewSerial returns a serial profiler. In serial mode the whole signature
@@ -105,13 +113,22 @@ func NewSerial(cfg Config) *Serial {
 		total := cfg.SlotsPerWorker * cfg.Workers
 		cfg.NewStore = func() sig.Store { return sig.NewSignature(total) }
 	}
-	return &Serial{eng: NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck)}
+	return &Serial{
+		eng: NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck),
+		m:   cfg.Metrics,
+	}
 }
 
 // Access implements Profiler.
 func (s *Serial) Access(a event.Access) {
 	if a.Kind == event.Read || a.Kind == event.Write {
 		s.stats.Accesses++
+		// Publish to telemetry in batches so the per-access cost stays one
+		// local increment.
+		if s.m != nil && s.stats.Accesses-s.published >= 1024 {
+			s.m.Events.Add(s.stats.Accesses - s.published)
+			s.published = s.stats.Accesses
+		}
 	}
 	s.eng.Process(a)
 }
@@ -120,9 +137,29 @@ func (s *Serial) Access(a event.Access) {
 func (s *Serial) Flush() *Result {
 	s.stats.StoreBytes = s.eng.Store().Bytes()
 	s.stats.StoreModeledBytes = s.eng.Store().ModeledBytes()
+	if s.m != nil {
+		s.m.Events.Add(s.stats.Accesses - s.published)
+		s.published = s.stats.Accesses
+		publishOccupancy(s.m, s.eng.Store())
+	}
 	return &Result{
 		Deps:  s.eng.Deps(),
 		Loops: s.eng.LoopDeps(),
 		Stats: s.stats,
+	}
+}
+
+// publishOccupancy records the mean write-slot occupancy of stores that can
+// report one (sig.Signature does) as a permille gauge.
+func publishOccupancy(m *telemetry.Pipeline, stores ...sig.Store) {
+	sum, n := 0.0, 0
+	for _, st := range stores {
+		if o, ok := st.(interface{ Occupancy() float64 }); ok {
+			sum += o.Occupancy()
+			n++
+		}
+	}
+	if n > 0 {
+		m.SigOccupancyPermille.Set(int64(sum / float64(n) * 1000))
 	}
 }

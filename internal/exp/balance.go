@@ -52,6 +52,7 @@ func Balance(opt Options) (*report.Table, []BalanceRow, error) {
 				Workers:           workers,
 				NewStore:          func() sig.Store { return sig.NewPerfectSignature() },
 				RedistributeEvery: redistribute,
+				Metrics:           Telemetry,
 			})
 			if _, err := interp.Run(p, prof, interp.Options{}); err != nil {
 				return nil, err

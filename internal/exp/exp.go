@@ -14,8 +14,14 @@ import (
 	"ddprof/internal/interp"
 	"ddprof/internal/minilang"
 	"ddprof/internal/sig"
+	"ddprof/internal/telemetry"
 	"ddprof/internal/workloads"
 )
+
+// Telemetry, when non-nil (cmd/ddexp sets it under -metrics), is attached to
+// every profiler the experiments construct, so a local experiment run exposes
+// the same live pipeline counters as the ddprofd service.
+var Telemetry *telemetry.Pipeline
 
 // Options scale and configure the experiments.
 type Options struct {
@@ -160,6 +166,7 @@ func perfectSerial(p *minilang.Program) *core.Serial {
 	return core.NewSerial(core.Config{
 		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
 		Meta:     p.Meta,
+		Metrics:  Telemetry,
 	})
 }
 
@@ -168,6 +175,7 @@ func sigSerial(p *minilang.Program, slots int) *core.Serial {
 	return core.NewSerial(core.Config{
 		NewStore: func() sig.Store { return sig.NewSignature(slots) },
 		Meta:     p.Meta,
+		Metrics:  Telemetry,
 	})
 }
 

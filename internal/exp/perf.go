@@ -59,22 +59,22 @@ func Fig5(opt Options) (*report.Table, []Fig5Row, error) {
 		}
 
 		if row.Serial, err = run(func(p *minilang.Program) core.Profiler {
-			return core.NewSerial(core.Config{Workers: 16, SlotsPerWorker: opt.SlotsPerWorker, Meta: p.Meta})
+			return core.NewSerial(core.Config{Workers: 16, SlotsPerWorker: opt.SlotsPerWorker, Meta: p.Meta, Metrics: Telemetry})
 		}); err != nil {
 			return nil, nil, fmt.Errorf("%s serial: %w", w.Name, err)
 		}
 		if row.LockBased8T, err = run(func(p *minilang.Program) core.Profiler {
-			return core.NewParallel(core.Config{Workers: 8, SlotsPerWorker: 2 * opt.SlotsPerWorker, LockBased: true, Meta: p.Meta})
+			return core.NewParallel(core.Config{Workers: 8, SlotsPerWorker: 2 * opt.SlotsPerWorker, LockBased: true, Meta: p.Meta, Metrics: Telemetry})
 		}); err != nil {
 			return nil, nil, fmt.Errorf("%s lock-based: %w", w.Name, err)
 		}
 		if row.LockFree8T, err = run(func(p *minilang.Program) core.Profiler {
-			return core.NewParallel(core.Config{Workers: 8, SlotsPerWorker: 2 * opt.SlotsPerWorker, Meta: p.Meta})
+			return core.NewParallel(core.Config{Workers: 8, SlotsPerWorker: 2 * opt.SlotsPerWorker, Meta: p.Meta, Metrics: Telemetry})
 		}); err != nil {
 			return nil, nil, fmt.Errorf("%s lock-free 8T: %w", w.Name, err)
 		}
 		if row.LockFree16T, err = run(func(p *minilang.Program) core.Profiler {
-			return core.NewParallel(core.Config{Workers: 16, SlotsPerWorker: opt.SlotsPerWorker, Meta: p.Meta})
+			return core.NewParallel(core.Config{Workers: 16, SlotsPerWorker: opt.SlotsPerWorker, Meta: p.Meta, Metrics: Telemetry})
 		}); err != nil {
 			return nil, nil, fmt.Errorf("%s lock-free 16T: %w", w.Name, err)
 		}
@@ -145,7 +145,7 @@ func Fig6(opt Options) (*report.Table, []Fig6Row, error) {
 		for _, workers := range []int{8, 16} {
 			d, err := timeRun(opt.Reps, func() error {
 				p := w.BuildParallel(opt.wcfg())
-				prof := core.NewMT(core.Config{Workers: workers, SlotsPerWorker: opt.SlotsPerWorker, Meta: p.Meta})
+				prof := core.NewMT(core.Config{Workers: workers, SlotsPerWorker: opt.SlotsPerWorker, Meta: p.Meta, Metrics: Telemetry})
 				if _, err := interp.Run(p, prof, interp.Options{Timestamps: true}); err != nil {
 					return err
 				}
@@ -211,7 +211,7 @@ func Fig7(opt Options) (*report.Table, []Fig7Row, error) {
 			// Keep the total slot budget constant across worker counts,
 			// like the paper (6.25e6 x 16 = 1e8 total).
 			perWorker := opt.SlotsPerWorker * 16 / workers
-			prof := core.NewParallel(core.Config{Workers: workers, SlotsPerWorker: perWorker, Meta: p.Meta})
+			prof := core.NewParallel(core.Config{Workers: workers, SlotsPerWorker: perWorker, Meta: p.Meta, Metrics: Telemetry})
 			if _, err := interp.Run(p, prof, interp.Options{}); err != nil {
 				return nil, nil, fmt.Errorf("%s %dT: %w", w.Name, workers, err)
 			}
@@ -253,7 +253,7 @@ func Fig8(opt Options) (*report.Table, []Fig7Row, error) {
 		for _, workers := range []int{8, 16} {
 			p := w.BuildParallel(opt.wcfg())
 			perWorker := opt.SlotsPerWorker * 16 / workers
-			prof := core.NewMT(core.Config{Workers: workers, SlotsPerWorker: perWorker, Meta: p.Meta})
+			prof := core.NewMT(core.Config{Workers: workers, SlotsPerWorker: perWorker, Meta: p.Meta, Metrics: Telemetry})
 			if _, err := interp.Run(p, prof, interp.Options{Timestamps: true}); err != nil {
 				return nil, nil, fmt.Errorf("%s %dT: %w", w.Name, workers, err)
 			}

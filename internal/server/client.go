@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"ddprof/internal/dep"
+	"ddprof/internal/interp"
+	"ddprof/internal/loc"
+	"ddprof/internal/minilang"
+	"ddprof/internal/trace"
+)
+
+// ClientOptions configure one remote profiling session.
+type ClientOptions struct {
+	// Workers is the per-session pipeline worker hint; 0 asks for the
+	// server's default.
+	Workers int
+	// Exact requests an exact per-address store instead of signatures.
+	Exact bool
+	// MT records timestamps and requests race checking — set when the
+	// target program is multi-threaded.
+	MT bool
+	// SchedulerFuzz is passed to the interpreter (ModeMT visibility fuzz).
+	SchedulerFuzz int
+	// Timeout bounds every socket read and write. Default 60s.
+	Timeout time.Duration
+}
+
+// RemoteResult is the outcome of a remote profiling session.
+type RemoteResult struct {
+	// Deps is the dependence set profiled by the daemon.
+	Deps *dep.Set
+	// Tab maps the variable IDs in Deps back to names (decoded from the
+	// daemon's response; identical to the target program's own table).
+	Tab *loc.Table
+	// LoopRecords are the executed-loop records from the local recording
+	// run, for Figure-1-style output (the daemon sees only the trace).
+	LoopRecords []dep.LoopRecord
+	// Events is the number of accesses recorded and streamed.
+	Events uint64
+}
+
+// Dial connects to a ddprofd daemon. addr is either "unix:/path/to.sock" or
+// a TCP host:port.
+func Dial(addr string) (net.Conn, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Dial("unix", path)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// deadlineConn applies a rolling deadline to every read and write.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineConn) Read(p []byte) (int, error) {
+	if err := d.Conn.SetReadDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	return d.Conn.Read(p)
+}
+
+func (d *deadlineConn) Write(p []byte) (int, error) {
+	if err := d.Conn.SetWriteDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	return d.Conn.Write(p)
+}
+
+// ProfileRemote executes p locally while streaming its access trace to a
+// ddprofd daemon over conn, then returns the dependence set the daemon
+// profiled. The recording hook is a trace.SyncWriter, so multi-threaded
+// targets stream safely. The connection is not closed.
+//
+// The daemon receives the target's variable table and loop metadata in the
+// handshake, so the returned dependence set — carried flags, distances,
+// counts — is byte-for-byte what an in-process run with the same store
+// configuration produces.
+func ProfileRemote(conn net.Conn, p *minilang.Program, opt ClientOptions) (*RemoteResult, error) {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 60 * time.Second
+	}
+	dc := &deadlineConn{Conn: conn, timeout: opt.Timeout}
+	bw := bufio.NewWriterSize(dc, 1<<16)
+
+	if err := writeHandshake(bw, clientHandshake(p, opt)); err != nil {
+		return nil, fmt.Errorf("server: sending handshake: %w", err)
+	}
+	records, events, err := streamTrace(bw, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("server: finishing stream: %w", err)
+	}
+
+	status, payload, err := readResponse(bufio.NewReader(dc))
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("server: remote error: %s", payload)
+	}
+	set, _, tab, err := dep.Decode(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("server: decoding profile: %w", err)
+	}
+	return &RemoteResult{
+		Deps:        set,
+		Tab:         tab,
+		LoopRecords: records,
+		Events:      events,
+	}, nil
+}
+
+// clientHandshake builds the session preamble for p.
+func clientHandshake(p *minilang.Program, opt ClientOptions) *handshake {
+	var flags byte
+	if opt.MT {
+		flags |= flagRaceCheck
+	}
+	if opt.Exact {
+		flags |= flagExact
+	}
+	names := make([]string, p.Tab.NumVars())
+	for i := range names {
+		names[i] = p.Tab.VarName(loc.VarID(i))
+	}
+	return &handshake{Flags: flags, Workers: opt.Workers, VarNames: names, Meta: p.Meta}
+}
+
+// streamTrace executes p, streaming its framed DDT1 trace to w, and
+// terminates the stream. The recording hook is a trace.SyncWriter, so
+// multi-threaded targets stream safely.
+func streamTrace(w io.Writer, p *minilang.Program, opt ClientOptions) ([]dep.LoopRecord, uint64, error) {
+	fw := trace.NewFrameWriter(w)
+	tw, err := trace.NewWriter(fw)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: opening trace stream: %w", err)
+	}
+	sw := trace.NewSyncWriter(tw)
+	info, err := interp.Run(p, sw, interp.Options{Timestamps: opt.MT, YieldEvery: opt.SchedulerFuzz})
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: target run: %w", err)
+	}
+	if err := sw.Close(); err != nil {
+		return nil, 0, fmt.Errorf("server: streaming trace: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, 0, fmt.Errorf("server: finishing stream: %w", err)
+	}
+	return info.LoopRecords, sw.Count(), nil
+}

@@ -1,0 +1,500 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddprof/internal/core"
+	"ddprof/internal/dep"
+	"ddprof/internal/event"
+	"ddprof/internal/loc"
+	"ddprof/internal/sig"
+	"ddprof/internal/telemetry"
+	"ddprof/internal/trace"
+)
+
+// Config tunes the daemon. The zero value selects sensible defaults.
+type Config struct {
+	// MaxSessions caps concurrent client sessions; further connects are
+	// refused with an error response. Default 64.
+	MaxSessions int
+	// WorkerBudget is the global pool of pipeline worker goroutines shared
+	// by all sessions. Each session borrows up to WorkersPerSession from it;
+	// when fewer than two are available a session falls back to an in-line
+	// serial pipeline, which borrows none. Default 16.
+	WorkerBudget int
+	// WorkersPerSession is how many workers one session asks for when the
+	// client gives no hint. Default 4.
+	WorkersPerSession int
+	// SessionSlots is the total signature slot budget per session, split
+	// over that session's workers. Default 2^20.
+	SessionSlots int
+	// QueueCap is the per-worker queue capacity in chunks; small values make
+	// pipeline backpressure reach the socket sooner. Default 32.
+	QueueCap int
+	// IdleTimeout is the slow-client deadline: a session that neither
+	// delivers nor accepts a byte for this long is evicted. Default 30s.
+	IdleTimeout time.Duration
+	// MaxFrame caps one ingest frame; larger frames mark the session
+	// corrupt. Default trace.DefaultMaxFrame.
+	MaxFrame int
+	// Registry receives daemon and pipeline telemetry. Default
+	// telemetry.Default().
+	Registry *telemetry.Registry
+	// Logf, when set, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = 16
+	}
+	if c.WorkersPerSession <= 0 {
+		c.WorkersPerSession = 4
+	}
+	if c.SessionSlots <= 0 {
+		c.SessionSlots = 1 << 20
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 32
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = trace.DefaultMaxFrame
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Session states, exposed through /sessions.
+const (
+	stateHandshake = iota
+	stateReceiving
+	stateProfiling
+	stateResponding
+	stateDone
+	stateEvicted
+)
+
+var stateNames = [...]string{"handshake", "receiving", "profiling", "responding", "done", "evicted"}
+
+// session is one live client connection.
+type session struct {
+	id       uint64
+	remote   string
+	proto    string
+	conn     net.Conn
+	started  time.Time
+	workers  atomic.Int32
+	state    atomic.Int32
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+	events   atomic.Uint64
+}
+
+// SessionInfo is the /sessions JSON row for one live session.
+type SessionInfo struct {
+	ID         uint64  `json:"id"`
+	Remote     string  `json:"remote"`
+	Proto      string  `json:"proto"`
+	State      string  `json:"state"`
+	Workers    int     `json:"workers"`
+	BytesIn    uint64  `json:"bytes_in"`
+	BytesOut   uint64  `json:"bytes_out"`
+	Events     uint64  `json:"events"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// Server is the ddprofd daemon: it owns the session table, the global
+// worker budget, and the telemetry registry.
+type Server struct {
+	cfg  Config
+	pipe *telemetry.Pipeline
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	listeners map[net.Listener]struct{}
+	nextID    uint64
+	budget    int
+	draining  bool
+	sessWG    sync.WaitGroup
+
+	cAccepted  *telemetry.Counter
+	cRefused   *telemetry.Counter
+	cEvicted   *telemetry.Counter
+	cCompleted *telemetry.Counter
+	cBytesIn   *telemetry.Counter
+	cBytesOut  *telemetry.Counter
+	gActive    *telemetry.Gauge
+	gBudget    *telemetry.Gauge
+}
+
+// New returns a daemon ready to Serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:        cfg,
+		pipe:       reg.Pipeline("pipeline"),
+		sessions:   make(map[uint64]*session),
+		listeners:  make(map[net.Listener]struct{}),
+		budget:     cfg.WorkerBudget,
+		cAccepted:  reg.Counter("server_sessions_accepted_total"),
+		cRefused:   reg.Counter("server_sessions_refused_total"),
+		cEvicted:   reg.Counter("server_sessions_evicted_total"),
+		cCompleted: reg.Counter("server_sessions_completed_total"),
+		cBytesIn:   reg.Counter("server_bytes_in_total"),
+		cBytesOut:  reg.Counter("server_bytes_out_total"),
+		gActive:    reg.Gauge("server_sessions_active"),
+		gBudget:    reg.Gauge("server_worker_budget_available"),
+	}
+	s.gBudget.Set(int64(s.budget))
+	return s
+}
+
+// Serve accepts sessions on ln until the listener fails or the server
+// drains. It blocks; run one goroutine per listener.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: draining")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// errRefused marks connects rejected before a session started.
+var errRefused = errors.New("refused")
+
+// handleConn runs one connection to completion.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	sess, err := s.register(conn)
+	if err != nil {
+		s.cRefused.Inc()
+		// Best-effort error response so the client sees why.
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		writeResponse(conn, statusErr, []byte(err.Error()))
+		return
+	}
+	defer s.unregister(sess)
+	defer s.sessWG.Done()
+
+	if err := s.runSession(sess); err != nil {
+		sess.state.Store(stateEvicted)
+		s.cEvicted.Inc()
+		s.cfg.Logf("ddprofd: session %d (%s): evicted: %v", sess.id, sess.remote, err)
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		writeResponse(conn, statusErr, []byte(err.Error()))
+		return
+	}
+	sess.state.Store(stateDone)
+	s.cCompleted.Inc()
+	s.cfg.Logf("ddprofd: session %d (%s): completed, %d events, %d bytes in, %d bytes out",
+		sess.id, sess.remote, sess.events.Load(), sess.bytesIn.Load(), sess.bytesOut.Load())
+}
+
+// register admits a connection as a session, or explains why not.
+func (s *Server) register(conn net.Conn) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errors.New("ddprofd: draining, not accepting sessions")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, fmt.Errorf("ddprofd: session limit (%d) reached", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	sess := &session{
+		id:      s.nextID,
+		remote:  conn.RemoteAddr().String(),
+		proto:   conn.RemoteAddr().Network(),
+		conn:    conn,
+		started: time.Now(),
+	}
+	s.sessions[sess.id] = sess
+	s.gActive.Set(int64(len(s.sessions)))
+	s.cAccepted.Inc()
+	s.sessWG.Add(1)
+	return sess, nil
+}
+
+func (s *Server) unregister(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.gActive.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+}
+
+// acquireWorkers borrows up to want workers from the global budget; a return
+// of 0 means "run serial, borrow nothing".
+func (s *Server) acquireWorkers(hint int) int {
+	want := hint
+	if want <= 0 {
+		want = s.cfg.WorkersPerSession
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if want > s.budget {
+		want = s.budget
+	}
+	if want < 2 {
+		return 0
+	}
+	s.budget -= want
+	s.gBudget.Set(int64(s.budget))
+	return want
+}
+
+func (s *Server) releaseWorkers(n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.budget += n
+	s.gBudget.Set(int64(s.budget))
+	s.mu.Unlock()
+}
+
+// timedConn enforces the slow-client deadline on every read and write and
+// feeds the per-session and daemon byte counters.
+type timedConn struct {
+	net.Conn
+	idle time.Duration
+	sess *session
+	srv  *Server
+}
+
+func (t *timedConn) Read(p []byte) (int, error) {
+	if err := t.Conn.SetReadDeadline(time.Now().Add(t.idle)); err != nil {
+		return 0, err
+	}
+	n, err := t.Conn.Read(p)
+	if n > 0 {
+		t.sess.bytesIn.Add(uint64(n))
+		t.srv.cBytesIn.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (t *timedConn) Write(p []byte) (int, error) {
+	if err := t.Conn.SetWriteDeadline(time.Now().Add(t.idle)); err != nil {
+		return 0, err
+	}
+	n, err := t.Conn.Write(p)
+	if n > 0 {
+		t.sess.bytesOut.Add(uint64(n))
+		t.srv.cBytesOut.Add(uint64(n))
+	}
+	return n, err
+}
+
+// runSession executes the protocol over one admitted connection. Any error
+// evicts the session; the pipeline is always flushed so no worker goroutine
+// outlives its session.
+func (s *Server) runSession(sess *session) error {
+	tc := &timedConn{Conn: sess.conn, idle: s.cfg.IdleTimeout, sess: sess, srv: s}
+	br := bufio.NewReaderSize(tc, 1<<16)
+
+	h, err := readHandshake(br)
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+
+	workers := s.acquireWorkers(h.Workers)
+	defer s.releaseWorkers(workers)
+	sess.workers.Store(int32(max(workers, 1)))
+
+	ccfg := core.Config{
+		Meta:      h.Meta,
+		RaceCheck: h.Flags&flagRaceCheck != 0,
+		Metrics:   s.pipe,
+		QueueCap:  s.cfg.QueueCap,
+	}
+	if h.Flags&flagExact != 0 {
+		ccfg.NewStore = func() sig.Store { return sig.NewPerfectSignature() }
+	}
+	var prof core.Profiler
+	if workers >= 2 {
+		ccfg.Workers = workers
+		ccfg.SlotsPerWorker = s.cfg.SessionSlots / workers
+		ccfg.RedistributeEvery = 50000
+		prof = core.NewParallel(ccfg)
+	} else {
+		ccfg.SlotsPerWorker = s.cfg.SessionSlots
+		prof = core.NewSerial(ccfg)
+	}
+	flushed := false
+	flush := func() *core.Result {
+		flushed = true
+		return prof.Flush()
+	}
+	defer func() {
+		if !flushed {
+			flush() // join pipeline workers even on eviction
+		}
+	}()
+
+	sess.state.Store(stateReceiving)
+	fr := trace.NewFrameReader(br, s.cfg.MaxFrame)
+	tr, err := trace.NewReader(fr)
+	if err != nil {
+		return fmt.Errorf("trace stream: %w", err)
+	}
+	for {
+		a, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("trace stream: %w", err)
+		}
+		// Pipeline control kinds are daemon-internal; a stream carrying them
+		// is corrupt (a hostile one could hijack the migration mailboxes).
+		if a.Kind > event.Remove {
+			return fmt.Errorf("trace stream: event %d: control kind %v not allowed", tr.Count()-1, a.Kind)
+		}
+		prof.Access(a)
+		sess.events.Add(1)
+	}
+
+	sess.state.Store(stateProfiling)
+	res := flush()
+
+	sess.state.Store(stateResponding)
+	tab := loc.NewTable()
+	for _, n := range h.VarNames {
+		tab.Var(n)
+	}
+	var buf bytes.Buffer
+	if err := dep.Encode(&buf, res.Deps, tab, nil); err != nil {
+		return fmt.Errorf("encoding profile: %w", err)
+	}
+	bw := bufio.NewWriterSize(tc, 1<<16)
+	if err := writeResponse(bw, statusOK, buf.Bytes()); err != nil {
+		return fmt.Errorf("writing response: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Sessions snapshots the live session table, ordered by ID.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, SessionInfo{
+			ID:         sess.id,
+			Remote:     sess.remote,
+			Proto:      sess.proto,
+			State:      stateNames[sess.state.Load()],
+			Workers:    int(sess.workers.Load()),
+			BytesIn:    sess.bytesIn.Load(),
+			BytesOut:   sess.bytesOut.Load(),
+			Events:     sess.events.Load(),
+			AgeSeconds: time.Since(sess.started).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ActiveSessions returns the number of live sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// HTTPHandler serves the observability endpoints:
+//
+//	/metrics  — plain-text metric exposition (telemetry.Registry.WriteText)
+//	/sessions — JSON array of live sessions
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.cfg.Registry.Handler())
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Sessions())
+	})
+	return mux
+}
+
+// Shutdown drains the daemon: listeners close immediately (new connects are
+// refused), in-flight sessions run to completion, and when ctx expires the
+// remaining connections are force-closed. It returns nil if every session
+// finished in time, ctx.Err() otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.sessWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.conn.Close() // unblocks session reads/writes
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

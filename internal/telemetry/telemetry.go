@@ -1,0 +1,252 @@
+// Package telemetry provides the profiler's observability layer: cheap
+// atomic counters and gauges that the hot pipeline paths update at chunk
+// granularity, collected in a Registry that renders a plain-text exposition
+// page (one `name value` pair per line, Prometheus-style) over HTTP.
+//
+// The pipeline metrics (events in, queue depth per worker, chunk-pool
+// recycling, signature occupancy, heavy-hitter redistributions) are grouped
+// in a Pipeline so internal/core can bump typed fields without map lookups
+// on the hot path. The ddprofd daemon serves a Registry per process;
+// `ddexp -metrics addr` serves the same page for local experiment runs.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// SetMax raises the gauge to v if v is larger (high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; metric handles are interned, so hot paths should hold the
+// *Counter / *Gauge rather than re-resolving names.
+type Registry struct {
+	mu        sync.RWMutex
+	start     time.Time
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	pipelines map[string]*Pipeline
+
+	// previous scrape snapshot, for windowed per-second rates.
+	scrapeMu   sync.Mutex
+	lastScrape time.Time
+	lastVals   map[string]uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:     time.Now(),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		pipelines: make(map[string]*Pipeline),
+		lastVals:  make(map[string]uint64),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// WriteText renders every metric as one `name value` line, sorted by name.
+// Counters whose name ends in `_total` additionally get a `<base>_per_sec`
+// line: the rate over the window since the previous WriteText call (since
+// registry creation on the first call). Values never decrease between lines
+// of one exposition; the page is a consistent-enough snapshot for dashboards,
+// not a transaction.
+func (r *Registry) WriteText(w io.Writer) {
+	now := time.Now()
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	cvals := make(map[string]uint64, len(r.counters))
+	gvals := make(map[string]int64, len(r.gauges))
+	for n, c := range r.counters {
+		names = append(names, n)
+		cvals[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		names = append(names, n)
+		gvals[n] = g.Load()
+	}
+	r.mu.RUnlock()
+
+	r.scrapeMu.Lock()
+	since := r.lastScrape
+	if since.IsZero() {
+		since = r.start
+	}
+	window := now.Sub(since).Seconds()
+	prev := r.lastVals
+	next := make(map[string]uint64, len(cvals))
+	for n, v := range cvals {
+		next[n] = v
+	}
+	r.lastVals = next
+	r.lastScrape = now
+	r.scrapeMu.Unlock()
+
+	sort.Strings(names)
+	for _, n := range names {
+		if v, ok := cvals[n]; ok {
+			fmt.Fprintf(w, "%s %d\n", n, v)
+			if base, ok := rateBase(n); ok && window > 0 {
+				fmt.Fprintf(w, "%s_per_sec %.2f\n", base, float64(v-prev[n])/window)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s %d\n", n, gvals[n])
+	}
+}
+
+// rateBase reports whether a counter name should get a derived rate line.
+func rateBase(name string) (string, bool) {
+	const suffix = "_total"
+	if len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix {
+		return name[:len(name)-len(suffix)], true
+	}
+	return "", false
+}
+
+// Handler serves the text exposition page.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WriteText(w)
+	})
+}
+
+// MaxWorkerSlots is the number of per-worker queue-depth gauges a Pipeline
+// carries. Worker i reports into slot i mod MaxWorkerSlots, so arbitrarily
+// wide pipelines alias rather than allocate.
+const MaxWorkerSlots = 64
+
+// Pipeline groups the counters the profiling pipeline updates on its hot
+// paths. Fields are plain pointers so internal/core pays one atomic op per
+// chunk, not a registry lookup. A Pipeline may be shared by many concurrent
+// pipelines (the daemon aggregates all sessions into one); counters then
+// report totals and gauges last-observed values.
+type Pipeline struct {
+	// Events counts read/write accesses entering the pipeline.
+	Events *Counter
+	// Chunks counts chunks pushed to workers.
+	Chunks *Counter
+	// ChunksRecycled / ChunksAllocated split chunk acquisition by source:
+	// recycled from a worker's return ring vs freshly allocated.
+	ChunksRecycled  *Counter
+	ChunksAllocated *Counter
+	// Migrations counts addresses moved by heavy-hitter redistribution;
+	// Redistributions counts rebalance rounds that moved at least one.
+	Migrations      *Counter
+	Redistributions *Counter
+	// QueueDepth[i] is the last queue depth observed for worker i at chunk
+	// push time (including the chunk just pushed); QueueDepthMax is the
+	// high-water mark across all workers.
+	QueueDepth    [MaxWorkerSlots]*Gauge
+	QueueDepthMax *Gauge
+	// SigOccupancyPermille is the mean signature write-slot occupancy of the
+	// last flushed pipeline, in thousandths.
+	SigOccupancyPermille *Gauge
+}
+
+// Pipeline returns the pipeline metric group registered under prefix,
+// creating it if needed. All metric names are "<prefix>_<metric>".
+func (r *Registry) Pipeline(prefix string) *Pipeline {
+	r.mu.RLock()
+	p := r.pipelines[prefix]
+	r.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = &Pipeline{
+		Events:               r.Counter(prefix + "_events_total"),
+		Chunks:               r.Counter(prefix + "_chunks_total"),
+		ChunksRecycled:       r.Counter(prefix + "_chunks_recycled_total"),
+		ChunksAllocated:      r.Counter(prefix + "_chunks_allocated_total"),
+		Migrations:           r.Counter(prefix + "_migrations_total"),
+		Redistributions:      r.Counter(prefix + "_redistributions_total"),
+		QueueDepthMax:        r.Gauge(prefix + "_queue_depth_max"),
+		SigOccupancyPermille: r.Gauge(prefix + "_sig_occupancy_permille"),
+	}
+	for i := range p.QueueDepth {
+		p.QueueDepth[i] = r.Gauge(fmt.Sprintf("%s_queue_depth{worker=\"%d\"}", prefix, i))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if exist := r.pipelines[prefix]; exist != nil {
+		return exist
+	}
+	r.pipelines[prefix] = p
+	return p
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	g := r.Gauge("depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				g.SetMax(int64(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+	if g.Load() < 0 || g.Load() > 8000 {
+		t.Fatalf("gauge = %d out of range", g.Load())
+	}
+}
+
+func TestSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Load() != 5 {
+		t.Fatalf("SetMax regressed: %d", g.Load())
+	}
+	g.SetMax(9)
+	if g.Load() != 9 {
+		t.Fatalf("SetMax did not advance: %d", g.Load())
+	}
+}
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Error("Counter not interned")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge not interned")
+	}
+	if r.Pipeline("p") != r.Pipeline("p") {
+		t.Error("Pipeline not interned")
+	}
+}
+
+func TestWriteTextAndRates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total").Add(500)
+	r.Gauge("depth").Set(7)
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"events_total 500\n", "depth 7\n", "events_per_sec "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The first scrape rates against registry creation; with any elapsed time
+	// the derived rate is positive.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "events_per_sec ") {
+			val := strings.TrimPrefix(line, "events_per_sec ")
+			if val == "0" || val == "0.0" {
+				t.Errorf("events_per_sec is zero on first scrape: %q", line)
+			}
+		}
+	}
+}
+
+func TestPipelineMetricNames(t *testing.T) {
+	r := NewRegistry()
+	p := r.Pipeline("pipeline")
+	p.Events.Add(10)
+	p.QueueDepth[0].Set(3)
+	p.QueueDepthMax.SetMax(3)
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"pipeline_events_total 10",
+		`pipeline_queue_depth{worker="0"} 3`,
+		"pipeline_queue_depth_max 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

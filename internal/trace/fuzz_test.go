@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"ddprof/internal/event"
@@ -10,6 +11,46 @@ import (
 
 // FuzzReplay hardens the trace reader: arbitrary bytes must either replay
 // or error, never panic, and whatever replays must re-encode.
+// FuzzFrames hardens the server framing layer: arbitrary bytes fed to a
+// FrameReader (and through it to the trace Reader, like a ddprofd session)
+// must error or replay, never panic, and a frame round trip of whatever was
+// read back must be lossless.
+func FuzzFrames(f *testing.F) {
+	var framed bytes.Buffer
+	fw := NewFrameWriter(&framed)
+	w, _ := NewWriter(fw)
+	w.Access(event.Access{Addr: 0x2000, Kind: event.Read, Loc: loc.Pack(2, 3)})
+	_ = w.Close()
+	_ = fw.Close()
+	f.Add(framed.Bytes())
+	f.Add([]byte{0})
+	f.Add([]byte{4, 'D', 'D', 'T', '1', 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data), 1<<16)
+		payload, err := io.ReadAll(fr)
+		if err == nil && !fr.Terminated() {
+			t.Fatal("clean EOF without terminator frame")
+		}
+		// Whatever payload was recovered must round-trip through framing.
+		var out bytes.Buffer
+		fw := NewFrameWriter(&out)
+		for i := 0; i < len(payload); i += 100 {
+			fw.Write(payload[i:min(i+100, len(payload))])
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := io.ReadAll(NewFrameReader(&out, 0))
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("frame round trip: err %v, %d bytes vs %d", err, len(back), len(payload))
+		}
+		// And the session path — trace reader over framed bytes — must never
+		// panic.
+		_, _ = ReadAll(NewFrameReader(bytes.NewReader(data), 1<<16))
+	})
+}
+
 func FuzzReplay(f *testing.F) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
@@ -29,8 +30,8 @@ const magic = "DDT1"
 // Writer streams accesses to an io.Writer. It implements the interpreter's
 // Hook interface, so it can be installed directly as the "profiler" of a
 // recording run. Writers are not safe for concurrent use; record
-// multi-threaded targets through a serializing wrapper or per-thread
-// writers.
+// multi-threaded targets through SyncWriter (the serializing wrapper) or
+// per-thread writers.
 type Writer struct {
 	bw    *bufio.Writer
 	prev  event.Access
@@ -93,63 +94,169 @@ func (w *Writer) Close() error {
 // Err returns the first serialization error, if any.
 func (w *Writer) Err() error { return w.err }
 
+// SyncWriter is the serializing wrapper around Writer: a mutex-protected
+// hook safe to install when the target program runs multiple threads, each
+// of which calls the hook concurrently. The interleaving recorded is the one
+// the run exhibited (per-address order is preserved because targets hold
+// their own locks around conflicting accesses and the interpreter calls the
+// hook inside the same lock region).
+type SyncWriter struct {
+	mu sync.Mutex
+	w  *Writer
+}
+
+// NewSyncWriter wraps w; the underlying Writer must no longer be used
+// directly while the wrapper is live.
+func NewSyncWriter(w *Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Access implements the hook under the wrapper's mutex.
+func (s *SyncWriter) Access(a event.Access) {
+	s.mu.Lock()
+	s.w.Access(a)
+	s.mu.Unlock()
+}
+
+// Count returns the number of events recorded so far.
+func (s *SyncWriter) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Count()
+}
+
+// Close flushes the underlying trace.
+func (s *SyncWriter) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Close()
+}
+
+// Err returns the first serialization error, if any.
+func (s *SyncWriter) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Err()
+}
+
+// Reader decodes a trace stream one event at a time — the streaming
+// counterpart of Replay, used by the ddprofd server to feed network sessions
+// into a pipeline without buffering the whole trace.
+//
+// Reader is hardened against hostile input: a stream cut mid-record returns
+// an error wrapping io.ErrUnexpectedEOF, and corrupt bytes (unknown event
+// kinds, undefined flag bits, varint overflows) return descriptive errors.
+// It never panics.
+type Reader struct {
+	br   *bufio.Reader
+	prev event.Access
+	n    uint64
+}
+
+// NewReader checks the stream magic and returns a Reader positioned at the
+// first event.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	m := make([]byte, 4)
+	if _, err := io.ReadFull(br, m); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", noEOF(err))
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Count returns the number of events decoded so far.
+func (r *Reader) Count() uint64 { return r.n }
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF; any other error
+// (including io.ErrUnexpectedEOF itself) passes through.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next decodes one event. It returns io.EOF at a clean end of stream (an
+// event boundary); a stream that ends inside a record returns an error
+// wrapping io.ErrUnexpectedEOF instead.
+func (r *Reader) Next() (event.Access, error) {
+	var a event.Access
+	kb, err := r.br.ReadByte()
+	if err == io.EOF {
+		return a, io.EOF
+	}
+	if err != nil {
+		return a, err
+	}
+	if event.Kind(kb) > event.Flush {
+		return a, fmt.Errorf("trace: event %d: invalid kind %d", r.n, kb)
+	}
+	get := func() (uint64, error) {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: event %d truncated: %w", r.n, noEOF(err))
+		}
+		return v, nil
+	}
+	getZig := func() (int64, error) {
+		u, err := get()
+		return int64(u>>1) ^ -int64(u&1), err
+	}
+	a.Kind = event.Kind(kb)
+	dAddr, err := getZig()
+	if err != nil {
+		return a, err
+	}
+	a.Addr = uint64(int64(r.prev.Addr) + dAddr)
+	dTS, err := getZig()
+	if err != nil {
+		return a, err
+	}
+	a.TS = uint64(int64(r.prev.TS) + dTS)
+	var vals [5]uint64
+	for i := range vals {
+		if vals[i], err = get(); err != nil {
+			return a, err
+		}
+	}
+	a.Loc = loc.SourceLoc(vals[0])
+	a.Var = loc.VarID(vals[1])
+	a.CtxID = uint32(vals[2])
+	a.IterVec = vals[3]
+	a.Thread = int32(vals[4])
+	fb, err := r.br.ReadByte()
+	if err != nil {
+		return a, fmt.Errorf("trace: event %d truncated: %w", r.n, noEOF(err))
+	}
+	if event.Flags(fb)&^(event.FlagReduction|event.FlagInduction) != 0 {
+		return a, fmt.Errorf("trace: event %d: undefined flag bits %#x", r.n, fb)
+	}
+	a.Flags = event.Flags(fb)
+	r.prev = a
+	r.n++
+	return a, nil
+}
+
 // Replay streams a recorded trace into sink, returning the number of events
 // delivered.
 func Replay(r io.Reader, sink func(event.Access)) (uint64, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	m := make([]byte, 4)
-	if _, err := io.ReadFull(br, m); err != nil {
-		return 0, fmt.Errorf("trace: reading magic: %w", err)
+	tr, err := NewReader(r)
+	if err != nil {
+		return 0, err
 	}
-	if string(m) != magic {
-		return 0, fmt.Errorf("trace: bad magic %q", m)
-	}
-	var prev event.Access
-	var n uint64
 	for {
-		kb, err := br.ReadByte()
+		a, err := tr.Next()
 		if err == io.EOF {
-			return n, nil
+			return tr.Count(), nil
 		}
 		if err != nil {
-			return n, err
+			return tr.Count(), err
 		}
-		get := func() (uint64, error) { return binary.ReadUvarint(br) }
-		getZig := func() (int64, error) {
-			u, err := get()
-			return int64(u>>1) ^ -int64(u&1), err
-		}
-		var a event.Access
-		a.Kind = event.Kind(kb)
-		dAddr, err := getZig()
-		if err != nil {
-			return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
-		}
-		a.Addr = uint64(int64(prev.Addr) + dAddr)
-		dTS, err := getZig()
-		if err != nil {
-			return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
-		}
-		a.TS = uint64(int64(prev.TS) + dTS)
-		vals := make([]uint64, 5)
-		for i := range vals {
-			if vals[i], err = get(); err != nil {
-				return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
-			}
-		}
-		a.Loc = loc.SourceLoc(vals[0])
-		a.Var = loc.VarID(vals[1])
-		a.CtxID = uint32(vals[2])
-		a.IterVec = vals[3]
-		a.Thread = int32(vals[4])
-		fb, err := br.ReadByte()
-		if err != nil {
-			return n, fmt.Errorf("trace: event %d truncated: %w", n, err)
-		}
-		a.Flags = event.Flags(fb)
 		sink(a)
-		prev = a
-		n++
 	}
 }
 
