@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check fuzz
+.PHONY: all build vet test race check fuzz bench
 
 all: build
 
@@ -11,13 +11,29 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test ./...
+
+# Race pass over the concurrent subsystems. The full suite under -race is
+# slow; the data races live in the pipelines and the queues, so that is
+# where the detector earns its keep.
+race:
+	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/
 
 # The full gate: what CI and pre-commit should run.
-check: build vet test
+check: build vet test race
 
-# Short fuzz pass over the hardened decoders (trace, framing, server).
+# Hot-path throughput gate: run BenchmarkHotPath and append the events/s
+# numbers to BENCH_pipeline.json under BENCH_LABEL, so regressions are
+# visible against every recorded run (the committed baseline included).
+BENCH_LABEL ?= local
+bench:
+	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=1 . \
+		| $(GO) run ./cmd/ddexp -bench-label $(BENCH_LABEL) benchjson
+
+# Short fuzz pass over the hardened decoders (trace, framing, server) and
+# the dependence-set fast-update API the instance cache relies on.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzHandshake -fuzztime=10s ./internal/server/
+	$(GO) test -run=^$$ -fuzz=FuzzFastUpdate -fuzztime=10s ./internal/dep/

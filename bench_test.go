@@ -13,12 +13,14 @@ package ddprof_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"ddprof"
 	"ddprof/internal/core"
 	"ddprof/internal/event"
 	"ddprof/internal/exp"
 	"ddprof/internal/loc"
+	"ddprof/internal/prog"
 	"ddprof/internal/queue"
 	"ddprof/internal/sig"
 )
@@ -288,6 +290,78 @@ func BenchmarkProfileEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// hotPathStream synthesizes a dependence-dense instruction stream shaped
+// like the paper's hot loops: every iteration re-fires the same static
+// dependences (a carried RAW chain, a reduction RAW, an in-iteration RAW
+// read twice), which is the instance redundancy the engine's hot path is
+// optimized for.
+func hotPathStream(events int) ([]event.Access, *prog.Meta) {
+	m := prog.NewMeta()
+	l := m.AddLoop(prog.Loop{Name: "hot"})
+	ctx := m.PushCtx(0, l)
+	const window = 4096 // addresses cycle so every store stays warm
+	aBase, sumAddr := uint64(0x10000), uint64(0x8000)
+	evs := make([]event.Access, 0, events)
+	for it := uint32(0); len(evs) < events; it++ {
+		iv := event.PackIterVec([]uint32{it})
+		at := func(i uint32) uint64 { return aBase + 8*uint64(i%window) }
+		ev := func(addr uint64, k event.Kind, line int, fl event.Flags) event.Access {
+			return event.Access{Addr: addr, Kind: k, Loc: loc.Pack(1, line), CtxID: ctx, IterVec: iv, Flags: fl}
+		}
+		if it > 0 {
+			// a[i] = a[i-1] + ... : carried RAW, distance 1.
+			evs = append(evs, ev(at(it-1), event.Read, 10, 0))
+		}
+		evs = append(evs,
+			ev(at(it), event.Write, 12, 0),
+			// x = a[i]*a[i]: the same read twice in one iteration — the
+			// consecutive-duplicate shape the producer filter collapses.
+			ev(at(it), event.Read, 13, 0),
+			ev(at(it), event.Read, 13, 0),
+			// sum += a[i]: carried reduction RAW.
+			ev(sumAddr, event.Read, 14, event.FlagReduction),
+			ev(sumAddr, event.Write, 14, event.FlagReduction),
+		)
+	}
+	return evs[:events], m
+}
+
+// BenchmarkHotPath is the per-event cost gate of the profiling pipelines:
+// events/s through the serial engine, the lock-free parallel pipeline and
+// the MT pipeline on a dependence-dense stream. `make bench` records the
+// trajectory in BENCH_pipeline.json; regressions show up as a drop in the
+// events/s metric against the baseline stored there.
+func BenchmarkHotPath(b *testing.B) {
+	stream, meta := hotPathStream(1 << 16)
+	run := func(b *testing.B, mk func() core.Profiler) {
+		b.ReportAllocs()
+		prof := mk()
+		start := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prof.Access(stream[i%len(stream)])
+		}
+		prof.Flush()
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "events/s")
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, func() core.Profiler {
+			return core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewSignature(1 << 20) }, Meta: meta})
+		})
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		run(b, func() core.Profiler {
+			return core.NewParallel(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta})
+		})
+	})
+	b.Run("mt4", func(b *testing.B) {
+		run(b, func() core.Profiler {
+			return core.NewMT(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta})
+		})
+	})
 }
 
 // BenchmarkBalance measures the §IV-A load-balance ablation and reports the

@@ -14,12 +14,18 @@
 //	ddexp stores            # signature vs hash table vs shadow memory (§III-B)
 //	ddexp balance           # worker load balance: modulo vs redistribution vs round-robin
 //	ddexp sweep             # full FPR/FNR-vs-signature-size curve (rotate)
+//	ddexp throughput        # events/s per pipeline, hot path off vs on
 //	ddexp all               # everything above
+//
+//	go test -bench BenchmarkHotPath . | ddexp -bench-label after benchjson
+//	                        # parse benchmark output from stdin and append a
+//	                        # labelled run to BENCH_pipeline.json (make bench)
 //
 // Flags: -scale N (problem size multiplier), -paper (paper-scale signature
 // sizes and repetitions), -only a,b,c (restrict to named workloads),
 // -reps N (timing repetitions), -metrics addr (serve live pipeline counters
-// over HTTP while the experiments run).
+// over HTTP while the experiments run), -bench-json path and -bench-label
+// name (destination file and run label for the benchjson subcommand).
 package main
 
 import (
@@ -42,6 +48,9 @@ func main() {
 		only    = flag.String("only", "", "comma-separated workload names to restrict to")
 		reps    = flag.Int("reps", 0, "timing repetitions (0 = default)")
 		metrics = flag.String("metrics", "", "HTTP address serving live /metrics while experiments run (e.g. :7078)")
+
+		benchJSON  = flag.String("bench-json", "BENCH_pipeline.json", "destination file for the benchjson subcommand")
+		benchLabel = flag.String("bench-label", "run", "run label for the benchjson subcommand")
 	)
 	flag.Parse()
 	if *metrics != "" {
@@ -58,8 +67,28 @@ func main() {
 		}()
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ddexp [flags] table1|table2|fig5|fig6|fig7|fig8|fig9|eq2|merge|stores|balance|sweep|all")
+		fmt.Fprintln(os.Stderr, "usage: ddexp [flags] table1|table2|fig5|fig6|fig7|fig8|fig9|eq2|merge|stores|balance|sweep|throughput|benchjson|all")
 		os.Exit(2)
+	}
+
+	if flag.Arg(0) == "benchjson" {
+		// Not an experiment: filter `go test -bench` output from stdin into
+		// the append-only benchmark log the `make bench` gate reads.
+		entries, err := exp.ParseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddexp benchjson:", err)
+			os.Exit(1)
+		}
+		bf, err := exp.AppendBenchRun(*benchJSON, *benchLabel, entries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddexp benchjson:", err)
+			os.Exit(1)
+		}
+		for _, e := range entries {
+			fmt.Printf("%s: recorded %-12s %14.0f events/s\n", *benchJSON, e.Name, e.EventsPerSec)
+		}
+		fmt.Printf("%s: %d run(s) on record\n", *benchJSON, len(bf.Runs))
+		return
 	}
 
 	opt := exp.Defaults()
@@ -93,13 +122,14 @@ func main() {
 			fmt.Println(res.Heatmap)
 			return nil
 		},
-		"eq2":     func(o exp.Options) error { return render(exp.Eq2(o)) },
-		"merge":   func(o exp.Options) error { return render(exp.MergeAblation(o)) },
-		"stores":  func(o exp.Options) error { return render(exp.StoreAblation(o)) },
-		"balance": func(o exp.Options) error { return render(exp.Balance(o)) },
-		"sweep":   func(o exp.Options) error { return render(exp.Sweep(o, "rotate")) },
+		"eq2":        func(o exp.Options) error { return render(exp.Eq2(o)) },
+		"merge":      func(o exp.Options) error { return render(exp.MergeAblation(o)) },
+		"stores":     func(o exp.Options) error { return render(exp.StoreAblation(o)) },
+		"balance":    func(o exp.Options) error { return render(exp.Balance(o)) },
+		"sweep":      func(o exp.Options) error { return render(exp.Sweep(o, "rotate")) },
+		"throughput": func(o exp.Options) error { return render(exp.Throughput(o)) },
 	}
-	order := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "eq2", "merge", "stores", "balance", "sweep"}
+	order := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "eq2", "merge", "stores", "balance", "sweep", "throughput"}
 
 	what := flag.Arg(0)
 	if what == "all" {

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"ddprof/internal/dep"
 	"ddprof/internal/event"
 	"ddprof/internal/prog"
@@ -43,15 +45,69 @@ type Engine struct {
 	loops map[prog.LoopID]*loopAgg
 	// raceCheck enables timestamp-reversal detection (MT-target mode).
 	raceCheck bool
+	// noCache disables the instance cache (A/B measurement and the
+	// fast-vs-slow equivalence suite; output is identical either way).
+	noCache bool
+
+	// cache is a direct-mapped instance cache over dependence identity: the
+	// overwhelmingly common case is the same static dependence firing every
+	// iteration (the instance redundancy dependence merging exploits for
+	// space, §III-B), so memoizing the map entries for the last key that
+	// hashed to each slot turns the per-instance map lookups — the dependence
+	// set and, for carried instances, the per-loop aggregate — into pointer
+	// dereferences.
+	cache       [depCacheSize]depCacheEntry
+	cacheHits   uint64
+	cacheProbes uint64
+}
+
+// depCacheSize is the number of direct-mapped instance-cache entries. The
+// working set is the static dependence count of the profiled region, which
+// the paper's merging ablation puts orders of magnitude below this.
+const (
+	depCacheSize = 1 << 9
+	depCacheMask = depCacheSize - 1
+)
+
+// depCacheEntry memoizes the merged-set entry for one dependence key and,
+// when the key's last instance was loop-carried, the per-loop aggregate
+// record, so a repeat instance updates both without any map operation.
+type depCacheEntry struct {
+	key  dep.Key
+	st   *dep.Stats
+	agg  *loopAgg    // aggregate of `loop` (nil until a carried instance)
+	ck   *carriedKey // this key's record within agg
+	loop prog.LoopID // loop of the last carried instance (NoLoop if none)
+}
+
+// keyHash mixes a dependence key into an instance-cache index. One multiply
+// over both packed words keeps the hit path short; XORing y rotated by 32
+// puts Var against Src and the thread/type bits against Sink, so keys
+// differing in any single field land on distinct inputs to the multiplier.
+func keyHash(k dep.Key) uint32 {
+	x := uint64(k.Sink) | uint64(k.Src)<<32
+	y := uint64(k.Var) | uint64(uint16(k.SinkThread))<<32 |
+		uint64(uint16(k.SrcThread))<<48 | uint64(k.Type)<<40
+	h := (x ^ bits.RotateLeft64(y, 32)) * 0x9E3779B97F4A7C15
+	return uint32(h >> 32)
 }
 
 // loopAgg tracks distinct carried dependence keys per loop so LoopDeps can
-// report unique counts rather than instance counts.
+// report unique counts rather than instance counts. Records are held by
+// pointer so the instance cache can update them without a map lookup.
 type loopAgg struct {
-	rawKeys    map[dep.Key]bool // value: all-instances-reduction so far
-	warKeys    map[dep.Key]struct{}
-	wawKeys    map[dep.Key]struct{}
+	keys       map[dep.Key]*carriedKey
 	minRAWDist uint32
+}
+
+// carriedKey is the per-(loop, key) aggregate: whether every carried
+// instance so far joined two reduction accesses.
+type carriedKey struct {
+	allRed bool
+}
+
+func newLoopAgg() *loopAgg {
+	return &loopAgg{keys: make(map[dep.Key]*carriedKey)}
 }
 
 // NewEngine returns an engine writing to a fresh dependence set. meta may be
@@ -65,6 +121,13 @@ func NewEngine(store sig.Store, meta *prog.Meta, raceCheck bool) *Engine {
 		raceCheck: raceCheck,
 	}
 }
+
+// DisableCache switches the engine to the slow (map-per-instance) path.
+// Must be called before the first Process.
+func (e *Engine) DisableCache() { e.noCache = true }
+
+// CacheStats reports instance-cache probes and hits since construction.
+func (e *Engine) CacheStats() (hits, probes uint64) { return e.cacheHits, e.cacheProbes }
 
 // Deps returns the dependence set accumulated so far.
 func (e *Engine) Deps() *dep.Set { return e.deps }
@@ -87,23 +150,25 @@ func (e *Engine) Process(a event.Access) {
 		wslot, wok := e.store.LookupWrite(a.Addr)
 		if !wok {
 			// First write to this address: INIT (paper §III-A).
-			e.deps.Add(dep.Key{
+			e.record(dep.Key{
 				Type: dep.INIT,
 				Sink: a.Loc, SinkThread: int16(a.Thread),
 				Var: a.Var,
-			}, false, false, false)
+			}, dep.INIT, prog.NoLoop, false, false, 0, 1)
 		} else {
-			e.build(dep.WAW, wslot, a)
+			e.build(dep.WAW, wslot, &a, 1)
 		}
 		if rslot, rok := e.store.LookupRead(a.Addr); rok {
-			e.build(dep.WAR, rslot, a)
+			e.build(dep.WAR, rslot, &a, 1)
 		}
-		e.store.SetWrite(a.Addr, e.slotFor(a))
+		e.store.SetWrite(a.Addr, e.slotFor(&a))
 	case event.Read:
 		if wslot, wok := e.store.LookupWrite(a.Addr); wok {
-			e.build(dep.RAW, wslot, a)
+			// A collapsed event stands for 1+Rep identical reads against the
+			// same (unchanged) write slot: 1+Rep instances of the same RAW.
+			e.build(dep.RAW, wslot, &a, 1+uint64(a.Rep))
 		}
-		e.store.SetRead(a.Addr, e.slotFor(a))
+		e.store.SetRead(a.Addr, e.slotFor(&a))
 	case event.Remove:
 		// Variable-lifetime analysis: deallocated storage is forgotten so a
 		// later reuse of the address cannot fabricate a dependence.
@@ -111,8 +176,9 @@ func (e *Engine) Process(a event.Access) {
 	}
 }
 
-// slotFor packs the access into a store slot.
-func (e *Engine) slotFor(a event.Access) sig.Slot {
+// slotFor packs the access into a store slot. Pointer arg: callers pass the
+// addressable Process copy, sparing a 48-byte stack copy per call.
+func (e *Engine) slotFor(a *event.Access) sig.Slot {
 	s := sig.PackSlot(a.Loc, a.Var, a.Thread, a.CtxID, a.IterVec, a.TS)
 	if a.Flags&event.FlagReduction != 0 {
 		s = s.WithReduction()
@@ -123,8 +189,9 @@ func (e *Engine) slotFor(a event.Access) sig.Slot {
 	return s
 }
 
-// build records a dependence from the stored source slot to the sink access.
-func (e *Engine) build(t dep.Type, src sig.Slot, snk event.Access) {
+// build records n instances of a dependence from the stored source slot to
+// the sink access (passed by pointer for the same reason as slotFor).
+func (e *Engine) build(t dep.Type, src sig.Slot, snk *event.Access, n uint64) {
 	carriedAt := prog.NoLoop
 	dist := uint32(0)
 	if e.meta != nil {
@@ -149,33 +216,60 @@ func (e *Engine) build(t dep.Type, src sig.Slot, snk event.Access) {
 		Src: src.Loc(), SrcThread: int16(src.Thread()),
 		Var: snk.Var,
 	}
-	e.deps.AddDist(k, carriedAt != prog.NoLoop, reduction, reversed, dist)
+	e.record(k, t, carriedAt, reduction, reversed, dist, n)
+}
 
-	if carriedAt != prog.NoLoop {
-		agg := e.loops[carriedAt]
-		if agg == nil {
-			agg = &loopAgg{
-				rawKeys: make(map[dep.Key]bool),
-				warKeys: make(map[dep.Key]struct{}),
-				wawKeys: make(map[dep.Key]struct{}),
-			}
-			e.loops[carriedAt] = agg
+// record merges n identical instances of dependence k into the set and the
+// per-loop aggregates, going through the instance cache unless disabled.
+func (e *Engine) record(k dep.Key, t dep.Type, carriedAt prog.LoopID, reduction, reversed bool, dist uint32, n uint64) {
+	var ent *depCacheEntry
+	var st *dep.Stats
+	if e.noCache {
+		st = e.deps.Ref(k)
+	} else {
+		e.cacheProbes++
+		ent = &e.cache[keyHash(k)&depCacheMask]
+		if ent.st != nil && ent.key == k {
+			st = ent.st
+			e.cacheHits++
+		} else {
+			st = e.deps.Ref(k)
+			*ent = depCacheEntry{key: k, st: st, loop: prog.NoLoop}
 		}
-		switch t {
-		case dep.RAW:
-			red, seen := agg.rawKeys[k]
-			if !seen {
-				red = true
+	}
+	e.deps.ObserveVia(st, n, carriedAt != prog.NoLoop, reduction, reversed, dist)
+	if carriedAt == prog.NoLoop {
+		return
+	}
+
+	if ent != nil && ent.loop == carriedAt {
+		// Repeat carried instance: update the memoized aggregate directly.
+		ent.ck.allRed = ent.ck.allRed && reduction
+		if t == dep.RAW {
+			if ent.agg.minRAWDist == 0 || dist < ent.agg.minRAWDist {
+				ent.agg.minRAWDist = dist
 			}
-			agg.rawKeys[k] = red && reduction
-			if agg.minRAWDist == 0 || dist < agg.minRAWDist {
-				agg.minRAWDist = dist
-			}
-		case dep.WAR:
-			agg.warKeys[k] = struct{}{}
-		case dep.WAW:
-			agg.wawKeys[k] = struct{}{}
 		}
+		return
+	}
+	agg := e.loops[carriedAt]
+	if agg == nil {
+		agg = newLoopAgg()
+		e.loops[carriedAt] = agg
+	}
+	ck := agg.keys[k]
+	if ck == nil {
+		ck = &carriedKey{allRed: true}
+		agg.keys[k] = ck
+	}
+	ck.allRed = ck.allRed && reduction
+	if t == dep.RAW {
+		if agg.minRAWDist == 0 || dist < agg.minRAWDist {
+			agg.minRAWDist = dist
+		}
+	}
+	if ent != nil {
+		ent.loop, ent.agg, ent.ck = carriedAt, agg, ck
 	}
 }
 
@@ -186,41 +280,60 @@ func (e *Engine) ProcessChunk(c *event.Chunk) {
 	}
 }
 
-// LoopDeps summarizes per-loop carried dependences.
-func (e *Engine) LoopDeps() map[prog.LoopID]*LoopDeps {
-	out := make(map[prog.LoopID]*LoopDeps, len(e.loops))
-	for id, agg := range e.loops {
-		ld := &LoopDeps{
-			CarriedRAW: len(agg.rawKeys),
-			CarriedWAR: len(agg.warKeys),
-			CarriedWAW: len(agg.wawKeys),
-			MinRAWDist: agg.minRAWDist,
-		}
-		for _, red := range agg.rawKeys {
-			if red {
+// summary renders one loop's aggregate as a LoopDeps row.
+func (agg *loopAgg) summary() *LoopDeps {
+	ld := &LoopDeps{MinRAWDist: agg.minRAWDist}
+	for k, ck := range agg.keys {
+		switch k.Type {
+		case dep.RAW:
+			ld.CarriedRAW++
+			if ck.allRed {
 				ld.CarriedRAWRed++
 			}
+		case dep.WAR:
+			ld.CarriedWAR++
+		case dep.WAW:
+			ld.CarriedWAW++
 		}
-		out[id] = ld
+	}
+	return ld
+}
+
+// LoopDeps summarizes per-loop carried dependences.
+func (e *Engine) LoopDeps() map[prog.LoopID]*LoopDeps {
+	return loopDepsOf(e.loops)
+}
+
+// loopDepsOf summarizes a loop-aggregate table.
+func loopDepsOf(aggs map[prog.LoopID]*loopAgg) map[prog.LoopID]*LoopDeps {
+	out := make(map[prog.LoopID]*LoopDeps, len(aggs))
+	for id, agg := range aggs {
+		out[id] = agg.summary()
 	}
 	return out
 }
 
-// mergeLoopDeps folds worker tables into a single table.
-func mergeLoopDeps(dst map[prog.LoopID]*LoopDeps, src map[prog.LoopID]*LoopDeps) {
+// mergeLoopAggs folds worker carried-key tables into dst, unioning the key
+// sets: the same dependence key can surface on several workers (same source
+// lines, different addresses) and must count once, exactly as in a serial
+// run. Reduction eligibility is the AND over all instances, so per-worker
+// flags combine with AND.
+func mergeLoopAggs(dst, src map[prog.LoopID]*loopAgg) {
 	for id, s := range src {
 		d := dst[id]
 		if d == nil {
-			cp := *s
-			dst[id] = &cp
-			continue
+			d = &loopAgg{keys: make(map[dep.Key]*carriedKey, len(s.keys))}
+			dst[id] = d
 		}
-		d.CarriedRAW += s.CarriedRAW
-		d.CarriedRAWRed += s.CarriedRAWRed
-		d.CarriedWAR += s.CarriedWAR
-		d.CarriedWAW += s.CarriedWAW
-		if d.MinRAWDist == 0 || (s.MinRAWDist > 0 && s.MinRAWDist < d.MinRAWDist) {
-			d.MinRAWDist = s.MinRAWDist
+		for k, ck := range s.keys {
+			if dc := d.keys[k]; dc != nil {
+				dc.allRed = dc.allRed && ck.allRed
+			} else {
+				d.keys[k] = &carriedKey{allRed: ck.allRed}
+			}
+		}
+		if d.minRAWDist == 0 || (s.minRAWDist > 0 && s.minRAWDist < d.minRAWDist) {
+			d.minRAWDist = s.minRAWDist
 		}
 	}
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"ddprof/internal/dep"
 	"ddprof/internal/event"
@@ -27,18 +26,21 @@ import (
 // for an address has proven the two accesses were not mutually exclusive and
 // flags the dependence as a potential data race (§V-B).
 type MT struct {
-	w        int
-	workers  []*mtworker
-	accesses atomic.Uint64
-	m        *telemetry.Pipeline
-	wg       sync.WaitGroup
-	flushed  bool
+	w       int
+	wMask   uint64 // w-1 when w is a power of two, else 0 (see ownerOf)
+	workers []*mtworker
+	m       *telemetry.Pipeline
+	wg      sync.WaitGroup
+	flushed bool
 }
 
 type mtworker struct {
-	in   *queue.MPSC[event.Access]
-	eng  *Engine
-	done atomic.Bool
+	in  *queue.MPSC[event.Access]
+	eng *Engine
+	// events counts read/write accesses this worker consumed. Counting on the
+	// consumer side keeps the concurrent producers free of a shared atomic
+	// counter; the flush barrier makes the per-worker sums safe to read.
+	events uint64
 }
 
 // NewMT builds the MT pipeline and starts the workers. RaceCheck defaults on
@@ -47,15 +49,24 @@ func NewMT(cfg Config) *MT {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	// Default ring depth: 4Ki events (256KiB of cells) per worker. Deeper
+	// rings only add slack the consumer never catches up on, and at 64Ki
+	// cells the ring outgrows the cache entirely, turning every push and pop
+	// into a memory round-trip; keeping the cells cache-resident is worth
+	// more than the extra buffering. It also trims the MT-mode queue memory
+	// the paper calls out in Figure 8.
 	qcap := cfg.QueueCap
 	if qcap <= 0 {
-		qcap = 1 << 16
+		qcap = 1 << 12
 	}
-	m := &MT{w: cfg.Workers, m: cfg.Metrics}
+	m := &MT{w: cfg.Workers, wMask: powerOfTwoMask(cfg.Workers), m: cfg.Metrics}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &mtworker{
 			in:  queue.NewMPSC[event.Access](qcap),
 			eng: NewEngine(cfg.store(), cfg.Meta, true),
+		}
+		if cfg.NoFastPath {
+			w.eng.DisableCache()
 		}
 		m.workers = append(m.workers, w)
 		m.wg.Add(1)
@@ -69,13 +80,10 @@ func NewMT(cfg Config) *MT {
 
 // Access implements Profiler; safe for concurrent use by target threads.
 func (m *MT) Access(a event.Access) {
-	if a.Kind == event.Read || a.Kind == event.Write {
-		m.accesses.Add(1)
-		if m.m != nil {
-			m.m.Events.Inc()
-		}
+	if m.m != nil && (a.Kind == event.Read || a.Kind == event.Write) {
+		m.m.Events.Inc()
 	}
-	m.workers[(a.Addr>>3)%uint64(m.w)].in.Push(a)
+	m.workers[ownerOf(a.Addr, m.w, m.wMask)].in.Push(a)
 }
 
 // Flush implements Profiler. It must be called after every target thread has
@@ -92,22 +100,31 @@ func (m *MT) Flush() *Result {
 	m.wg.Wait()
 
 	res := &Result{
-		Deps:  dep.NewSet(),
-		Loops: make(map[prog.LoopID]*LoopDeps),
+		Deps: dep.NewSet(),
 	}
-	res.Stats.Accesses = m.accesses.Load()
+	aggs := make(map[prog.LoopID]*loopAgg)
 	for _, w := range m.workers {
+		res.Stats.Accesses += w.events
 		res.Deps.Merge(w.eng.Deps())
-		mergeLoopDeps(res.Loops, w.eng.LoopDeps())
+		mergeLoopAggs(aggs, w.eng.loops)
 		res.Stats.StoreBytes += w.eng.Store().Bytes()
 		res.Stats.StoreModeledBytes += w.eng.Store().ModeledBytes()
-		res.Stats.QueueBytes += uint64(48 * cap48(w.in))
+		hits, probes := w.eng.CacheStats()
+		res.Stats.DepCacheHits += hits
+		res.Stats.DepCacheProbes += probes
+		res.Stats.QueueBytes += uint64(mpscCellBytes * w.in.Cap())
+	}
+	res.Loops = loopDepsOf(aggs)
+	if m.m != nil {
+		m.m.DepCacheHits.Add(res.Stats.DepCacheHits)
+		m.m.DepCacheProbes.Add(res.Stats.DepCacheProbes)
 	}
 	return res
 }
 
-// cap48 reports the element capacity of an MPSC ring for byte accounting.
-func cap48(q *queue.MPSC[event.Access]) int { return q.Cap() }
+// mpscCellBytes is the per-element ring cost used for Figure 8 accounting:
+// a 48-byte access padded with its sequence word to one cache line.
+const mpscCellBytes = 64
 
 func (w *mtworker) run() {
 	for spin := 0; ; {
@@ -122,6 +139,9 @@ func (w *mtworker) run() {
 		spin = 0
 		if a.Kind == event.Flush {
 			return
+		}
+		if a.Kind <= event.Write { // Read or Write
+			w.events++
 		}
 		w.eng.Process(a)
 	}

@@ -41,8 +41,14 @@ type migState struct {
 type Parallel struct {
 	cfg     Config
 	w       int
+	wMask   uint64 // w-1 when w is a power of two, else 0 (see ownerOf)
 	workers []*pworker
 	open    []*event.Chunk
+	// lastIdx[w] is the index in open[w] of the last appended event, or -1
+	// when the last slot is not mergeable (fresh chunk, post-control push).
+	// The producer's duplicate filter collapses a read identical to that
+	// event into its Rep count instead of appending a copy.
+	lastIdx []int
 	// redirect overrides the modulo rule for migrated addresses
 	// ("redistribution rules are stored in a map and have higher priority
 	// than the modulo function", §IV-A).
@@ -53,6 +59,7 @@ type Parallel struct {
 	chunksSinceCheck int
 	allocatedChunks  uint64
 	stats            RunStats
+	dupPublished     uint64
 	m                *telemetry.Pipeline
 	wg               sync.WaitGroup
 	flushed          bool
@@ -83,12 +90,15 @@ func NewParallel(cfg Config) *Parallel {
 	p := &Parallel{
 		cfg:      cfg,
 		w:        cfg.Workers,
+		wMask:    powerOfTwoMask(cfg.Workers),
 		open:     make([]*event.Chunk, cfg.Workers),
+		lastIdx:  make([]int, cfg.Workers),
 		redirect: make(map[uint64]int),
 		heavy:    newHeavySketch(64),
 		m:        cfg.Metrics,
 	}
 	for i := 0; i < cfg.Workers; i++ {
+		p.lastIdx[i] = -1
 		var in chunkQueue
 		if cfg.LockBased {
 			in = queue.NewLocked[*event.Chunk](qcap)
@@ -100,6 +110,9 @@ func NewParallel(cfg Config) *Parallel {
 			in:      in,
 			recycle: queue.NewSPSC[*event.Chunk](qcap),
 			eng:     NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck),
+		}
+		if cfg.NoFastPath {
+			w.eng.DisableCache()
 		}
 		p.workers = append(p.workers, w)
 		p.open[i] = p.newChunk(w)
@@ -120,7 +133,27 @@ func (p *Parallel) owner(addr uint64) int {
 	if w, ok := p.redirect[addr]; ok {
 		return w
 	}
-	return int((addr >> 3) % uint64(p.w))
+	return ownerOf(addr, p.w, p.wMask)
+}
+
+// ownerOf is the modulo rule of Equation 1. Worker counts are powers of two
+// in practice (they default to GOMAXPROCS but benchmarks and deployments pin
+// 2/4/8/16), and for those the modulo is a mask — sparing the hot producer
+// path a hardware divide per access, which profiling showed as a measurable
+// slice of the distribution cost. The mapping is bit-identical to the modulo.
+func ownerOf(addr uint64, w int, wMask uint64) int {
+	if wMask != 0 {
+		return int((addr >> 3) & wMask)
+	}
+	return int((addr >> 3) % uint64(w))
+}
+
+// powerOfTwoMask returns w-1 if w is a power of two, else 0.
+func powerOfTwoMask(w int) uint64 {
+	if w > 0 && w&(w-1) == 0 {
+		return uint64(w - 1)
+	}
+	return 0
 }
 
 // Access implements Profiler.
@@ -129,14 +162,47 @@ func (p *Parallel) Access(a event.Access) {
 		p.stats.Accesses++
 		// Sample the access statistics: every 16th access keeps producer
 		// overhead bounded while heavily accessed addresses still dominate
-		// the sketch.
-		if p.sample++; p.sample&15 == 0 {
-			p.heavy.Offer(a.Addr)
+		// the sketch. The sketch is only ever consumed by rebalance(), so
+		// with redistribution disabled (the default) sampling is skipped
+		// entirely.
+		if p.cfg.RedistributeEvery > 0 {
+			if p.sample++; p.sample&15 == 0 {
+				p.heavy.Offer(a.Addr)
+			}
 		}
 	}
-	w := p.owner(a.Addr)
+	// Owner computation is inlined on the hot path: the redirect map is only
+	// populated once a rebalance has migrated an address (redistribution is
+	// off by default), so the common case pays no map probe at all.
+	w := ownerOf(a.Addr, p.w, p.wMask)
+	if len(p.redirect) != 0 {
+		if r, ok := p.redirect[a.Addr]; ok {
+			w = r
+		}
+	}
 	c := p.open[w]
+	if a.Kind == event.Read && !p.cfg.NoFastPath {
+		// Duplicate filter: a read identical to the worker's previous event
+		// (same statement re-reading the same word within one iteration) is
+		// collapsed into that event's repetition count. Any intervening
+		// access to the same address routes to the same worker and resets
+		// the match, so the collapse is exact: the engine replays the
+		// multiplicity and the profile is byte-identical.
+		if li := p.lastIdx[w]; li >= 0 {
+			last := &c.Events[li]
+			if last.Kind == event.Read && last.Rep != event.MaxRep {
+				cmp := *last
+				cmp.Rep = 0
+				if cmp == a {
+					last.Rep++
+					p.stats.DupCollapsed++
+					return
+				}
+			}
+		}
+	}
 	c.Append(a)
+	p.lastIdx[w] = c.Len() - 1
 	if c.Full() {
 		p.pushOpen(w)
 		if p.cfg.RedistributeEvery > 0 {
@@ -167,6 +233,7 @@ func (p *Parallel) newChunk(w *pworker) *event.Chunk {
 // pushOpen sends worker w's open chunk and opens a fresh one.
 func (p *Parallel) pushOpen(w int) {
 	c := p.open[w]
+	p.lastIdx[w] = -1
 	if c.Len() == 0 {
 		return
 	}
@@ -176,6 +243,10 @@ func (p *Parallel) pushOpen(w int) {
 	if p.m != nil {
 		p.m.Events.Add(uint64(n))
 		p.m.Chunks.Inc()
+		if d := p.stats.DupCollapsed - p.dupPublished; d > 0 {
+			p.m.DupCollapsed.Add(d)
+			p.dupPublished = p.stats.DupCollapsed
+		}
 		// Depth right after the push; the pushed chunk may already have been
 		// consumed, so count it in to keep the gauge a lower bound of the
 		// burst the worker saw.
@@ -242,12 +313,14 @@ func (p *Parallel) rebalance() {
 func (p *Parallel) migrate(addr uint64, from, to int) {
 	fw, tw := p.workers[from], p.workers[to]
 
-	// Step 1: flush pending accesses, then MIGRATE.
+	// Step 1: flush pending accesses, then MIGRATE. Control chunks count as
+	// ControlChunks, not Chunks: they carry no accesses, so folding them into
+	// the data-chunk count would skew events-per-chunk throughput math.
 	p.pushOpen(from)
 	mc := p.newChunk(fw)
 	mc.Append(event.Access{Addr: addr, Kind: event.Migrate})
 	fw.in.Push(mc)
-	p.stats.Chunks++
+	p.stats.ControlChunks++
 
 	// Step 2: wait for the state.
 	var st *migState
@@ -267,7 +340,7 @@ func (p *Parallel) migrate(addr uint64, from, to int) {
 	ic := p.newChunk(tw)
 	ic.Append(event.Access{Addr: addr, Kind: event.Install})
 	tw.in.Push(ic)
-	p.stats.Chunks++
+	p.stats.ControlChunks++
 
 	p.redirect[addr] = to
 	p.stats.Migrations++
@@ -287,27 +360,40 @@ func (p *Parallel) Flush() *Result {
 		fc := p.newChunk(p.workers[i])
 		fc.Append(event.Access{Kind: event.Flush})
 		p.workers[i].in.Push(fc)
-		p.stats.Chunks++
+		p.stats.ControlChunks++
 	}
 	p.wg.Wait()
 
 	// Merge worker-local results into a global map; "this step incurs only
 	// minor overhead since the local maps are free of duplicates" (§IV).
+	// Loop aggregates merge at key-set granularity: the same carried key may
+	// surface on several workers (same source lines, different addresses)
+	// and must not be double-counted.
 	res := &Result{
 		Deps:  dep.NewSet(),
-		Loops: make(map[prog.LoopID]*LoopDeps),
 		Stats: p.stats,
 	}
+	aggs := make(map[prog.LoopID]*loopAgg)
 	for _, w := range p.workers {
 		res.Deps.Merge(w.eng.Deps())
-		mergeLoopDeps(res.Loops, w.eng.LoopDeps())
+		mergeLoopAggs(aggs, w.eng.loops)
 		res.Stats.StoreBytes += w.eng.Store().Bytes()
 		res.Stats.StoreModeledBytes += w.eng.Store().ModeledBytes()
+		hits, probes := w.eng.CacheStats()
+		res.Stats.DepCacheHits += hits
+		res.Stats.DepCacheProbes += probes
 		res.WorkerEvents = append(res.WorkerEvents, w.events)
 	}
+	res.Loops = loopDepsOf(aggs)
 	const chunkBytes = event.ChunkSize*48 + 64
 	res.Stats.QueueBytes = p.allocatedChunks * chunkBytes
 	if p.m != nil {
+		p.m.DepCacheHits.Add(res.Stats.DepCacheHits)
+		p.m.DepCacheProbes.Add(res.Stats.DepCacheProbes)
+		if d := p.stats.DupCollapsed - p.dupPublished; d > 0 {
+			p.m.DupCollapsed.Add(d)
+			p.dupPublished = p.stats.DupCollapsed
+		}
 		stores := make([]sig.Store, len(p.workers))
 		for i, w := range p.workers {
 			stores[i] = w.eng.Store()
@@ -359,7 +445,10 @@ func (w *pworker) run() {
 					w.eng.Store().SetRead(st.addr, st.read)
 				}
 			default:
-				w.events++
+				// A collapsed read stands for 1+Rep target accesses; count
+				// them all so WorkerEvents keeps reporting the §IV-A
+				// load-balance quantity (logical accesses per worker).
+				w.events += 1 + uint64(ev.Rep)
 				w.eng.Process(*ev)
 			}
 		}

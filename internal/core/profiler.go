@@ -37,8 +37,21 @@ type Result struct {
 type RunStats struct {
 	// Accesses is the number of read/write events processed.
 	Accesses uint64
-	// Chunks is the number of chunks pushed to workers (0 for serial).
+	// Chunks is the number of data chunks pushed to workers (0 for serial).
 	Chunks uint64
+	// ControlChunks is the number of control-only chunk pushes
+	// (migrate/install/flush sentinels); kept apart from Chunks so
+	// events-per-chunk throughput math stays honest.
+	ControlChunks uint64
+	// DupCollapsed is the number of consecutive duplicate reads the producer
+	// collapsed into repetition counts before chunking. The collapsed
+	// accesses still count in Accesses and in every dependence count.
+	DupCollapsed uint64
+	// DepCacheHits / DepCacheProbes report the engines' instance-cache
+	// performance: a hit records a dependence instance without any map
+	// operation.
+	DepCacheHits   uint64
+	DepCacheProbes uint64
 	// Migrations is the number of address redistributions performed.
 	Migrations uint64
 	// Redistributions is the number of rebalance rounds that moved at
@@ -77,6 +90,11 @@ type Config struct {
 	// RedistributeEvery triggers a load-balance check every N chunks
 	// (paper: 50,000). 0 disables redistribution.
 	RedistributeEvery int
+	// NoFastPath disables the hot-path optimizations — the engines' instance
+	// cache and the parallel producer's duplicate-read filter. The profile is
+	// byte-identical either way (the equivalence suite holds both paths to
+	// that); the flag exists for A/B measurement (exp.Throughput) and tests.
+	NoFastPath bool
 	// Metrics, when non-nil, receives live pipeline telemetry (events in,
 	// queue depths, chunk recycling, redistributions, signature occupancy).
 	// Counters are bumped at chunk granularity so the hot path stays cheap;
@@ -113,10 +131,14 @@ func NewSerial(cfg Config) *Serial {
 		total := cfg.SlotsPerWorker * cfg.Workers
 		cfg.NewStore = func() sig.Store { return sig.NewSignature(total) }
 	}
-	return &Serial{
+	s := &Serial{
 		eng: NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck),
 		m:   cfg.Metrics,
 	}
+	if cfg.NoFastPath {
+		s.eng.DisableCache()
+	}
+	return s
 }
 
 // Access implements Profiler.
@@ -137,9 +159,12 @@ func (s *Serial) Access(a event.Access) {
 func (s *Serial) Flush() *Result {
 	s.stats.StoreBytes = s.eng.Store().Bytes()
 	s.stats.StoreModeledBytes = s.eng.Store().ModeledBytes()
+	s.stats.DepCacheHits, s.stats.DepCacheProbes = s.eng.CacheStats()
 	if s.m != nil {
 		s.m.Events.Add(s.stats.Accesses - s.published)
 		s.published = s.stats.Accesses
+		s.m.DepCacheHits.Add(s.stats.DepCacheHits)
+		s.m.DepCacheProbes.Add(s.stats.DepCacheProbes)
 		publishOccupancy(s.m, s.eng.Store())
 	}
 	return &Result{

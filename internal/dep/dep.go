@@ -101,13 +101,29 @@ func (s *Set) Add(k Key, carried, reduction, reversed bool) {
 // AddDist is Add with the instance's dependence distance (the iteration gap
 // at the carried loop; 0 for loop-independent instances).
 func (s *Set) AddDist(k Key, carried, reduction, reversed bool, dist uint32) {
-	s.instances++
+	s.ObserveVia(s.Ref(k), 1, carried, reduction, reversed, dist)
+}
+
+// Ref returns the pointer-stable *Stats entry for k, creating it if absent.
+// The pointer stays valid for the life of the Set, so hot paths may cache it
+// (the engine's instance cache does) and record further instances through
+// ObserveVia without re-hashing the key. Ref alone records no instance.
+func (s *Set) Ref(k Key) *Stats {
 	st := s.m[k]
 	if st == nil {
 		st = &Stats{Reduction: true, MinDist: ^uint32(0)}
 		s.m[k] = st
 	}
-	st.Count++
+	return st
+}
+
+// ObserveVia records n dynamic instances of the dependence whose stats entry
+// is st (obtained from Ref on this Set), all with the same attributes. It is
+// exactly equivalent to n AddDist calls for that key — the fuzz suite holds
+// the two paths to that contract.
+func (s *Set) ObserveVia(st *Stats, n uint64, carried, reduction, reversed bool, dist uint32) {
+	s.instances += n
+	st.Count += n
 	st.Carried = st.Carried || carried
 	st.Reversed = st.Reversed || reversed
 	st.Reduction = st.Reduction && reduction

@@ -31,6 +31,65 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzFastUpdate checks the fast-update API the engine's instance cache sits
+// on: for any operation stream, recording instances through cached Ref
+// pointers + ObserveVia (with arbitrary batching) must leave a Set identical
+// to one built with per-instance AddDist calls.
+func FuzzFastUpdate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00, 0x80, 0x7F})
+	f.Add([]byte{})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slow := NewSet()
+		fast := NewSet()
+		refs := make(map[Key]*Stats)
+		for len(data) >= 6 {
+			op := data[:6]
+			data = data[6:]
+			k := Key{
+				Type:       Type(op[0] % 4),
+				Sink:       loc.SourceLoc(op[1] % 8),
+				Src:        loc.SourceLoc(op[2] % 8),
+				Var:        loc.VarID(op[3] % 4),
+				SinkThread: int16(op[3] >> 6),
+			}
+			carried := op[4]&1 != 0
+			reduction := op[4]&2 != 0
+			reversed := op[4]&4 != 0
+			dist := uint32(op[4] >> 3)
+			n := uint64(op[5]%4) + 1 // batch 1..4 instances
+
+			for i := uint64(0); i < n; i++ {
+				slow.AddDist(k, carried, reduction, reversed, dist)
+			}
+			st := refs[k]
+			if st == nil {
+				st = fast.Ref(k)
+				refs[k] = st
+			}
+			fast.ObserveVia(st, n, carried, reduction, reversed, dist)
+		}
+
+		if slow.Unique() != fast.Unique() {
+			t.Fatalf("unique: slow %d, fast %d", slow.Unique(), fast.Unique())
+		}
+		if slow.Instances() != fast.Instances() {
+			t.Fatalf("instances: slow %d, fast %d", slow.Instances(), fast.Instances())
+		}
+		slow.Range(func(k Key, st Stats) bool {
+			fst, ok := fast.Lookup(k)
+			if !ok {
+				t.Fatalf("fast set missing key %+v", k)
+			}
+			if fst != st {
+				t.Fatalf("stats diverge for %+v:\n slow %+v\n fast %+v", k, st, fst)
+			}
+			return true
+		})
+	})
+}
+
 // FuzzDecode hardens the binary codec: arbitrary bytes must never panic or
 // over-allocate.
 func FuzzDecode(f *testing.F) {

@@ -68,7 +68,17 @@ type Access struct {
 	Thread  int32         // target-program thread ID
 	Kind    Kind
 	Flags   Flags
+	// Rep is the number of *additional* identical repetitions this event
+	// stands for. The parallel producer collapses consecutive identical reads
+	// to one event with Rep > 0 instead of occupying chunk slots with copies;
+	// the engine replays the multiplicity into the dependence counts, so the
+	// profile is byte-identical to the uncollapsed stream. Only meaningful on
+	// Read events; the field occupies struct padding, so Access stays 48 bytes.
+	Rep uint16
 }
+
+// MaxRep is the largest repetition count one collapsed event can carry.
+const MaxRep = ^uint16(0)
 
 // Flags carry per-access attributes.
 type Flags uint8

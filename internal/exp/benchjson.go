@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchEntry is one parsed `go test -bench` result line that reported a
+// custom events/s metric (BenchmarkHotPath does via b.ReportMetric).
+type BenchEntry struct {
+	Name         string  `json:"name"` // sub-benchmark name, e.g. "serial"
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// BenchRun is one labelled benchmark invocation (e.g. "baseline" before a
+// change, "hotpath" after).
+type BenchRun struct {
+	Label   string       `json:"label"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// BenchFile is the BENCH_pipeline.json schema: an append-only log of
+// benchmark runs, so regressions are visible against every recorded
+// predecessor rather than only the last one.
+type BenchFile struct {
+	Benchmark string     `json:"benchmark"`
+	Runs      []BenchRun `json:"runs"`
+}
+
+// ParseBench extracts the entries of `go test -bench` output. Only lines
+// carrying an events/s metric are kept; everything else (goos/pkg banners,
+// PASS, ok) is ignored. The sub-benchmark name is the path segment after the
+// first '/' with the -cpu suffix stripped: "BenchmarkHotPath/serial-4" →
+// "serial".
+func ParseBench(r io.Reader) ([]BenchEntry, error) {
+	var out []BenchEntry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		e := BenchEntry{Name: benchName(f[0])}
+		found := false
+		for i := 1; i < len(f); i++ {
+			v, err := strconv.ParseFloat(f[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "events/s":
+				e.EventsPerSec = v
+				found = true
+			}
+		}
+		if found {
+			out = append(out, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no benchmark lines with an events/s metric found")
+	}
+	return out, nil
+}
+
+func benchName(full string) string {
+	name := full
+	if i := strings.IndexByte(full, '/'); i >= 0 {
+		name = full[i+1:]
+	}
+	// Strip the GOMAXPROCS suffix go test appends ("serial-4" → "serial").
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// AppendBenchRun loads path (if it exists), appends a labelled run and writes
+// the file back. A run with the same label is replaced in place, so re-runs
+// update their row instead of growing the log.
+func AppendBenchRun(path, label string, entries []BenchEntry) (*BenchFile, error) {
+	bf := &BenchFile{Benchmark: "BenchmarkHotPath"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, bf); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	run := BenchRun{Label: label, Entries: entries}
+	replaced := false
+	for i := range bf.Runs {
+		if bf.Runs[i].Label == label {
+			bf.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		bf.Runs = append(bf.Runs, run)
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return bf, nil
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: ddprof
+BenchmarkHotPath/serial-4         	 1000000	       100.5 ns/op	   9941178 events/s
+BenchmarkHotPath/parallel4-4      	  500000	       158.2 ns/op	   6320256 events/s
+BenchmarkOther-4                  	  100000	      1000.0 ns/op
+PASS
+ok  	ddprof	12.3s
+`
+	entries, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (lines without events/s are skipped)", len(entries))
+	}
+	if entries[0].Name != "serial" || entries[0].EventsPerSec != 9941178 || entries[0].NsPerOp != 100.5 {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Name != "parallel4" {
+		t.Fatalf("entry 1 name = %q, want parallel4 (cpu suffix stripped)", entries[1].Name)
+	}
+	if _, err := ParseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("expected error for output without benchmark lines")
+	}
+}
+
+func TestAppendBenchRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := AppendBenchRun(path, "baseline", []BenchEntry{{Name: "serial", EventsPerSec: 1e6}}); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := AppendBenchRun(path, "after", []BenchEntry{{Name: "serial", EventsPerSec: 2e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Runs) != 2 || bf.Runs[0].Label != "baseline" || bf.Runs[1].Label != "after" {
+		t.Fatalf("runs = %+v", bf.Runs)
+	}
+	// Re-recording a label replaces the run instead of appending.
+	bf, err = AppendBenchRun(path, "after", []BenchEntry{{Name: "serial", EventsPerSec: 3e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Runs) != 2 || bf.Runs[1].Entries[0].EventsPerSec != 3e6 {
+		t.Fatalf("after replace: %+v", bf.Runs)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@ package prog
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ddprof/internal/loc"
 )
@@ -135,6 +136,38 @@ func (m *Meta) CarriedLoop(srcCtx, sinkCtx uint32, srcIter, sinkIter uint64) Loo
 // profiling). The distance is 0 for loop-independent dependences and is
 // computed modulo 2^16 (the packed counter width).
 func (m *Meta) CarriedLoopDist(srcCtx, sinkCtx uint32, srcIter, sinkIter uint64) (LoopID, uint32) {
+	if srcCtx == sinkCtx {
+		// Fast path for the dominant case: both accesses share a static
+		// context, so the stacks are identical and the whole prefix is
+		// common. The outermost differing counter is the highest differing
+		// 16-bit lane of the packed vectors, found with one XOR instead of a
+		// per-depth extract-and-compare walk.
+		x := srcIter ^ sinkIter
+		if x == 0 {
+			return NoLoop, 0
+		}
+		ss := m.Stack(srcCtx)
+		if len(ss) == 0 {
+			return NoLoop, 0
+		}
+		d := (bits.Len64(x) - 1) >> 4
+		if d > len(ss)-1 {
+			// Differing lanes above the tracked stack depth read as equal
+			// (see iterAt); rescan from the deepest in-range depth.
+			d = len(ss) - 1
+		}
+		for ; d >= 0; d-- {
+			si, ki := iterAt(srcIter, d), iterAt(sinkIter, d)
+			if si != ki {
+				dd := int32(ki) - int32(si)
+				if dd < 0 {
+					dd = -dd
+				}
+				return ss[len(ss)-1-d], uint32(dd)
+			}
+		}
+		return NoLoop, 0
+	}
 	ss := m.Stack(srcCtx)
 	ks := m.Stack(sinkCtx)
 	common := len(ss)

@@ -20,6 +20,7 @@
 package queue
 
 import (
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -86,18 +87,28 @@ func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
 // Cap returns the ring capacity.
 func (q *SPSC[T]) Cap() int { return len(q.buf) }
 
-// mpscCell pairs an element with its sequence number (Vyukov scheme).
+// mpscCell pairs an element with its sequence number (Vyukov scheme). The
+// cell is padded to a cache line: producers write cell i while the consumer
+// polls cell i+1's seq, and without padding the two land on the same line
+// and ping-pong it between cores on every push/pop pair.
 type mpscCell[T any] struct {
 	seq atomic.Uint64
 	val T
+	_   [cellPad]byte
 }
+
+// cellPad rounds mpscCell's seq+val up to 64 bytes for the element shape the
+// profiler pushes (48-byte accesses). Other shapes still work, just without
+// the exact-line guarantee.
+const cellPad = 8
 
 // MPSC is a lock-free multi-producer/single-consumer bounded ring.
 type MPSC[T any] struct {
 	cells []mpscCell[T]
 	mask  uint64
+	clear bool // T contains pointers: zero cells on pop for GC
 	_     pad
-	head  atomic.Uint64 // consumer position
+	head  uint64 // consumer position; plain — see TryPop
 	_     pad
 	tail  atomic.Uint64 // producers CAS here
 	_     pad
@@ -110,10 +121,36 @@ func NewMPSC[T any](capacity int) *MPSC[T] {
 		n <<= 1
 	}
 	q := &MPSC[T]{cells: make([]mpscCell[T], n), mask: uint64(n - 1)}
+	var zero T
+	q.clear = hasPointers(reflect.TypeOf(&zero).Elem())
 	for i := range q.cells {
 		q.cells[i].seq.Store(uint64(i))
 	}
 	return q
+}
+
+// hasPointers reports whether values of t keep heap objects reachable. Popped
+// cells of such types must be zeroed; plain-data payloads (the profiler's
+// access records) skip the per-pop clear.
+func hasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32,
+		reflect.Int64, reflect.Uint, reflect.Uint8, reflect.Uint16,
+		reflect.Uint32, reflect.Uint64, reflect.Uintptr, reflect.Float32,
+		reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return hasPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
 }
 
 // TryPush appends v; it fails if the ring is full. Safe for any number of
@@ -139,29 +176,50 @@ func (q *MPSC[T]) TryPush(v T) bool {
 }
 
 // TryPop removes the oldest element; single consumer only.
+//
+// head is a plain field: only the consumer touches it, and the cell seq
+// store below already publishes the slot back to producers with the needed
+// ordering, so an atomic head would buy nothing but a second full barrier on
+// every pop — measurable on the MT pipeline's one-push-per-access regime.
+// Consequently Len is only meaningful from the consumer goroutine or after
+// the queue has quiesced.
 func (q *MPSC[T]) TryPop() (T, bool) {
-	var zero T
-	h := q.head.Load()
+	h := q.head
 	cell := &q.cells[h&q.mask]
 	if cell.seq.Load() != h+1 {
+		var zero T
 		return zero, false
 	}
 	v := cell.val
-	cell.val = zero
+	if q.clear {
+		var zero T
+		cell.val = zero // release references for GC
+	}
 	cell.seq.Store(h + uint64(len(q.cells)))
-	q.head.Store(h + 1)
+	q.head = h + 1
 	return v, true
 }
 
-// Push spins until v is accepted.
+// Push spins until v is accepted. Unlike TryPush it claims a slot
+// unconditionally with one fetch-add — the cheapest possible producer path,
+// and the one the MT pipeline takes for every single access — then waits for
+// the cell to come free if the ring is full. Claimed cells are filled
+// independently, so a stalled producer never blocks another's cell, and the
+// scheme interoperates with TryPush: both serialize on the tail RMW and fill
+// only the cell they claimed.
 func (q *MPSC[T]) Push(v T) {
-	for i := 0; !q.TryPush(v); i++ {
-		backoff(i)
+	t := q.tail.Add(1) - 1
+	cell := &q.cells[t&q.mask]
+	for i := 0; cell.seq.Load() != t; i++ {
+		backoff(i) // ring full (or an earlier claimant lagging): wait it out
 	}
+	cell.val = v
+	cell.seq.Store(t + 1)
 }
 
-// Len returns the approximate number of queued elements.
-func (q *MPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+// Len returns the approximate number of queued elements. Valid only from the
+// consumer goroutine or while the queue is quiescent (head is consumer-local).
+func (q *MPSC[T]) Len() int { return int(q.tail.Load() - q.head) }
 
 // Cap returns the ring capacity.
 func (q *MPSC[T]) Cap() int { return len(q.cells) }

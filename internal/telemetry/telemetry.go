@@ -210,6 +210,15 @@ type Pipeline struct {
 	// Redistributions counts rebalance rounds that moved at least one.
 	Migrations      *Counter
 	Redistributions *Counter
+	// DepCacheHits / DepCacheProbes report the detection engines' instance
+	// cache: a hit records a dependence instance with zero map operations.
+	// Published at flush granularity.
+	DepCacheHits   *Counter
+	DepCacheProbes *Counter
+	// DupCollapsed counts consecutive duplicate reads the producer collapsed
+	// into repetition counts before chunking; events_total + dup_collapsed
+	// equals the logical access count.
+	DupCollapsed *Counter
 	// QueueDepth[i] is the last queue depth observed for worker i at chunk
 	// push time (including the chunk just pushed); QueueDepthMax is the
 	// high-water mark across all workers.
@@ -236,6 +245,9 @@ func (r *Registry) Pipeline(prefix string) *Pipeline {
 		ChunksAllocated:      r.Counter(prefix + "_chunks_allocated_total"),
 		Migrations:           r.Counter(prefix + "_migrations_total"),
 		Redistributions:      r.Counter(prefix + "_redistributions_total"),
+		DepCacheHits:         r.Counter(prefix + "_dep_cache_hits_total"),
+		DepCacheProbes:       r.Counter(prefix + "_dep_cache_probes_total"),
+		DupCollapsed:         r.Counter(prefix + "_dup_collapsed_total"),
 		QueueDepthMax:        r.Gauge(prefix + "_queue_depth_max"),
 		SigOccupancyPermille: r.Gauge(prefix + "_sig_occupancy_permille"),
 	}
