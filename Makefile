@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fuzz bench
+.PHONY: all build vet test race check fuzz bench bench-gate
 
 all: build
 
@@ -14,10 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race pass over the concurrent subsystems. The full suite under -race is
-# slow; the data races live in the pipelines and the queues, so that is
-# where the detector earns its keep.
+# slow; the data races live in the pipelines, the queues, and the daemon's
+# session handling, so that is where the detector earns its keep.
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/ ./internal/server/
 
 # The full gate: what CI and pre-commit should run.
 check: build vet test race
@@ -27,8 +27,20 @@ check: build vet test race
 # visible against every recorded run (the committed baseline included).
 BENCH_LABEL ?= local
 bench:
-	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=1 . \
+	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-label $(BENCH_LABEL) benchjson
+
+# Regression gate: fail if events/s drops more than 10% below the committed
+# "hotpath" baseline run in BENCH_pipeline.json. -count=3 because the gate
+# compares the best repeat per pipeline: the first iteration of a fresh
+# process is routinely depressed by warm-up and frequency scaling. The
+# baseline is machine-relative — a floor of attainable throughput on the
+# machine that recorded it — so on new hardware re-record it first with
+# `make bench BENCH_LABEL=hotpath`.
+BENCH_BASELINE ?= hotpath
+bench-gate:
+	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/ddexp -bench-compare $(BENCH_BASELINE) benchjson
 
 # Short fuzz pass over the hardened decoders (trace, framing, server) and
 # the dependence-set fast-update API the instance cache relies on.

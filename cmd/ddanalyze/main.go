@@ -49,14 +49,16 @@ func main() {
 		prog = w.Build(cfg)
 	}
 
-	ccfg := core.Config{Workers: *workers, SlotsPerWorker: (1 << 21) / *workers, Meta: prog.Meta}
-	var prof core.Profiler
+	ccfg := core.Config{Mode: core.ModeParallel, Workers: *workers, SlotsPerWorker: (1 << 21) / *workers, Meta: prog.Meta}
 	iopt := interp.Options{}
 	if *mt {
-		prof = core.NewMT(ccfg)
+		ccfg.Mode = core.ModeMT
 		iopt.Timestamps = true
-	} else {
-		prof = core.NewParallel(ccfg)
+	}
+	prof, err := core.New(ccfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddanalyze:", err)
+		os.Exit(2)
 	}
 	info, err := interp.Run(prog, prof, iopt)
 	if err != nil {

@@ -20,6 +20,10 @@
 //	go test -bench BenchmarkHotPath . | ddexp -bench-label after benchjson
 //	                        # parse benchmark output from stdin and append a
 //	                        # labelled run to BENCH_pipeline.json (make bench)
+//	go test -bench BenchmarkHotPath . | ddexp -bench-compare hotpath benchjson
+//	                        # compare stdin against the recorded "hotpath" run
+//	                        # and exit 1 on a >10% events/s regression
+//	                        # (make bench-gate)
 //
 // Flags: -scale N (problem size multiplier), -paper (paper-scale signature
 // sizes and repetitions), -only a,b,c (restrict to named workloads),
@@ -49,8 +53,10 @@ func main() {
 		reps    = flag.Int("reps", 0, "timing repetitions (0 = default)")
 		metrics = flag.String("metrics", "", "HTTP address serving live /metrics while experiments run (e.g. :7078)")
 
-		benchJSON  = flag.String("bench-json", "BENCH_pipeline.json", "destination file for the benchjson subcommand")
-		benchLabel = flag.String("bench-label", "run", "run label for the benchjson subcommand")
+		benchJSON    = flag.String("bench-json", "BENCH_pipeline.json", "destination file for the benchjson subcommand")
+		benchLabel   = flag.String("bench-label", "run", "run label for the benchjson subcommand")
+		benchCompare = flag.String("bench-compare", "", "compare stdin against this recorded run label instead of appending; exit 1 on regression")
+		benchTol     = flag.Float64("bench-tolerance", 0.10, "events/s fraction a sub-benchmark may fall below the baseline before -bench-compare fails")
 	)
 	flag.Parse()
 	if *metrics != "" {
@@ -78,6 +84,31 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ddexp benchjson:", err)
 			os.Exit(1)
+		}
+		if *benchCompare != "" {
+			// Gate mode (make bench-gate): compare against a recorded run,
+			// fail loudly on regression, record nothing.
+			deltas, err := exp.CompareBench(*benchJSON, *benchCompare, entries, *benchTol)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ddexp benchjson:", err)
+				os.Exit(1)
+			}
+			regressed := false
+			for _, d := range deltas {
+				verdict := "ok"
+				if d.Regressed {
+					verdict = "REGRESSED"
+					regressed = true
+				}
+				fmt.Printf("%-12s %14.0f events/s vs %14.0f baseline (%5.1f%%)  %s\n",
+					d.Name, d.Now, d.Base, 100*d.Ratio, verdict)
+			}
+			if regressed {
+				fmt.Fprintf(os.Stderr, "ddexp benchjson: events/s regressed more than %.0f%% below run %q\n",
+					100**benchTol, *benchCompare)
+				os.Exit(1)
+			}
+			return
 		}
 		bf, err := exp.AppendBenchRun(*benchJSON, *benchLabel, entries)
 		if err != nil {

@@ -195,24 +195,27 @@ func Profile(p *Program, cfg Config) (*Result, error) {
 	if cfg.Exact {
 		ccfg.NewStore = func() sig.Store { return sig.NewPerfectSignature() }
 	}
-	var prof core.Profiler
 	iopt := interp.Options{}
 	switch cfg.Mode {
 	case ModeSerial:
+		ccfg.Mode = core.ModeSerial
 		ccfg.Workers = 1
 		ccfg.SlotsPerWorker = slots
-		prof = core.NewSerial(ccfg)
 	case ModeParallel:
-		prof = core.NewParallel(ccfg)
+		ccfg.Mode = core.ModeParallel
 	case ModeParallelLockBased:
+		ccfg.Mode = core.ModeParallel
 		ccfg.LockBased = true
-		prof = core.NewParallel(ccfg)
 	case ModeMT:
-		prof = core.NewMT(ccfg)
+		ccfg.Mode = core.ModeMT
 		iopt.Timestamps = true
 		iopt.YieldEvery = cfg.SchedulerFuzz
 	default:
 		return nil, fmt.Errorf("ddprof: unknown mode %d", cfg.Mode)
+	}
+	prof, err := core.New(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("ddprof: %w", err)
 	}
 	info, err := interp.Run(p, prof, iopt)
 	if err != nil {

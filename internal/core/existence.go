@@ -1,13 +1,10 @@
 package core
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
-	"ddprof/internal/queue"
 )
 
 // Existence is the set-based/untyped profiling variant the paper sketches
@@ -16,30 +13,48 @@ import (
 // balanced workload".
 //
 // Because no temporal order is needed for mere existence, addresses no
-// longer have to be owned by a single worker: chunks are dealt round-robin,
-// which balances the workers perfectly even under the skewed access
-// frequencies that defeat the modulo rule (§IV-A). Each worker records,
-// per address, the sets of reader and writer lines; the merge unions them
-// and a dependence "exists" between two lines if they touched a common
-// address and at least one wrote it.
+// longer have to be owned by a single worker: the shared producer stage runs
+// in round-robin dealing mode, which balances the workers perfectly even
+// under the skewed access frequencies that defeat the modulo rule (§IV-A) —
+// and brings along the producer's chunk recycling and duplicate-read
+// collapse for free. Each worker records, per address, the sets of reader
+// and writer lines; the merge unions them and a dependence "exists" between
+// two lines if they touched a common address and at least one wrote it.
 type Existence struct {
-	workers []*eworker
-	open    *event.Chunk
-	next    int
-	stats   RunStats
-	wg      sync.WaitGroup
-	flushed bool
+	pl pipeline
+	pr producer
 }
 
-type eworker struct {
-	in     *queue.SPSC[*event.Chunk]
-	lines  map[uint64]*lineSets
-	events uint64
+// existSink is the worker-local analysis of existence mode: line sets per
+// address instead of a detection engine.
+type existSink struct {
+	lines map[uint64]*lineSets
 }
 
 type lineSets struct {
 	readers map[loc.SourceLoc]struct{}
 	writers map[loc.SourceLoc]struct{}
+}
+
+// process records one access; repetition counts are irrelevant because line
+// sets are idempotent.
+func (s *existSink) process(ev *event.Access) {
+	if ev.Kind != event.Read && ev.Kind != event.Write {
+		return
+	}
+	ls := s.lines[ev.Addr]
+	if ls == nil {
+		ls = &lineSets{
+			readers: make(map[loc.SourceLoc]struct{}),
+			writers: make(map[loc.SourceLoc]struct{}),
+		}
+		s.lines[ev.Addr] = ls
+	}
+	if ev.Kind == event.Write {
+		ls.writers[ev.Loc] = struct{}{}
+	} else {
+		ls.readers[ev.Loc] = struct{}{}
+	}
 }
 
 // LinePair is an unordered pair of source lines with a dependence between
@@ -58,71 +73,49 @@ type ExistenceResult struct {
 	Stats        RunStats
 }
 
-// NewExistence starts the untyped pipeline with the given worker count.
-func NewExistence(workers int) *Existence {
-	if workers <= 0 {
-		workers = 8
+// NewExistence starts the untyped pipeline; it panics on an invalid Config.
+// Workers defaults to 8. Mode, Meta, RaceCheck and the store fields are
+// ignored — existence needs no access history.
+func NewExistence(cfg Config) *Existence {
+	cfg, err := cfg.normalize(ModeExistence)
+	if err != nil {
+		panic(err)
 	}
-	e := &Existence{open: event.NewChunk()}
-	for i := 0; i < workers; i++ {
-		w := &eworker{
-			in:    queue.NewSPSC[*event.Chunk](64),
-			lines: make(map[uint64]*lineSets),
-		}
-		e.workers = append(e.workers, w)
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			w.run()
-		}()
+	e := &Existence{}
+	e.pl.m = cfg.Metrics
+	for i := 0; i < cfg.Workers; i++ {
+		e.pl.workers = append(e.pl.workers, &worker{
+			id: i,
+			tr: newChunkTransport(cfg.LockBased, cfg.QueueCap),
+			ex: &existSink{lines: make(map[uint64]*lineSets)},
+		})
 	}
+	e.pl.startAll()
+	e.pr.init(&e.pl, &cfg, true)
 	return e
 }
 
 // Access implements the producer side; single-threaded like Parallel.
+// Lifetime and control events are dropped: line sets never shrink.
 func (e *Existence) Access(a event.Access) {
 	if a.Kind != event.Read && a.Kind != event.Write {
 		return
 	}
-	e.stats.Accesses++
-	e.open.Append(a)
-	if e.open.Full() {
-		e.push()
-	}
-}
-
-// push deals the current chunk to the next worker, round-robin: any worker
-// can take any chunk because existence needs no per-address ordering.
-func (e *Existence) push() {
-	if e.open.Len() == 0 {
-		return
-	}
-	e.workers[e.next].in.Push(e.open)
-	e.next = (e.next + 1) % len(e.workers)
-	e.stats.Chunks++
-	e.open = event.NewChunk()
+	e.pr.access(a)
 }
 
 // Flush drains the pipeline and merges the per-worker line sets.
 func (e *Existence) Flush() *ExistenceResult {
-	if e.flushed {
-		panic("core: Flush called twice")
-	}
-	e.flushed = true
-	e.push()
-	for _, w := range e.workers {
-		fc := event.NewChunk()
-		fc.Append(event.Access{Kind: event.Flush})
-		w.in.Push(fc)
-	}
-	e.wg.Wait()
+	e.pl.beginFlush()
+	e.pr.drainFlush()
+	e.pl.wg.Wait()
 
 	// Union the per-address line sets across workers, then emit pairs.
 	merged := make(map[uint64]*lineSets)
-	res := &ExistenceResult{Pairs: make(map[LinePair]struct{}), Stats: e.stats}
-	for _, w := range e.workers {
+	res := &ExistenceResult{Pairs: make(map[LinePair]struct{}), Stats: e.pr.stats}
+	for _, w := range e.pl.workers {
 		res.WorkerEvents = append(res.WorkerEvents, w.events)
-		for addr, ls := range w.lines {
+		for addr, ls := range w.ex.lines {
 			m := merged[addr]
 			if m == nil {
 				merged[addr] = ls
@@ -154,45 +147,6 @@ func pairOf(a, b loc.SourceLoc) LinePair {
 		a, b = b, a
 	}
 	return LinePair{A: a, B: b}
-}
-
-func (w *eworker) run() {
-	for spin := 0; ; {
-		c, ok := w.in.TryPop()
-		if !ok {
-			spin++
-			if spin > 64 {
-				runtime.Gosched()
-			}
-			continue
-		}
-		spin = 0
-		done := false
-		for i := range c.Events {
-			ev := &c.Events[i]
-			if ev.Kind == event.Flush {
-				done = true
-				continue
-			}
-			w.events++
-			ls := w.lines[ev.Addr]
-			if ls == nil {
-				ls = &lineSets{
-					readers: make(map[loc.SourceLoc]struct{}),
-					writers: make(map[loc.SourceLoc]struct{}),
-				}
-				w.lines[ev.Addr] = ls
-			}
-			if ev.Kind == event.Write {
-				ls.writers[ev.Loc] = struct{}{}
-			} else {
-				ls.readers[ev.Loc] = struct{}{}
-			}
-		}
-		if done {
-			return
-		}
-	}
 }
 
 // Imbalance summarizes a worker-event distribution as max/mean; 1.0 is a

@@ -10,7 +10,7 @@ import (
 )
 
 func TestExistenceBasicPairs(t *testing.T) {
-	e := NewExistence(4)
+	e := NewExistence(Config{Workers: 4})
 	// write A@1; read A@2; write B@3; read B@2: pairs {1,2}, {2,3}, and the
 	// self WAW pairs {1,1}, {3,3}.
 	e.Access(event.Access{Addr: 0x100, Kind: event.Write, Loc: loc.Pack(1, 1)})
@@ -34,7 +34,7 @@ func TestExistenceBasicPairs(t *testing.T) {
 		}
 	}
 	// Read-only addresses yield no pairs.
-	e2 := NewExistence(2)
+	e2 := NewExistence(Config{Workers: 2})
 	e2.Access(event.Access{Addr: 0x300, Kind: event.Read, Loc: loc.Pack(1, 5)})
 	e2.Access(event.Access{Addr: 0x300, Kind: event.Read, Loc: loc.Pack(1, 6)})
 	if res2 := e2.Flush(); len(res2.Pairs) != 0 {
@@ -49,7 +49,7 @@ func TestExistenceCoversTypedDeps(t *testing.T) {
 	evs := synthStream(100000, 300, 11)
 
 	full := runSerial(evs)
-	ex := NewExistence(4)
+	ex := NewExistence(Config{Workers: 4})
 	for _, a := range evs {
 		ex.Access(a)
 	}
@@ -91,7 +91,7 @@ func TestRoundRobinBalancesSkewedStreams(t *testing.T) {
 	}
 	typed := p.Flush()
 
-	ex := NewExistence(4)
+	ex := NewExistence(Config{Workers: 4})
 	for _, a := range evs {
 		ex.Access(a)
 	}

@@ -1,461 +1,69 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
-	"ddprof/internal/dep"
 	"ddprof/internal/event"
-	"ddprof/internal/prog"
-	"ddprof/internal/queue"
-	"ddprof/internal/sig"
-	"ddprof/internal/telemetry"
 )
-
-// chunkQueue is the queue surface the pipeline needs; satisfied by both the
-// lock-free queue.SPSC and the lock-based queue.Locked, which is how the
-// Figure 5 lock-based/lock-free ablation swaps implementations.
-type chunkQueue interface {
-	TryPush(*event.Chunk) bool
-	TryPop() (*event.Chunk, bool)
-	Push(*event.Chunk)
-	Len() int
-}
-
-// migState is the signature state of one address in flight between workers
-// during redistribution.
-type migState struct {
-	addr        uint64
-	write, read sig.Slot
-	wok, rok    bool
-}
 
 // Parallel is the profiler of §IV for sequential targets: the main (target)
 // thread produces accesses, distributes them into per-worker chunks by
 // address, and W workers detect dependences in disjoint address subsets
 // using worker-local signatures and dependence maps.
 //
+// It is the canonical pipeline composition: the shared producer stage
+// (address routing, duplicate filter, heavy-hitter redistribution) over
+// chunked transports into engine workers, merged by the shared merge stage.
+//
 // Access must be called from a single goroutine (the target is sequential);
 // Flush drains the pipeline, joins the workers and merges their results.
 type Parallel struct {
-	cfg     Config
-	w       int
-	wMask   uint64 // w-1 when w is a power of two, else 0 (see ownerOf)
-	workers []*pworker
-	open    []*event.Chunk
-	// lastIdx[w] is the index in open[w] of the last appended event, or -1
-	// when the last slot is not mergeable (fresh chunk, post-control push).
-	// The producer's duplicate filter collapses a read identical to that
-	// event into its Rep count instead of appending a copy.
-	lastIdx []int
-	// redirect overrides the modulo rule for migrated addresses
-	// ("redistribution rules are stored in a map and have higher priority
-	// than the modulo function", §IV-A).
-	redirect map[uint64]int
-	heavy    *heavySketch
-	sample   uint64
-
-	chunksSinceCheck int
-	allocatedChunks  uint64
-	stats            RunStats
-	dupPublished     uint64
-	m                *telemetry.Pipeline
-	wg               sync.WaitGroup
-	flushed          bool
+	pl pipeline
+	pr producer
 }
 
-// pworker is one consumer thread of the pipeline.
-type pworker struct {
-	id      int
-	in      chunkQueue
-	recycle *queue.SPSC[*event.Chunk]
-	eng     *Engine
-	events  uint64
-
-	// migration mailboxes (producer <-> this worker)
-	migOut    atomic.Pointer[migState] // worker publishes state to producer
-	installIn atomic.Pointer[migState] // producer publishes state to worker
-}
-
-// NewParallel builds the pipeline and starts the workers.
+// NewParallel builds the pipeline and starts the workers; it panics on an
+// invalid Config (use New for an error return).
 func NewParallel(cfg Config) *Parallel {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	qcap := cfg.QueueCap
-	if qcap <= 0 {
-		qcap = 64
-	}
-	p := &Parallel{
-		cfg:      cfg,
-		w:        cfg.Workers,
-		wMask:    powerOfTwoMask(cfg.Workers),
-		open:     make([]*event.Chunk, cfg.Workers),
-		lastIdx:  make([]int, cfg.Workers),
-		redirect: make(map[uint64]int),
-		heavy:    newHeavySketch(64),
-		m:        cfg.Metrics,
-	}
-	for i := 0; i < cfg.Workers; i++ {
-		p.lastIdx[i] = -1
-		var in chunkQueue
-		if cfg.LockBased {
-			in = queue.NewLocked[*event.Chunk](qcap)
-		} else {
-			in = queue.NewSPSC[*event.Chunk](qcap)
-		}
-		w := &pworker{
-			id:      i,
-			in:      in,
-			recycle: queue.NewSPSC[*event.Chunk](qcap),
-			eng:     NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck),
-		}
-		if cfg.NoFastPath {
-			w.eng.DisableCache()
-		}
-		p.workers = append(p.workers, w)
-		p.open[i] = p.newChunk(w)
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			w.run()
-		}()
+	p, err := newParallel(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }
 
-// owner maps an address to its worker. The paper uses `address % W`
-// (Equation 1) on byte addresses; our substrate allocates 8-byte words, so
-// the three alignment bits are shifted out first to keep the distribution
-// even.
-func (p *Parallel) owner(addr uint64) int {
-	if w, ok := p.redirect[addr]; ok {
-		return w
+func newParallel(cfg Config) (*Parallel, error) {
+	cfg, err := cfg.normalize(ModeParallel)
+	if err != nil {
+		return nil, err
 	}
-	return ownerOf(addr, p.w, p.wMask)
-}
-
-// ownerOf is the modulo rule of Equation 1. Worker counts are powers of two
-// in practice (they default to GOMAXPROCS but benchmarks and deployments pin
-// 2/4/8/16), and for those the modulo is a mask — sparing the hot producer
-// path a hardware divide per access, which profiling showed as a measurable
-// slice of the distribution cost. The mapping is bit-identical to the modulo.
-func ownerOf(addr uint64, w int, wMask uint64) int {
-	if wMask != 0 {
-		return int((addr >> 3) & wMask)
+	stores, err := makeStores(&cfg, cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
-	return int((addr >> 3) % uint64(w))
-}
-
-// powerOfTwoMask returns w-1 if w is a power of two, else 0.
-func powerOfTwoMask(w int) uint64 {
-	if w > 0 && w&(w-1) == 0 {
-		return uint64(w - 1)
+	p := &Parallel{}
+	p.pl.m = cfg.Metrics
+	for i := 0; i < cfg.Workers; i++ {
+		eng := NewEngine(stores[i], cfg.Meta, cfg.RaceCheck)
+		if cfg.NoFastPath {
+			eng.DisableCache()
+		}
+		p.pl.workers = append(p.pl.workers, &worker{
+			id:  i,
+			tr:  newChunkTransport(cfg.LockBased, cfg.QueueCap),
+			eng: eng,
+		})
 	}
-	return 0
+	p.pl.startAll()
+	p.pr.init(&p.pl, &cfg, false)
+	return p, nil
 }
 
 // Access implements Profiler.
-func (p *Parallel) Access(a event.Access) {
-	if a.Kind == event.Read || a.Kind == event.Write {
-		p.stats.Accesses++
-		// Sample the access statistics: every 16th access keeps producer
-		// overhead bounded while heavily accessed addresses still dominate
-		// the sketch. The sketch is only ever consumed by rebalance(), so
-		// with redistribution disabled (the default) sampling is skipped
-		// entirely.
-		if p.cfg.RedistributeEvery > 0 {
-			if p.sample++; p.sample&15 == 0 {
-				p.heavy.Offer(a.Addr)
-			}
-		}
-	}
-	// Owner computation is inlined on the hot path: the redirect map is only
-	// populated once a rebalance has migrated an address (redistribution is
-	// off by default), so the common case pays no map probe at all.
-	w := ownerOf(a.Addr, p.w, p.wMask)
-	if len(p.redirect) != 0 {
-		if r, ok := p.redirect[a.Addr]; ok {
-			w = r
-		}
-	}
-	c := p.open[w]
-	if a.Kind == event.Read && !p.cfg.NoFastPath {
-		// Duplicate filter: a read identical to the worker's previous event
-		// (same statement re-reading the same word within one iteration) is
-		// collapsed into that event's repetition count. Any intervening
-		// access to the same address routes to the same worker and resets
-		// the match, so the collapse is exact: the engine replays the
-		// multiplicity and the profile is byte-identical.
-		if li := p.lastIdx[w]; li >= 0 {
-			last := &c.Events[li]
-			if last.Kind == event.Read && last.Rep != event.MaxRep {
-				cmp := *last
-				cmp.Rep = 0
-				if cmp == a {
-					last.Rep++
-					p.stats.DupCollapsed++
-					return
-				}
-			}
-		}
-	}
-	c.Append(a)
-	p.lastIdx[w] = c.Len() - 1
-	if c.Full() {
-		p.pushOpen(w)
-		if p.cfg.RedistributeEvery > 0 {
-			p.chunksSinceCheck++
-			if p.chunksSinceCheck >= p.cfg.RedistributeEvery {
-				p.chunksSinceCheck = 0
-				p.rebalance()
-			}
-		}
-	}
-}
-
-// newChunk takes a recycled chunk if available, else allocates.
-func (p *Parallel) newChunk(w *pworker) *event.Chunk {
-	if c, ok := w.recycle.TryPop(); ok {
-		if p.m != nil {
-			p.m.ChunksRecycled.Inc()
-		}
-		return c
-	}
-	p.allocatedChunks++
-	if p.m != nil {
-		p.m.ChunksAllocated.Inc()
-	}
-	return event.NewChunk()
-}
-
-// pushOpen sends worker w's open chunk and opens a fresh one.
-func (p *Parallel) pushOpen(w int) {
-	c := p.open[w]
-	p.lastIdx[w] = -1
-	if c.Len() == 0 {
-		return
-	}
-	n := c.Len()
-	p.workers[w].in.Push(c)
-	p.stats.Chunks++
-	if p.m != nil {
-		p.m.Events.Add(uint64(n))
-		p.m.Chunks.Inc()
-		if d := p.stats.DupCollapsed - p.dupPublished; d > 0 {
-			p.m.DupCollapsed.Add(d)
-			p.dupPublished = p.stats.DupCollapsed
-		}
-		// Depth right after the push; the pushed chunk may already have been
-		// consumed, so count it in to keep the gauge a lower bound of the
-		// burst the worker saw.
-		d := int64(p.workers[w].in.Len())
-		if d == 0 {
-			d = 1
-		}
-		p.m.QueueDepth[w%telemetry.MaxWorkerSlots].Set(d)
-		p.m.QueueDepthMax.SetMax(d)
-	}
-	p.open[w] = p.newChunk(p.workers[w])
-}
-
-// rebalance checks whether the top heavy hitters are spread evenly over the
-// workers and migrates them if not (§IV-A).
-func (p *Parallel) rebalance() {
-	top := p.heavy.Top(10)
-	if len(top) == 0 {
-		return
-	}
-	counts := make([]int, p.w)
-	for _, a := range top {
-		counts[p.owner(a)]++
-	}
-	min, max := counts[0], counts[0]
-	for _, c := range counts {
-		if c < min {
-			min = c
-		}
-		if c > max {
-			max = c
-		}
-	}
-	if max-min <= 1 {
-		return // already even
-	}
-	moved := false
-	for rank, addr := range top {
-		want := rank % p.w
-		if cur := p.owner(addr); cur != want {
-			p.migrate(addr, cur, want)
-			moved = true
-		}
-	}
-	if moved {
-		p.stats.Redistributions++
-		if p.m != nil {
-			p.m.Redistributions.Inc()
-		}
-	}
-}
-
-// migrate moves one address and its signature state from worker `from` to
-// worker `to`. The protocol preserves the per-address total order:
-//
-//  1. All accesses routed so far are in from's queue; a MIGRATE control
-//     event is pushed behind them, so `from` processes it only after every
-//     earlier access.
-//  2. `from` publishes the address's slot state in its mailbox and forgets
-//     the address; the producer spins for the mailbox.
-//  3. The producer hands the state to `to` via its install mailbox and
-//     pushes an INSTALL control event; accesses routed after the redirect
-//     update follow INSTALL in `to`'s queue, preserving order.
-func (p *Parallel) migrate(addr uint64, from, to int) {
-	fw, tw := p.workers[from], p.workers[to]
-
-	// Step 1: flush pending accesses, then MIGRATE. Control chunks count as
-	// ControlChunks, not Chunks: they carry no accesses, so folding them into
-	// the data-chunk count would skew events-per-chunk throughput math.
-	p.pushOpen(from)
-	mc := p.newChunk(fw)
-	mc.Append(event.Access{Addr: addr, Kind: event.Migrate})
-	fw.in.Push(mc)
-	p.stats.ControlChunks++
-
-	// Step 2: wait for the state.
-	var st *migState
-	for {
-		if st = fw.migOut.Swap(nil); st != nil {
-			break
-		}
-		runtime.Gosched()
-	}
-
-	// Step 3: install at the destination. The install mailbox must be free:
-	// wait until the previous installation (if any) was consumed.
-	for !tw.installIn.CompareAndSwap(nil, st) {
-		runtime.Gosched()
-	}
-	p.pushOpen(to)
-	ic := p.newChunk(tw)
-	ic.Append(event.Access{Addr: addr, Kind: event.Install})
-	tw.in.Push(ic)
-	p.stats.ControlChunks++
-
-	p.redirect[addr] = to
-	p.stats.Migrations++
-	if p.m != nil {
-		p.m.Migrations.Inc()
-	}
-}
+func (p *Parallel) Access(a event.Access) { p.pr.access(a) }
 
 // Flush implements Profiler.
 func (p *Parallel) Flush() *Result {
-	if p.flushed {
-		panic("core: Flush called twice")
-	}
-	p.flushed = true
-	for i := range p.workers {
-		p.pushOpen(i)
-		fc := p.newChunk(p.workers[i])
-		fc.Append(event.Access{Kind: event.Flush})
-		p.workers[i].in.Push(fc)
-		p.stats.ControlChunks++
-	}
-	p.wg.Wait()
-
-	// Merge worker-local results into a global map; "this step incurs only
-	// minor overhead since the local maps are free of duplicates" (§IV).
-	// Loop aggregates merge at key-set granularity: the same carried key may
-	// surface on several workers (same source lines, different addresses)
-	// and must not be double-counted.
-	res := &Result{
-		Deps:  dep.NewSet(),
-		Stats: p.stats,
-	}
-	aggs := make(map[prog.LoopID]*loopAgg)
-	for _, w := range p.workers {
-		res.Deps.Merge(w.eng.Deps())
-		mergeLoopAggs(aggs, w.eng.loops)
-		res.Stats.StoreBytes += w.eng.Store().Bytes()
-		res.Stats.StoreModeledBytes += w.eng.Store().ModeledBytes()
-		hits, probes := w.eng.CacheStats()
-		res.Stats.DepCacheHits += hits
-		res.Stats.DepCacheProbes += probes
-		res.WorkerEvents = append(res.WorkerEvents, w.events)
-	}
-	res.Loops = loopDepsOf(aggs)
-	const chunkBytes = event.ChunkSize*48 + 64
-	res.Stats.QueueBytes = p.allocatedChunks * chunkBytes
-	if p.m != nil {
-		p.m.DepCacheHits.Add(res.Stats.DepCacheHits)
-		p.m.DepCacheProbes.Add(res.Stats.DepCacheProbes)
-		if d := p.stats.DupCollapsed - p.dupPublished; d > 0 {
-			p.m.DupCollapsed.Add(d)
-			p.dupPublished = p.stats.DupCollapsed
-		}
-		stores := make([]sig.Store, len(p.workers))
-		for i, w := range p.workers {
-			stores[i] = w.eng.Store()
-		}
-		publishOccupancy(p.m, stores...)
-	}
-	return res
-}
-
-// run is the worker loop: fetch chunks, analyze them, recycle them
-// ("worker threads consume chunks from their queues, analyze them, and
-// store detected data dependences in thread-local maps. Empty chunks are
-// recycled", §IV).
-func (w *pworker) run() {
-	for spin := 0; ; {
-		c, ok := w.in.TryPop()
-		if !ok {
-			spin++
-			if spin > 64 {
-				runtime.Gosched()
-			}
-			continue
-		}
-		spin = 0
-		done := false
-		for i := range c.Events {
-			ev := &c.Events[i]
-			switch ev.Kind {
-			case event.Flush:
-				done = true
-			case event.Migrate:
-				st := &migState{addr: ev.Addr}
-				st.write, st.wok = w.eng.Store().LookupWrite(ev.Addr)
-				st.read, st.rok = w.eng.Store().LookupRead(ev.Addr)
-				w.eng.Store().Remove(ev.Addr)
-				w.migOut.Store(st)
-			case event.Install:
-				var st *migState
-				for {
-					if st = w.installIn.Swap(nil); st != nil {
-						break
-					}
-					runtime.Gosched()
-				}
-				if st.wok {
-					w.eng.Store().SetWrite(st.addr, st.write)
-				}
-				if st.rok {
-					w.eng.Store().SetRead(st.addr, st.read)
-				}
-			default:
-				// A collapsed read stands for 1+Rep target accesses; count
-				// them all so WorkerEvents keeps reporting the §IV-A
-				// load-balance quantity (logical accesses per worker).
-				w.events += 1 + uint64(ev.Rep)
-				w.eng.Process(*ev)
-			}
-		}
-		c.Reset()
-		w.recycle.TryPush(c) // if the recycle ring is full, let GC take it
-		if done {
-			return
-		}
-	}
+	p.pl.beginFlush()
+	p.pr.drainFlush()
+	p.pl.wg.Wait()
+	return p.pl.merge(p.pr.stats, p.pr.allocatedChunks*chunkBytes, false)
 }

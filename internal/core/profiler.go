@@ -43,9 +43,11 @@ type RunStats struct {
 	// (migrate/install/flush sentinels); kept apart from Chunks so
 	// events-per-chunk throughput math stays honest.
 	ControlChunks uint64
-	// DupCollapsed is the number of consecutive duplicate reads the producer
-	// collapsed into repetition counts before chunking. The collapsed
-	// accesses still count in Accesses and in every dependence count.
+	// DupCollapsed is the number of consecutive duplicate reads collapsed
+	// into repetition counts — by the producer before chunking (sequential
+	// targets) or by the consumer while draining its ring (MT targets). The
+	// collapsed accesses still count in Accesses and in every dependence
+	// count.
 	DupCollapsed uint64
 	// DepCacheHits / DepCacheProbes report the engines' instance-cache
 	// performance: a hit records a dependence instance without any map
@@ -65,8 +67,14 @@ type RunStats struct {
 	QueueBytes uint64
 }
 
-// Config configures a profiler.
+// Config configures a profiler. The zero value describes a serial profiler
+// with default store sizing; Mode (or a typed constructor) selects the
+// variant and the remaining fields compose the pipeline stages.
 type Config struct {
+	// Mode selects the profiler variant when constructing through New.
+	// The typed constructors (NewSerial, NewParallel, NewMT, NewExistence)
+	// set it themselves.
+	Mode Mode
 	// Workers is the number of profiling worker threads (parallel modes).
 	Workers int
 	// SlotsPerWorker is the signature size each worker uses. The paper's
@@ -85,15 +93,16 @@ type Config struct {
 	// RaceCheck enables timestamp-reversal detection (§V-B).
 	RaceCheck bool
 	// QueueCap is the per-worker queue capacity in chunks (sequential-target
-	// mode) or accesses (MT mode). Defaults to 64 chunks / 64Ki accesses.
+	// mode) or accesses (MT mode). Defaults to 64 chunks / 4Ki accesses.
 	QueueCap int
 	// RedistributeEvery triggers a load-balance check every N chunks
-	// (paper: 50,000). 0 disables redistribution.
+	// (paper: 50,000); in MT mode, every N×ChunkSize accesses, keeping the
+	// cadence comparable across modes. 0 disables redistribution.
 	RedistributeEvery int
 	// NoFastPath disables the hot-path optimizations — the engines' instance
-	// cache and the parallel producer's duplicate-read filter. The profile is
-	// byte-identical either way (the equivalence suite holds both paths to
-	// that); the flag exists for A/B measurement (exp.Throughput) and tests.
+	// cache and the duplicate-read filter. The profile is byte-identical
+	// either way (the equivalence suite holds both paths to that); the flag
+	// exists for A/B measurement (exp.Throughput) and tests.
 	NoFastPath bool
 	// Metrics, when non-nil, receives live pipeline telemetry (events in,
 	// queue depths, chunk recycling, redistributions, signature occupancy).
@@ -115,30 +124,50 @@ func (c *Config) store() sig.Store {
 }
 
 // Serial is the single-threaded profiler of §III: the target program and
-// Algorithm 1 run on the same thread, one global signature pair.
+// Algorithm 1 run on the same thread. As a pipeline composition it is the
+// degenerate case — one worker, no transport (Access drives the engine
+// inline), and the shared merge stage producing the Result.
 type Serial struct {
+	pl        pipeline
 	eng       *Engine
 	stats     RunStats
 	m         *telemetry.Pipeline
 	published uint64
 }
 
-// NewSerial returns a serial profiler. In serial mode the whole signature
-// budget (Workers×SlotsPerWorker if both set, else SlotsPerWorker) backs a
-// single store.
+// NewSerial returns a serial profiler; it panics on an invalid Config (use
+// New for an error return). In serial mode the whole signature budget
+// (Workers×SlotsPerWorker if both set, else SlotsPerWorker) backs a single
+// store.
 func NewSerial(cfg Config) *Serial {
+	s, err := newSerial(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func newSerial(cfg Config) (*Serial, error) {
+	cfg, err := cfg.normalize(ModeSerial)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.NewStore == nil && cfg.SlotsPerWorker > 0 && cfg.Workers > 1 {
 		total := cfg.SlotsPerWorker * cfg.Workers
 		cfg.NewStore = func() sig.Store { return sig.NewSignature(total) }
 	}
-	s := &Serial{
-		eng: NewEngine(cfg.store(), cfg.Meta, cfg.RaceCheck),
-		m:   cfg.Metrics,
+	stores, err := makeStores(&cfg, 1)
+	if err != nil {
+		return nil, err
 	}
+	eng := NewEngine(stores[0], cfg.Meta, cfg.RaceCheck)
 	if cfg.NoFastPath {
-		s.eng.DisableCache()
+		eng.DisableCache()
 	}
-	return s
+	s := &Serial{eng: eng, m: cfg.Metrics}
+	s.pl.m = cfg.Metrics
+	s.pl.workers = []*worker{{eng: eng}}
+	return s, nil
 }
 
 // Access implements Profiler.
@@ -157,21 +186,12 @@ func (s *Serial) Access(a event.Access) {
 
 // Flush implements Profiler.
 func (s *Serial) Flush() *Result {
-	s.stats.StoreBytes = s.eng.Store().Bytes()
-	s.stats.StoreModeledBytes = s.eng.Store().ModeledBytes()
-	s.stats.DepCacheHits, s.stats.DepCacheProbes = s.eng.CacheStats()
+	s.pl.beginFlush()
 	if s.m != nil {
 		s.m.Events.Add(s.stats.Accesses - s.published)
 		s.published = s.stats.Accesses
-		s.m.DepCacheHits.Add(s.stats.DepCacheHits)
-		s.m.DepCacheProbes.Add(s.stats.DepCacheProbes)
-		publishOccupancy(s.m, s.eng.Store())
 	}
-	return &Result{
-		Deps:  s.eng.Deps(),
-		Loops: s.eng.LoopDeps(),
-		Stats: s.stats,
-	}
+	return s.pl.merge(s.stats, 0, false)
 }
 
 // publishOccupancy records the mean write-slot occupancy of stores that can

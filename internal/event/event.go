@@ -31,6 +31,13 @@ const (
 	// Flush instructs a worker to finish processing and acknowledge; used at
 	// end-of-stream.
 	Flush
+	// Hold instructs a worker to buffer further accesses to an address until
+	// the address's migrated signature state is installed. Used only by the
+	// multi-threaded-target redistribution protocol, where producers keep
+	// pushing concurrently while an address is in flight between workers;
+	// the sequential-target protocol needs no hold because its single
+	// producer reroutes synchronously.
+	Hold
 )
 
 func (k Kind) String() string {
@@ -47,6 +54,8 @@ func (k Kind) String() string {
 		return "install"
 	case Flush:
 		return "flush"
+	case Hold:
+		return "hold"
 	}
 	return "invalid"
 }

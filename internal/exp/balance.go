@@ -72,7 +72,7 @@ func Balance(opt Options) (*report.Table, []BalanceRow, error) {
 		row.Redistributed = core.Imbalance(res.WorkerEvents)
 		row.Migrations = res.Stats.Migrations
 
-		ex := core.NewExistence(workers)
+		ex := core.NewExistence(core.Config{Workers: workers})
 		if _, err := interp.Run(w.Build(opt.wcfg()), ex, interp.Options{}); err != nil {
 			return nil, nil, fmt.Errorf("%s existence: %w", name, err)
 		}

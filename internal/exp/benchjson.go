@@ -90,6 +90,77 @@ func benchName(full string) string {
 	return name
 }
 
+// BenchDelta is one sub-benchmark's throughput change against a recorded
+// baseline run.
+type BenchDelta struct {
+	Name      string
+	Base, Now float64 // events/s
+	Ratio     float64 // Now / Base
+	Regressed bool
+}
+
+// CompareBench checks fresh benchmark entries against the run labelled
+// baseLabel in the log at path. A sub-benchmark regresses when its events/s
+// falls more than tolerance (a fraction, e.g. 0.10 for 10%) below the
+// recorded value. When the fresh output repeats a sub-benchmark (go test
+// -count > 1) the best repeat is compared: the gate guards the pipeline's
+// attainable throughput, and the first iteration of a process is routinely
+// depressed by warm-up and frequency scaling. Sub-benchmarks present on only
+// one side are skipped: the gate guards throughput, not coverage. The error
+// reports only I/O and schema problems — regression is the callers' decision
+// to make from the deltas.
+func CompareBench(path, baseLabel string, entries []BenchEntry, tolerance float64) ([]BenchDelta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var base *BenchRun
+	for i := range bf.Runs {
+		if bf.Runs[i].Label == baseLabel {
+			base = &bf.Runs[i]
+			break
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("%s: no run labelled %q", path, baseLabel)
+	}
+	// Both sides collapse repeats to the best observed events/s.
+	baseline := make(map[string]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		if e.EventsPerSec > baseline[e.Name] {
+			baseline[e.Name] = e.EventsPerSec
+		}
+	}
+	best := make(map[string]float64, len(entries))
+	var order []string
+	for _, e := range entries {
+		if _, seen := best[e.Name]; !seen {
+			order = append(order, e.Name)
+		}
+		if e.EventsPerSec > best[e.Name] {
+			best[e.Name] = e.EventsPerSec
+		}
+	}
+	var out []BenchDelta
+	for _, name := range order {
+		b, ok := baseline[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		d := BenchDelta{Name: name, Base: b, Now: best[name], Ratio: best[name] / b}
+		d.Regressed = d.Ratio < 1-tolerance
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: run %q shares no sub-benchmarks with the fresh output", path, baseLabel)
+	}
+	return out, nil
+}
+
 // AppendBenchRun loads path (if it exists), appends a labelled run and writes
 // the file back. A run with the same label is replaced in place, so re-runs
 // update their row instead of growing the log.

@@ -59,3 +59,62 @@ func TestAppendBenchRun(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCompareBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := AppendBenchRun(path, "hotpath", []BenchEntry{
+		{Name: "serial", EventsPerSec: 1e6},
+		{Name: "parallel4", EventsPerSec: 2e6},
+		{Name: "mt4", EventsPerSec: 3e6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := []BenchEntry{
+		{Name: "serial", EventsPerSec: 0.95e6},   // -5%: within tolerance
+		{Name: "parallel4", EventsPerSec: 1.7e6}, // -15%: regressed
+		{Name: "newbench", EventsPerSec: 1},      // no baseline: skipped
+	}
+	deltas, err := CompareBench(path, "hotpath", fresh, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v, want 2 (unmatched names skipped)", deltas)
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["serial"]; d.Regressed {
+		t.Errorf("serial at 95%% flagged as regressed: %+v", d)
+	}
+	if d := byName["parallel4"]; !d.Regressed {
+		t.Errorf("parallel4 at 85%% not flagged: %+v", d)
+	}
+
+	// With -count > 1 the fresh output repeats names; the best repeat wins,
+	// so a cold first iteration cannot fail the gate on its own.
+	repeated := []BenchEntry{
+		{Name: "serial", EventsPerSec: 0.6e6}, // cold first run
+		{Name: "serial", EventsPerSec: 1.02e6},
+		{Name: "serial", EventsPerSec: 0.98e6},
+	}
+	deltas, err = CompareBench(path, "hotpath", repeated, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || deltas[0].Now != 1.02e6 || deltas[0].Regressed {
+		t.Errorf("repeated runs not collapsed to best: %+v", deltas)
+	}
+
+	if _, err := CompareBench(path, "no-such-run", fresh, 0.10); err == nil {
+		t.Error("missing baseline label did not error")
+	}
+	if _, err := CompareBench(path, "hotpath", []BenchEntry{{Name: "zzz"}}, 0.10); err == nil {
+		t.Error("disjoint sub-benchmark sets did not error")
+	}
+	if _, err := CompareBench(filepath.Join(t.TempDir(), "absent.json"), "hotpath", fresh, 0.10); err == nil {
+		t.Error("missing file did not error")
+	}
+}

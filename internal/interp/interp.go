@@ -572,7 +572,16 @@ func (t *tstate) call(fn string, args []minilang.Expr, ln loc.SourceLoc, ctx uin
 	// are garbage at return; free their storage so recursive call chains
 	// don't leak simulated memory. Array locals allocated inside the
 	// function are released too; aliased parameter arrays are not.
-	for name, b := range nf.vars {
+	// Release in sorted name order: map iteration order would permute the
+	// arena free lists between runs, making simulated addresses — and with
+	// them every captured access stream — nondeterministic.
+	names := make([]string, 0, len(nf.vars))
+	for name := range nf.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := nf.vars[name]
 		aliased := false
 		if b.isArr {
 			for i, prm := range f.Params {

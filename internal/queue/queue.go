@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // pad keeps hot atomics on separate cache lines.
@@ -284,10 +285,23 @@ func (q *Locked[T]) Len() int {
 	return int(q.tail - q.head)
 }
 
-// backoff yields progressively: first busy spins, then scheduler yields.
-func backoff(i int) {
-	if i < 64 {
-		return
+// Backoff is the pipeline-wide wait policy, applied by queue push loops and
+// the profiler worker loops alike so that lock-free/lock-based mode
+// comparisons (Figure 5/6) measure queue discipline rather than ad-hoc
+// backoff differences. It escalates with the number of consecutive failed
+// attempts i: busy-spin (cheapest when the peer is mid-operation), then
+// scheduler yields (another runnable goroutine may hold the slot), then
+// short parks (the peer is genuinely slow; burning a core buys nothing).
+func Backoff(i int) {
+	switch {
+	case i < 64:
+		// spin
+	case i < 4096:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
 	}
-	runtime.Gosched()
 }
+
+// backoff is the internal alias the queue push loops use.
+func backoff(i int) { Backoff(i) }

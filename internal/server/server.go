@@ -356,15 +356,20 @@ func (s *Server) runSession(sess *session) error {
 	if h.Flags&flagExact != 0 {
 		ccfg.NewStore = func() sig.Store { return sig.NewPerfectSignature() }
 	}
-	var prof core.Profiler
 	if workers >= 2 {
+		ccfg.Mode = core.ModeParallel
 		ccfg.Workers = workers
 		ccfg.SlotsPerWorker = s.cfg.SessionSlots / workers
 		ccfg.RedistributeEvery = 50000
-		prof = core.NewParallel(ccfg)
 	} else {
+		ccfg.Mode = core.ModeSerial
 		ccfg.SlotsPerWorker = s.cfg.SessionSlots
-		prof = core.NewSerial(ccfg)
+	}
+	prof, err := core.New(ccfg)
+	if err != nil {
+		// A rejected Config here means the daemon's own limits are broken
+		// (handshake values are already clamped); surface it, don't panic.
+		return fmt.Errorf("session pipeline: %w", err)
 	}
 	flushed := false
 	flush := func() *core.Result {

@@ -229,6 +229,17 @@ type Pipeline struct {
 	SigOccupancyPermille *Gauge
 }
 
+// ObserveQueueDepth records a queue-depth observation for one worker: the
+// per-worker gauge takes the latest value (aliased into MaxWorkerSlots
+// slots) and the pipeline-wide high-water mark rises monotonically. Both the
+// producer (at chunk push time) and the merge stage (consumer-observed
+// maxima) report through this one helper so every mode's gauges agree on
+// semantics.
+func (p *Pipeline) ObserveQueueDepth(worker int, depth int64) {
+	p.QueueDepth[worker%MaxWorkerSlots].Set(depth)
+	p.QueueDepthMax.SetMax(depth)
+}
+
 // Pipeline returns the pipeline metric group registered under prefix,
 // creating it if needed. All metric names are "<prefix>_<metric>".
 func (r *Registry) Pipeline(prefix string) *Pipeline {
