@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fuzz bench bench-gate
+.PHONY: all build vet test race check fmt-check fuzz bench bench-gate
 
 all: build
 
@@ -19,8 +19,13 @@ test:
 race:
 	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/ ./internal/server/
 
+# Formatting gate: fail with the offending diff if any file is not gofmt'd.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; gofmt -d .; exit 1; fi
+
 # The full gate: what CI and pre-commit should run.
-check: build vet test race
+check: build vet fmt-check test race
 
 # Hot-path throughput gate: run BenchmarkHotPath and append the events/s
 # numbers to BENCH_pipeline.json under BENCH_LABEL, so regressions are

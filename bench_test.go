@@ -23,6 +23,7 @@ import (
 	"ddprof/internal/prog"
 	"ddprof/internal/queue"
 	"ddprof/internal/sig"
+	"ddprof/internal/telemetry"
 )
 
 func benchOpts() exp.Options {
@@ -333,8 +334,14 @@ func hotPathStream(events int) ([]event.Access, *prog.Meta) {
 // the MT pipeline on a dependence-dense stream. `make bench` records the
 // trajectory in BENCH_pipeline.json; regressions show up as a drop in the
 // events/s metric against the baseline stored there.
+//
+// All three pipelines run with telemetry attached at the default sampling
+// rate, so the gate prices the flight-recorder instrumentation too: if the
+// stage histograms or publication watermarks ever leak into the per-event
+// path, the events/s floor catches it.
 func BenchmarkHotPath(b *testing.B) {
 	stream, meta := hotPathStream(1 << 16)
+	pipe := telemetry.NewRegistry().Pipeline("pipeline")
 	run := func(b *testing.B, mk func() core.Profiler) {
 		b.ReportAllocs()
 		prof := mk()
@@ -349,17 +356,17 @@ func BenchmarkHotPath(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) {
 		run(b, func() core.Profiler {
-			return core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewSignature(1 << 20) }, Meta: meta})
+			return core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewSignature(1 << 20) }, Meta: meta, Metrics: pipe})
 		})
 	})
 	b.Run("parallel4", func(b *testing.B) {
 		run(b, func() core.Profiler {
-			return core.NewParallel(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta})
+			return core.NewParallel(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta, Metrics: pipe})
 		})
 	})
 	b.Run("mt4", func(b *testing.B) {
 		run(b, func() core.Profiler {
-			return core.NewMT(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta})
+			return core.NewMT(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta, Metrics: pipe})
 		})
 	})
 }

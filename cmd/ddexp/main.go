@@ -17,6 +17,11 @@
 //	ddexp throughput        # events/s per pipeline, hot path off vs on
 //	ddexp all               # everything above
 //
+//	ddexp -trace-out run.json all
+//	                        # record the flight-recorder timeline and write a
+//	                        # Chrome trace-event file (load in Perfetto /
+//	                        # chrome://tracing); each experiment is a span
+//
 //	go test -bench BenchmarkHotPath . | ddexp -bench-label after benchjson
 //	                        # parse benchmark output from stdin and append a
 //	                        # labelled run to BENCH_pipeline.json (make bench)
@@ -28,17 +33,22 @@
 // Flags: -scale N (problem size multiplier), -paper (paper-scale signature
 // sizes and repetitions), -only a,b,c (restrict to named workloads),
 // -reps N (timing repetitions), -metrics addr (serve live pipeline counters
-// over HTTP while the experiments run), -bench-json path and -bench-label
-// name (destination file and run label for the benchjson subcommand).
+// plus /debug/pprof over HTTP while the experiments run), -trace-out path
+// and -trace-interval d (flight-recorder capture), -log-level
+// (debug|info|warn|error), -bench-json path and -bench-label name
+// (destination file and run label for the benchjson subcommand).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"ddprof/internal/exp"
 	"ddprof/internal/report"
@@ -47,11 +57,14 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0, "workload problem-size multiplier (0 = default)")
-		paper   = flag.Bool("paper", false, "use the paper's signature sizes (1e6/1e7/1e8) and 3 timing reps")
-		only    = flag.String("only", "", "comma-separated workload names to restrict to")
-		reps    = flag.Int("reps", 0, "timing repetitions (0 = default)")
-		metrics = flag.String("metrics", "", "HTTP address serving live /metrics while experiments run (e.g. :7078)")
+		scale    = flag.Float64("scale", 0, "workload problem-size multiplier (0 = default)")
+		paper    = flag.Bool("paper", false, "use the paper's signature sizes (1e6/1e7/1e8) and 3 timing reps")
+		only     = flag.String("only", "", "comma-separated workload names to restrict to")
+		reps     = flag.Int("reps", 0, "timing repetitions (0 = default)")
+		metrics  = flag.String("metrics", "", "HTTP address serving live /metrics and /debug/pprof while experiments run (e.g. :7078)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file (Perfetto-loadable)")
+		traceInt = flag.Duration("trace-interval", 50*time.Millisecond, "flight-recorder sampling interval for -trace-out")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 
 		benchJSON    = flag.String("bench-json", "BENCH_pipeline.json", "destination file for the benchjson subcommand")
 		benchLabel   = flag.String("bench-label", "run", "run label for the benchjson subcommand")
@@ -59,19 +72,15 @@ func main() {
 		benchTol     = flag.Float64("bench-tolerance", 0.10, "events/s fraction a sub-benchmark may fall below the baseline before -bench-compare fails")
 	)
 	flag.Parse()
-	if *metrics != "" {
-		// Attach the same pipeline counters ddprofd exports to every profiler
-		// the experiments build, and serve them for the run's duration.
-		exp.Telemetry = telemetry.Default().Pipeline("pipeline")
-		go func() {
-			mux := http.NewServeMux()
-			mux.Handle("/metrics", telemetry.Default().Handler())
-			log.Printf("ddexp: metrics on http://%s/metrics", *metrics)
-			if err := http.ListenAndServe(*metrics, mux); err != nil {
-				log.Printf("ddexp: metrics server: %v", err)
-			}
-		}()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ddexp: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(2)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ddexp [flags] table1|table2|fig5|fig6|fig7|fig8|fig9|eq2|merge|stores|balance|sweep|throughput|benchjson|all")
 		os.Exit(2)
@@ -122,6 +131,69 @@ func main() {
 		return
 	}
 
+	// Observability for the experiment run: live counters on the shared
+	// default registry, an optional flight-recorder capture, and a metrics
+	// server that is shut down cleanly once the experiments finish instead
+	// of leaking until process exit.
+	var snap *telemetry.Snapshotter
+	if *metrics != "" || *traceOut != "" {
+		exp.Telemetry = telemetry.Default().Pipeline("pipeline")
+	}
+	if *traceOut != "" {
+		snap = telemetry.NewSnapshotter(telemetry.Default(), *traceInt, 1<<14)
+		snap.Start()
+	}
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Default().Handler())
+		if snap != nil {
+			mux.Handle("/debug/timeline", snap.TimelineHandler())
+		}
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		metricsSrv = &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			logger.Info("ddexp: metrics server up", "url", "http://"+*metrics+"/metrics")
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("ddexp: metrics server", "err", err)
+			}
+		}()
+	}
+	// shutdownObservability runs on every exit path (including failures) so
+	// the listener is released and a partial trace still gets written.
+	shutdownObservability := func() {
+		if snap != nil {
+			snap.Stop()
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				logger.Error("ddexp: trace-out", "err", err)
+			} else {
+				if err := snap.WriteChromeTrace(f); err != nil {
+					logger.Error("ddexp: trace-out", "err", err)
+				}
+				f.Close()
+				logger.Info("ddexp: wrote flight-recorder trace",
+					"path", *traceOut, "samples", snap.Total())
+			}
+		}
+		if metricsSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := metricsSrv.Shutdown(ctx); err != nil {
+				logger.Warn("ddexp: metrics server shutdown", "err", err)
+			}
+		}
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		shutdownObservability()
+		os.Exit(1)
+	}
+
 	opt := exp.Defaults()
 	if *paper {
 		opt = exp.PaperScale()
@@ -162,16 +234,27 @@ func main() {
 	}
 	order := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "eq2", "merge", "stores", "balance", "sweep", "throughput"}
 
+	// runOne wraps a runner in a flight-recorder span so each experiment
+	// shows up as a named slice on the trace timeline.
+	runOne := func(name string, fn func(exp.Options) error) error {
+		if snap != nil {
+			end := snap.Span("experiment:" + name)
+			defer end()
+		}
+		logger.Debug("ddexp: running experiment", "name", name)
+		return fn(opt)
+	}
+
 	what := flag.Arg(0)
 	if what == "all" {
 		for _, name := range order {
 			fmt.Printf("== %s ==\n", name)
-			if err := runners[name](opt); err != nil {
-				fmt.Fprintf(os.Stderr, "ddexp %s: %v\n", name, err)
-				os.Exit(1)
+			if err := runOne(name, runners[name]); err != nil {
+				fail("ddexp %s: %v\n", name, err)
 			}
 			fmt.Println()
 		}
+		shutdownObservability()
 		return
 	}
 	run, ok := runners[what]
@@ -179,10 +262,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ddexp: unknown experiment %q\n", what)
 		os.Exit(2)
 	}
-	if err := run(opt); err != nil {
-		fmt.Fprintln(os.Stderr, "ddexp:", err)
-		os.Exit(1)
+	if err := runOne(what, run); err != nil {
+		fail("ddexp: %v\n", err)
 	}
+	shutdownObservability()
 }
 
 // render prints a (table, rows, err) experiment result, discarding rows.

@@ -9,8 +9,11 @@
 //	ddprofd                                  # TCP on :7077, metrics on :7078
 //	ddprofd -listen :9000 -unix /tmp/dd.sock # both transports
 //	ddprofd -budget 32 -session-workers 8    # bigger worker pool
-//	curl localhost:7078/metrics              # live pipeline counters
+//	ddprofd -log-level debug                 # structured logs, debug level
+//	curl localhost:7078/metrics              # live pipeline counters + quantiles
 //	curl localhost:7078/sessions             # live session table
+//	curl localhost:7078/debug/timeline       # flight-recorder time series
+//	go tool pprof localhost:7078/debug/pprof/profile
 //
 // SIGINT/SIGTERM drain gracefully: listeners close, in-flight sessions
 // finish (up to -drain), then the daemon exits.
@@ -20,7 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -31,11 +34,26 @@ import (
 	"ddprof/internal/server"
 )
 
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
 func main() {
 	var (
 		listen   = flag.String("listen", ":7077", "TCP listen address (empty to disable)")
 		unixSock = flag.String("unix", "", "Unix socket path (empty to disable)")
-		httpAddr = flag.String("http", ":7078", "HTTP address for /metrics and /sessions (empty to disable)")
+		httpAddr = flag.String("http", ":7078", "HTTP address for /metrics, /sessions, /debug/timeline and /debug/pprof (empty to disable)")
 		budget   = flag.Int("budget", 16, "global pipeline worker budget shared by all sessions")
 		perSess  = flag.Int("session-workers", 4, "pipeline workers per session (cap; shrinks when the budget runs low)")
 		maxSess  = flag.Int("max-sessions", 64, "maximum concurrent sessions")
@@ -43,15 +61,31 @@ func main() {
 		idle     = flag.Duration("idle", 30*time.Second, "slow-client deadline: sessions silent this long are evicted")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful drain window on SIGTERM")
 		quiet    = flag.Bool("q", false, "suppress per-session log lines")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		snapInt  = flag.Duration("snapshot-interval", 250*time.Millisecond, "flight-recorder sampling interval for /debug/timeline")
+		snapN    = flag.Int("snapshot-samples", 1024, "flight-recorder ring size (most recent samples kept; negative disables)")
+		trackAcc = flag.Bool("track-accuracy", false, "live Eq. (2) accuracy telemetry: sig_fpr_measured_ppm vs sig_fpr_predicted_ppm per worker")
 	)
 	flag.Parse()
+
+	lvl, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddprofd:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
 
 	if *listen == "" && *unixSock == "" {
 		fmt.Fprintln(os.Stderr, "ddprofd: nothing to listen on (-listen and -unix both empty)")
 		os.Exit(2)
 	}
 
-	logf := log.Printf
+	// Session lifecycle lines arrive printf-style from the server; they are
+	// info-level events and -q mutes just them.
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
@@ -61,6 +95,9 @@ func main() {
 		MaxSessions:       *maxSess,
 		SessionSlots:      *slots,
 		IdleTimeout:       *idle,
+		SnapshotInterval:  *snapInt,
+		SnapshotSamples:   *snapN,
+		TrackAccuracy:     *trackAcc,
 		Logf:              logf,
 	})
 
@@ -71,7 +108,7 @@ func main() {
 			errc <- fmt.Errorf("listen %s %s: %w", network, addr, err)
 			return
 		}
-		log.Printf("ddprofd: listening on %s %s", network, ln.Addr())
+		logger.Info("ddprofd: listening", "network", network, "addr", ln.Addr().String())
 		errc <- srv.Serve(ln)
 	}
 	if *listen != "" {
@@ -86,7 +123,10 @@ func main() {
 	if *httpAddr != "" {
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
 		go func() {
-			log.Printf("ddprofd: metrics on http://%s/metrics", *httpAddr)
+			logger.Info("ddprofd: observability endpoints up",
+				"metrics", "http://"+*httpAddr+"/metrics",
+				"timeline", "http://"+*httpAddr+"/debug/timeline",
+				"pprof", "http://"+*httpAddr+"/debug/pprof/")
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				errc <- err
 			}
@@ -97,17 +137,17 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("ddprofd: %s: draining (up to %s)", sig, *drain)
+		logger.Info("ddprofd: draining", "signal", sig.String(), "window", drain.String())
 	case err := <-errc:
 		if err != nil {
-			log.Printf("ddprofd: %v", err)
+			logger.Error("ddprofd: serve failed", "err", err)
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("ddprofd: drain incomplete: %v", err)
+		logger.Warn("ddprofd: drain incomplete", "err", err)
 	}
 	if httpSrv != nil {
 		httpSrv.Shutdown(context.Background())
@@ -115,5 +155,5 @@ func main() {
 	if *unixSock != "" {
 		os.Remove(*unixSock)
 	}
-	log.Printf("ddprofd: bye")
+	logger.Info("ddprofd: bye")
 }

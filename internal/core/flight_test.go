@@ -1,0 +1,171 @@
+package core
+
+// Flight-recorder coverage: stage latency histograms, consumer-side MT event
+// accounting, publication watermarks (no double counting between in-flight
+// and merge-time publication), and the live Eq. (2) accuracy path.
+
+import (
+	"strings"
+	"testing"
+
+	"ddprof/internal/event"
+	"ddprof/internal/loc"
+	"ddprof/internal/telemetry"
+)
+
+func TestSampleEveryValidation(t *testing.T) {
+	if _, err := New(Config{Mode: ModeParallel, SampleEvery: -1, NewStore: perfectStore}); err == nil {
+		t.Fatal("negative SampleEvery accepted")
+	}
+	cfg, err := Config{}.normalize(ModeParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SampleEvery != 32 {
+		t.Fatalf("default SampleEvery = %d, want 32", cfg.SampleEvery)
+	}
+}
+
+func TestParallelStageHistograms(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pipe := reg.Pipeline("t")
+	p := NewParallel(Config{
+		Workers:     2,
+		NewStore:    perfectStore,
+		Metrics:     pipe,
+		SampleEvery: 1, // time every chunk so a small stream populates all stages
+	})
+	for _, a := range synthStream(100000, 500, 7) {
+		p.Access(a)
+	}
+	p.Flush()
+	if pipe.StageProduceNs.Count() == 0 {
+		t.Error("no producer-stage samples recorded")
+	}
+	if pipe.StageWorkerNs.Count() == 0 {
+		t.Error("no worker-stage samples recorded")
+	}
+	if got := pipe.StageMergeNs.Count(); got != 1 {
+		t.Errorf("merge-stage samples = %d, want exactly 1", got)
+	}
+	// Quantiles of a populated histogram are positive durations.
+	if q := pipe.StageWorkerNs.Quantile(0.5); q <= 0 {
+		t.Errorf("worker-stage p50 = %v, want > 0", q)
+	}
+	// The histograms surface on the exposition page.
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	for _, want := range []string{
+		"t_stage_produce_ns_p99 ",
+		"t_stage_worker_ns_p50 ",
+		"t_stage_merge_ns_count 1",
+		"t_stage_transport_wait_ns_count ",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestMTConsumerSideEventCount: events_total is counted by the consumers at
+// batch granularity, and a collapsed read still counts its full multiplicity
+// — the logical access count, same as Stats.Accesses.
+func TestMTConsumerSideEventCount(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pipe := reg.Pipeline("t")
+	const reads = 10000
+	m := NewMT(Config{Workers: 2, SlotsPerWorker: 1 << 10, Metrics: pipe})
+	m.Access(event.Access{Addr: 0x800, Kind: event.Write, Loc: loc.Pack(1, 1)})
+	for i := 0; i < reads; i++ {
+		// Identical untimestamped reads: the consumer collapses them, but the
+		// logical count must be preserved.
+		m.Access(event.Access{Addr: 0x800, Kind: event.Read, Loc: loc.Pack(1, 2)})
+	}
+	res := m.Flush()
+	if got := pipe.Events.Load(); got != reads+1 {
+		t.Errorf("events_total = %d, want %d", got, reads+1)
+	}
+	if res.Stats.Accesses != reads+1 {
+		t.Errorf("Stats.Accesses = %d, want %d", res.Stats.Accesses, reads+1)
+	}
+	if res.Stats.DupCollapsed == 0 {
+		t.Error("expected consumer-side collapse on an all-duplicate stream")
+	}
+}
+
+// TestDepCacheNoDoubleCount: workers publish dep-cache deltas while running
+// and the merge publishes the remainder; the counter must equal the
+// merged stats exactly, not twice them.
+func TestDepCacheNoDoubleCount(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pipe := reg.Pipeline("t")
+	p := NewParallel(Config{Workers: 2, SlotsPerWorker: 1 << 12, Metrics: pipe})
+	for _, a := range synthStream(400000, 50, 11) {
+		p.Access(a)
+	}
+	res := p.Flush()
+	if res.Stats.DepCacheProbes == 0 {
+		t.Fatal("stream produced no dep-cache probes; test needs a hotter stream")
+	}
+	if got := pipe.DepCacheHits.Load(); got != res.Stats.DepCacheHits {
+		t.Errorf("dep_cache_hits_total = %d, want %d (Stats)", got, res.Stats.DepCacheHits)
+	}
+	if got := pipe.DepCacheProbes.Load(); got != res.Stats.DepCacheProbes {
+		t.Errorf("dep_cache_probes_total = %d, want %d (Stats)", got, res.Stats.DepCacheProbes)
+	}
+}
+
+// TestTrackAccuracyTelemetry: with TrackAccuracy on, the default signature
+// store reports live measured/predicted FPR gauges and conflict counters
+// through the merge-time publication.
+func TestTrackAccuracyTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pipe := reg.Pipeline("t")
+	s := NewSerial(Config{SlotsPerWorker: 1 << 12, TrackAccuracy: true, Metrics: pipe})
+	for i := 0; i < 600; i++ {
+		s.Access(event.Access{Addr: uint64(0x1000 + 8*i), Kind: event.Write, Loc: loc.Pack(1, 1)})
+	}
+	s.Flush()
+	meas := pipe.SigFPRMeasuredPPM[0].Load()
+	pred := pipe.SigFPRPredictedPPM[0].Load()
+	if meas == 0 || pred == 0 {
+		t.Fatalf("accuracy gauges not published: measured=%d predicted=%d", meas, pred)
+	}
+	// 600 distinct words into 4096 slots: measured occupancy ~146k ppm. At
+	// this load factor the collision-free modulo occupancy and the uniform-
+	// hash Eq. (2) prediction agree to ~1 point (they diverge as n/m grows).
+	if meas < 120000 || meas > 170000 {
+		t.Errorf("measured FPR = %d ppm, want ~146k", meas)
+	}
+	if diff := meas - pred; diff < -25000 || diff > 25000 {
+		t.Errorf("measured %d vs predicted %d ppm differ too much", meas, pred)
+	}
+}
+
+// TestTrackAccuracyConflicts: a store much smaller than the footprint must
+// surface insert conflicts (evictions) on the conflict counter.
+func TestTrackAccuracyConflicts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pipe := reg.Pipeline("t")
+	s := NewSerial(Config{SlotsPerWorker: 64, TrackAccuracy: true, Metrics: pipe})
+	for i := 0; i < 1000; i++ {
+		s.Access(event.Access{Addr: uint64(0x1000 + 8*i), Kind: event.Write, Loc: loc.Pack(1, 1)})
+	}
+	s.Flush()
+	if pipe.SigInsertConflicts.Load() == 0 {
+		t.Error("no insert conflicts recorded on an overloaded signature")
+	}
+}
+
+// TestTrackAccuracyExactStoreUnaffected: exact stores have no FPR question;
+// TrackAccuracy must be a no-op for them.
+func TestTrackAccuracyExactStoreUnaffected(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pipe := reg.Pipeline("t")
+	s := NewSerial(Config{NewStore: perfectStore, TrackAccuracy: true, Metrics: pipe})
+	s.Access(event.Access{Addr: 0x1000, Kind: event.Write, Loc: loc.Pack(1, 1)})
+	s.Flush()
+	if pipe.SigFPRMeasuredPPM[0].Load() != 0 {
+		t.Error("accuracy gauge published for an exact store")
+	}
+}

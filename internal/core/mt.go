@@ -103,9 +103,15 @@ func newMT(cfg Config) (*MT, error) {
 			eng.DisableCache()
 		}
 		m.pl.workers = append(m.pl.workers, &worker{
-			id:  i,
-			tr:  newAccessTransport(cfg.QueueCap, !cfg.NoFastPath),
-			eng: eng,
+			id:          i,
+			tr:          newAccessTransport(cfg.QueueCap, !cfg.NoFastPath),
+			eng:         eng,
+			m:           cfg.Metrics,
+			sampleEvery: uint64(cfg.SampleEvery),
+			// events_total is counted here on the consumer side, one batched
+			// Add per drain: the concurrent producers of §V must not pay a
+			// shared atomic per access.
+			countEvents: true,
 		})
 	}
 	m.pl.startAll()
@@ -125,11 +131,10 @@ func newMT(cfg Config) (*MT, error) {
 }
 
 // Access implements Profiler; safe for concurrent use by target threads.
+// events_total accounting happens on the consumer side (see newMT), so this
+// path touches no shared telemetry state.
 func (m *MT) Access(a event.Access) {
 	isData := a.Kind == event.Read || a.Kind == event.Write
-	if m.m != nil && isData {
-		m.m.Events.Inc()
-	}
 	if m.rt.Load() == nil {
 		// Redistribution off (the default): route by the static modulo rule,
 		// no inflight accounting on the hot path.

@@ -47,9 +47,11 @@ func newParallel(cfg Config) (*Parallel, error) {
 			eng.DisableCache()
 		}
 		p.pl.workers = append(p.pl.workers, &worker{
-			id:  i,
-			tr:  newChunkTransport(cfg.LockBased, cfg.QueueCap),
-			eng: eng,
+			id:          i,
+			tr:          newChunkTransport(cfg.LockBased, cfg.QueueCap),
+			eng:         eng,
+			m:           cfg.Metrics,
+			sampleEvery: uint64(cfg.SampleEvery),
 		})
 	}
 	p.pl.startAll()

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ddprof/internal/dep"
 	"ddprof/internal/event"
@@ -128,6 +129,12 @@ func (c Config) normalize(mode Mode) (Config, error) {
 	}
 	if c.RedistributeEvery < 0 {
 		return c, fmt.Errorf("core: RedistributeEvery = %d; want >= 1 chunks, or 0 to disable redistribution", c.RedistributeEvery)
+	}
+	if c.SampleEvery < 0 {
+		return c, fmt.Errorf("core: SampleEvery = %d; want >= 1, or 0 for the default", c.SampleEvery)
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 32
 	}
 	return c, nil
 }
@@ -334,24 +341,132 @@ type worker struct {
 	// migration mailboxes (producer/rebalancer <-> this worker)
 	migOut    atomic.Pointer[migState] // worker publishes state out
 	installIn atomic.Pointer[migState] // state published to worker
+
+	// flight-recorder state, all worker-local. m is the telemetry sink (nil
+	// disables everything); sampleEvery the 1/N stage-timing rate. One in
+	// sampleEvery batches is timed (StageWorkerNs), as is the wait of one in
+	// sampleEvery idle episodes (StageTransportWaitNs). countEvents selects
+	// consumer-side events_total accounting (MT mode, whose concurrent
+	// producers must not share an atomic counter): one Add per drained batch
+	// instead of one per access. The pub* fields are publication watermarks so
+	// periodic in-flight publication and the final merge-time publication add
+	// disjoint deltas to the same counters.
+	m           *telemetry.Pipeline
+	sampleEvery uint64
+	countEvents bool
+	batches     uint64
+	waits       uint64
+	pubEvents   uint64
+	pubHits     uint64
+	pubProbes   uint64
+	pubEvict    uint64
+	pubFalse    uint64
+}
+
+// accuracyStore is implemented by stores that track live Eq. (2) accuracy
+// (sig.Signature with tracking enabled).
+type accuracyStore interface {
+	Accuracy() (sig.AccuracyStats, bool)
+}
+
+// telemetryPublishEvery is the worker-batch cadence of in-flight telemetry
+// publication (dep-cache counters, live accuracy): frequent enough that
+// /metrics and the Snapshotter see a moving picture, rare enough to be free.
+const telemetryPublishEvery = 1024
+
+// publishTelemetry pushes this worker's counter deltas and accuracy gauges
+// to the telemetry sink. Called from the worker loop periodically and from
+// the merge stage after the flush barrier; the watermarks make the two
+// publication paths add up exactly once.
+func (w *worker) publishTelemetry() {
+	if w.m == nil {
+		return
+	}
+	if w.countEvents {
+		if d := w.events - w.pubEvents; d > 0 {
+			w.m.Events.Add(d)
+			w.pubEvents = w.events
+		}
+	}
+	if w.eng == nil {
+		return
+	}
+	hits, probes := w.eng.CacheStats()
+	if d := hits - w.pubHits; d > 0 {
+		w.m.DepCacheHits.Add(d)
+	}
+	if d := probes - w.pubProbes; d > 0 {
+		w.m.DepCacheProbes.Add(d)
+	}
+	w.pubHits, w.pubProbes = hits, probes
+	if acc, ok := w.eng.Store().(accuracyStore); ok {
+		if st, on := acc.Accuracy(); on {
+			w.m.ObserveSigFPR(w.id, st.MeasuredFPR(), st.PredictedFPR())
+			if d := st.Evictions - w.pubEvict; d > 0 {
+				w.m.SigInsertConflicts.Add(d)
+			}
+			if d := st.FalseHits - w.pubFalse; d > 0 {
+				w.m.SigLookupConflicts.Add(d)
+			}
+			w.pubEvict, w.pubFalse = st.Evictions, st.FalseHits
+		}
+	}
 }
 
 // run is the worker loop: fetch a batch, process it, recycle the carrier
 // ("worker threads consume chunks from their queues, analyze them, and store
 // detected data dependences in thread-local maps. Empty chunks are
 // recycled", §IV). The wait policy is the pipeline-wide queue.Backoff.
+//
+// Flight recording rides along at sampled granularity: one in sampleEvery
+// idle episodes times the wait for the next batch (transport wait — the
+// consumer-side view of producer/transport backpressure), one in sampleEvery
+// batches times its processing, and every telemetryPublishEvery batches the
+// worker publishes its counter deltas. All of it is skipped when m is nil,
+// and clock reads never land on the per-event path.
 func (w *worker) run() {
+	var waitT0 time.Time
+	waiting := false
 	for idle := 0; ; {
 		evs, c, ok := w.tr.pop()
 		if !ok {
+			if idle == 0 && w.m != nil {
+				if w.waits++; w.waits%w.sampleEvery == 0 {
+					waiting = true
+					waitT0 = time.Now()
+				}
+			}
 			idle++
 			queue.Backoff(idle)
 			continue
 		}
+		if waiting {
+			w.m.StageTransportWaitNs.Observe(time.Since(waitT0).Nanoseconds())
+			waiting = false
+		}
 		idle = 0
-		done := w.process(evs)
+		var done bool
+		w.batches++
+		if w.m != nil && w.batches%w.sampleEvery == 0 {
+			t0 := time.Now()
+			done = w.process(evs)
+			w.m.StageWorkerNs.Observe(time.Since(t0).Nanoseconds())
+		} else {
+			done = w.process(evs)
+		}
 		if c != nil {
 			w.tr.recycle(c)
+		}
+		if w.m != nil {
+			if w.countEvents {
+				if d := w.events - w.pubEvents; d > 0 {
+					w.m.Events.Add(d)
+					w.pubEvents = w.events
+				}
+			}
+			if w.batches%telemetryPublishEvery == 0 {
+				w.publishTelemetry()
+			}
 		}
 		if done {
 			return
@@ -472,6 +587,10 @@ const chunkBytes = event.ChunkSize*48 + 64
 // carried key may surface on several workers (same source lines, different
 // addresses) and must not be double-counted.
 func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *Result {
+	var mergeT0 time.Time
+	if p.m != nil {
+		mergeT0 = time.Now()
+	}
 	res := &Result{Deps: dep.NewSet(), Stats: stats}
 	aggs := make(map[prog.LoopID]*loopAgg)
 	stores := make([]sig.Store, 0, len(p.workers))
@@ -495,9 +614,11 @@ func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *R
 	res.Loops = loopDepsOf(aggs)
 	res.Stats.QueueBytes += queueBytes
 	if p.m != nil {
-		p.m.DepCacheHits.Add(res.Stats.DepCacheHits)
-		p.m.DepCacheProbes.Add(res.Stats.DepCacheProbes)
+		// Final telemetry publication: each worker adds only the delta beyond
+		// what it already published in flight (the workers have joined, so
+		// their local state is safe to read here).
 		for i, w := range p.workers {
+			w.publishTelemetry()
 			if w.tr == nil {
 				continue
 			}
@@ -506,6 +627,7 @@ func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *R
 			}
 		}
 		publishOccupancy(p.m, stores...)
+		p.m.StageMergeNs.Observe(time.Since(mergeT0).Nanoseconds())
 	}
 	return res
 }
@@ -604,6 +726,10 @@ type producer struct {
 	stats             RunStats
 	dupPublished      uint64
 	m                 *telemetry.Pipeline
+	// sampleEvery / pushCtr: one in sampleEvery chunk pushes is timed into
+	// StageProduceNs (push incl. backpressure, depth gauge, chunk refill).
+	sampleEvery uint64
+	pushCtr     uint64
 }
 
 // init wires the producer to its pipeline. rr selects round-robin dealing
@@ -620,6 +746,10 @@ func (pr *producer) init(pl *pipeline, cfg *Config, rr bool) {
 		pr.redistributeEvery = cfg.RedistributeEvery
 	}
 	pr.m = cfg.Metrics
+	pr.sampleEvery = uint64(cfg.SampleEvery)
+	if pr.sampleEvery == 0 {
+		pr.sampleEvery = 32 // init called with an unnormalized Config in tests
+	}
 	pr.redirect = make(map[uint64]int)
 	if !rr {
 		pr.heavy = newHeavySketch(64)
@@ -742,6 +872,17 @@ func (pr *producer) pushOpen(w int) {
 	if c.Len() == 0 {
 		return
 	}
+	// Sampled producer-stage span: the push (including any backpressure wait
+	// inside pushChunk), the depth observation, and the chunk refill — the
+	// full per-chunk routing cost the §IV producer pays.
+	var produceT0 time.Time
+	timed := false
+	if pr.m != nil {
+		if pr.pushCtr++; pr.pushCtr%pr.sampleEvery == 0 {
+			timed = true
+			produceT0 = time.Now()
+		}
+	}
 	tgt := w
 	if pr.rr {
 		tgt = pr.next
@@ -771,6 +912,9 @@ func (pr *producer) pushOpen(w int) {
 		pr.open[w] = pr.newChunkRR()
 	} else {
 		pr.open[w] = pr.newChunk(tw.tr)
+	}
+	if timed {
+		pr.m.StageProduceNs.Observe(time.Since(produceT0).Nanoseconds())
 	}
 }
 

@@ -105,22 +105,44 @@ type Config struct {
 	// exists for A/B measurement (exp.Throughput) and tests.
 	NoFastPath bool
 	// Metrics, when non-nil, receives live pipeline telemetry (events in,
-	// queue depths, chunk recycling, redistributions, signature occupancy).
-	// Counters are bumped at chunk granularity so the hot path stays cheap;
-	// nil costs nothing.
+	// queue depths, chunk recycling, redistributions, signature occupancy,
+	// stage latency histograms). Counters are bumped at chunk granularity so
+	// the hot path stays cheap; nil costs nothing.
 	Metrics *telemetry.Pipeline
+	// SampleEvery is the stage-latency sampling rate: one in SampleEvery
+	// chunk pushes / worker batches is timed into the Metrics histograms.
+	// Defaults to 32; irrelevant when Metrics is nil. Sampling (rather than
+	// timing every chunk) is what keeps the flight recorder inside the
+	// bench-gate's throughput budget.
+	SampleEvery int
+	// TrackAccuracy enables live Eq. (2) accuracy telemetry on workers whose
+	// store is a sig.Signature: slot-conflict counters plus measured vs
+	// predicted false-positive gauges per worker (sig_fpr_measured_ppm /
+	// sig_fpr_predicted_ppm). Costs ~8 bytes/slot of tracking state and one
+	// branch per store operation; off by default.
+	TrackAccuracy bool
 }
 
 // store builds one worker store.
 func (c *Config) store() sig.Store {
+	var st sig.Store
 	if c.NewStore != nil {
-		return c.NewStore()
+		st = c.NewStore()
+	} else {
+		slots := c.SlotsPerWorker
+		if slots <= 0 {
+			slots = 1 << 20
+		}
+		st = sig.NewSignature(slots)
 	}
-	slots := c.SlotsPerWorker
-	if slots <= 0 {
-		slots = 1 << 20
+	if c.TrackAccuracy {
+		// Only the approximate signature has an accuracy question to answer;
+		// exact stores (PerfectSignature, shadow, hashtab) pass through.
+		if g, ok := st.(*sig.Signature); ok {
+			g.EnableTracking()
+		}
 	}
-	return sig.NewSignature(slots)
+	return st
 }
 
 // Serial is the single-threaded profiler of §III: the target program and
@@ -166,7 +188,7 @@ func newSerial(cfg Config) (*Serial, error) {
 	}
 	s := &Serial{eng: eng, m: cfg.Metrics}
 	s.pl.m = cfg.Metrics
-	s.pl.workers = []*worker{{eng: eng}}
+	s.pl.workers = []*worker{{eng: eng, m: cfg.Metrics}}
 	return s, nil
 }
 

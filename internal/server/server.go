@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,17 @@ type Config struct {
 	// Registry receives daemon and pipeline telemetry. Default
 	// telemetry.Default().
 	Registry *telemetry.Registry
+	// SnapshotInterval is the flight recorder's sampling period: how often
+	// every Registry metric is copied into the timeline ring served at
+	// /debug/timeline. Default 250ms.
+	SnapshotInterval time.Duration
+	// SnapshotSamples is the timeline ring size (most recent samples kept).
+	// Default 1024; negative disables the background snapshotter entirely.
+	SnapshotSamples int
+	// TrackAccuracy enables live Eq. (2) accuracy telemetry on session
+	// pipelines backed by approximate signatures (sig_fpr_measured_ppm vs
+	// sig_fpr_predicted_ppm per worker on /metrics).
+	TrackAccuracy bool
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -80,6 +92,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default()
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 250 * time.Millisecond
+	}
+	if c.SnapshotSamples == 0 {
+		c.SnapshotSamples = 1024
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -131,6 +149,7 @@ type SessionInfo struct {
 type Server struct {
 	cfg  Config
 	pipe *telemetry.Pipeline
+	snap *telemetry.Snapshotter
 
 	mu        sync.Mutex
 	sessions  map[uint64]*session
@@ -170,8 +189,16 @@ func New(cfg Config) *Server {
 		gBudget:    reg.Gauge("server_worker_budget_available"),
 	}
 	s.gBudget.Set(int64(s.budget))
+	if cfg.SnapshotSamples > 0 {
+		s.snap = telemetry.NewSnapshotter(reg, cfg.SnapshotInterval, cfg.SnapshotSamples)
+		s.snap.Start()
+	}
 	return s
 }
+
+// Snapshotter returns the daemon's flight recorder, or nil when disabled
+// (Config.SnapshotSamples < 0).
+func (s *Server) Snapshotter() *telemetry.Snapshotter { return s.snap }
 
 // Serve accepts sessions on ln until the listener fails or the server
 // drains. It blocks; run one goroutine per listener.
@@ -348,10 +375,11 @@ func (s *Server) runSession(sess *session) error {
 	sess.workers.Store(int32(max(workers, 1)))
 
 	ccfg := core.Config{
-		Meta:      h.Meta,
-		RaceCheck: h.Flags&flagRaceCheck != 0,
-		Metrics:   s.pipe,
-		QueueCap:  s.cfg.QueueCap,
+		Meta:          h.Meta,
+		RaceCheck:     h.Flags&flagRaceCheck != 0,
+		Metrics:       s.pipe,
+		QueueCap:      s.cfg.QueueCap,
+		TrackAccuracy: s.cfg.TrackAccuracy,
 	}
 	if h.Flags&flagExact != 0 {
 		ccfg.NewStore = func() sig.Store { return sig.NewPerfectSignature() }
@@ -455,8 +483,10 @@ func (s *Server) ActiveSessions() int {
 
 // HTTPHandler serves the observability endpoints:
 //
-//	/metrics  — plain-text metric exposition (telemetry.Registry.WriteText)
-//	/sessions — JSON array of live sessions
+//	/metrics        — plain-text metric exposition (telemetry.Registry.WriteText)
+//	/sessions       — JSON array of live sessions
+//	/debug/timeline — JSON time series of all metrics (flight-recorder ring)
+//	/debug/pprof/   — the standard Go runtime profiles
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.cfg.Registry.Handler())
@@ -466,6 +496,14 @@ func (s *Server) HTTPHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Sessions())
 	})
+	if s.snap != nil {
+		mux.Handle("/debug/timeline", s.snap.TimelineHandler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -474,6 +512,9 @@ func (s *Server) HTTPHandler() http.Handler {
 // remaining connections are force-closed. It returns nil if every session
 // finished in time, ctx.Err() otherwise.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.snap != nil {
+		s.snap.Stop() // final sample records the end state
+	}
 	s.mu.Lock()
 	s.draining = true
 	lns := make([]net.Listener, 0, len(s.listeners))

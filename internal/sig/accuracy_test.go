@@ -1,0 +1,150 @@
+package sig
+
+import (
+	"math"
+	"testing"
+)
+
+func slot() Slot { return PackSlot(1, 1, 0, 0, 0, 1) }
+
+// addr returns the byte address of word i (the slot hash consumes word
+// addresses, addr >> 3).
+func addr(i int) uint64 { return uint64(i) * 8 }
+
+func TestTrackingDisabledByDefault(t *testing.T) {
+	g := NewSignature(64)
+	g.SetWrite(addr(1), slot())
+	if g.Tracking() {
+		t.Fatal("tracking on by default")
+	}
+	if _, ok := g.Accuracy(); ok {
+		t.Fatal("Accuracy reported ok without tracking")
+	}
+}
+
+func TestTrackingOccupancyMatchesScan(t *testing.T) {
+	g := NewSignature(256)
+	g.EnableTracking()
+	g.EnableTracking() // idempotent
+	for i := 0; i < 100; i++ {
+		g.SetWrite(addr(i), slot())
+	}
+	st, ok := g.Accuracy()
+	if !ok {
+		t.Fatal("tracking not enabled")
+	}
+	if got, want := st.MeasuredFPR(), g.Occupancy(); got != want {
+		t.Fatalf("MeasuredFPR = %v, scan Occupancy = %v", got, want)
+	}
+	if st.Occupied != 100 || st.Slots != 256 {
+		t.Fatalf("occupied/slots = %d/%d, want 100/256", st.Occupied, st.Slots)
+	}
+}
+
+func TestTrackingConflicts(t *testing.T) {
+	g := NewSignature(4)
+	g.EnableTracking()
+	a, b := addr(1), addr(5) // 1 mod 4 == 5 mod 4: same slot
+	g.SetWrite(a, slot())
+	g.SetWrite(a, slot()) // same address: overwrite, not a conflict
+	g.SetWrite(b, slot()) // evicts a
+	st, _ := g.Accuracy()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Occupied != 1 {
+		t.Fatalf("occupied = %d, want 1 (same slot reused)", st.Occupied)
+	}
+
+	// Probing for a now answers from b's slot: a live false positive.
+	if _, hit := g.LookupWrite(a); !hit {
+		t.Fatal("expected a collided hit")
+	}
+	// Probing for b finds b: a true hit.
+	g.LookupWrite(b)
+	// Probing an empty slot: a miss, no false hit.
+	g.LookupWrite(addr(2))
+	st, _ = g.Accuracy()
+	if st.Probes != 3 {
+		t.Fatalf("probes = %d, want 3", st.Probes)
+	}
+	if st.FalseHits != 1 {
+		t.Fatalf("falseHits = %d, want 1", st.FalseHits)
+	}
+}
+
+func TestTrackingRemove(t *testing.T) {
+	g := NewSignature(16)
+	g.EnableTracking()
+	g.SetWrite(addr(3), slot())
+	g.Remove(addr(3))
+	g.Remove(addr(3)) // double remove: no underflow
+	st, _ := g.Accuracy()
+	if st.Occupied != 0 {
+		t.Fatalf("occupied after remove = %d, want 0", st.Occupied)
+	}
+	if st.MeasuredFPR() != 0 {
+		t.Fatalf("MeasuredFPR after remove = %v, want 0", st.MeasuredFPR())
+	}
+}
+
+func TestTrackingDistinctEstimate(t *testing.T) {
+	g := NewSignature(4096)
+	g.EnableTracking()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		g.SetWrite(addr(i), slot())
+		g.SetWrite(addr(i), slot()) // re-insertion must not inflate the estimate
+	}
+	st, _ := g.Accuracy()
+	if rel := math.Abs(st.Distinct-n) / n; rel > 0.10 {
+		t.Fatalf("distinct estimate %v off by %.1f%% from %d", st.Distinct, rel*100, n)
+	}
+}
+
+// TestMeasuredTracksEq2 is the unit-level version of the live accuracy
+// claim: for a uniform-ish footprint the measured occupancy stays within a
+// few points of the Eq. (2) prediction computed from the store's own
+// distinct estimate.
+func TestMeasuredTracksEq2(t *testing.T) {
+	g := NewSignature(4096)
+	g.EnableTracking()
+	for i := 0; i < 1000; i++ {
+		g.SetWrite(addr(i), slot())
+	}
+	st, _ := g.Accuracy()
+	meas, pred := st.MeasuredFPR(), st.PredictedFPR()
+	if meas <= 0 || pred <= 0 {
+		t.Fatalf("degenerate rates: measured %v predicted %v", meas, pred)
+	}
+	// Contiguous addresses under the modulo hash never collide below m, so
+	// measured = n/m while Eq. (2) models uniform hashing; at n/m ≈ 0.25 the
+	// two differ by < 0.03.
+	if d := math.Abs(meas - pred); d > 0.04 {
+		t.Fatalf("measured %v vs predicted %v differ by %v > 0.04", meas, pred, d)
+	}
+}
+
+func TestTrackedSignatureBehaviourUnchanged(t *testing.T) {
+	plain, tracked := NewSignature(64), NewSignature(64)
+	tracked.EnableTracking()
+	for i := 0; i < 200; i++ {
+		s := PackSlot(2, 3, 0, 0, uint64(i), uint64(i))
+		plain.SetWrite(addr(i), s)
+		tracked.SetWrite(addr(i), s)
+		if i%7 == 0 {
+			plain.Remove(addr(i / 2))
+			tracked.Remove(addr(i / 2))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p, pok := plain.LookupWrite(addr(i))
+		q, qok := tracked.LookupWrite(addr(i))
+		if p != q || pok != qok {
+			t.Fatalf("tracked store diverged at %d: %v/%v vs %v/%v", i, p, pok, q, qok)
+		}
+	}
+	if plain.Occupancy() != tracked.Occupancy() {
+		t.Fatal("occupancy diverged")
+	}
+}

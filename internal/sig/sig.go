@@ -119,6 +119,10 @@ type Signature struct {
 	writes []Slot
 	reads  []Slot
 	m      uint64
+	// trk, when non-nil, maintains live accuracy statistics (occupancy,
+	// distinct-address estimate, slot conflicts) for Eq. (2) telemetry; see
+	// accuracy.go. Off by default: one nil check per operation.
+	trk *sigTrack
 }
 
 // NewSignature returns a signature with the given number of slots per array.
@@ -152,7 +156,11 @@ func (g *Signature) Slots() int { return int(g.m) }
 
 // LookupWrite implements Store.
 func (g *Signature) LookupWrite(addr uint64) (Slot, bool) {
-	s := g.writes[g.hash(addr)]
+	i := g.hash(addr)
+	s := g.writes[i]
+	if g.trk != nil {
+		g.trk.noteLookup(i, (addr>>3)+1, !s.Empty())
+	}
 	return s, !s.Empty()
 }
 
@@ -163,7 +171,13 @@ func (g *Signature) LookupRead(addr uint64) (Slot, bool) {
 }
 
 // SetWrite implements Store.
-func (g *Signature) SetWrite(addr uint64, s Slot) { g.writes[g.hash(addr)] = s }
+func (g *Signature) SetWrite(addr uint64, s Slot) {
+	i := g.hash(addr)
+	if g.trk != nil {
+		g.trk.noteInsert(i, (addr>>3)+1)
+	}
+	g.writes[i] = s
+}
 
 // SetRead implements Store.
 func (g *Signature) SetRead(addr uint64, s Slot) { g.reads[g.hash(addr)] = s }
@@ -173,6 +187,9 @@ func (g *Signature) SetRead(addr uint64, s Slot) { g.reads[g.hash(addr)] = s }
 // one the paper's removal makes.
 func (g *Signature) Remove(addr uint64) {
 	i := g.hash(addr)
+	if g.trk != nil {
+		g.trk.noteRemove(i)
+	}
 	g.writes[i] = Slot{}
 	g.reads[i] = Slot{}
 }

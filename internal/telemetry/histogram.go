@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two buckets a Histogram carries.
+// Bucket 0 holds the value 0; bucket b >= 1 holds values in [2^(b-1), 2^b).
+// 64 buckets cover every non-negative int64, so Observe never range-checks.
+const histBuckets = 64
+
+// Histogram is a lock-free log-bucketed distribution, built for nanosecond
+// latencies recorded on pipeline hot paths: one atomic increment per
+// observation, fixed memory, and no allocation. Quantiles are approximate —
+// exact to the power-of-two bucket, linearly interpolated within it — which
+// is plenty for the p50/p90/p99 latency telemetry the flight recorder wants
+// and is what keeps recording cheap enough to leave on in production.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value. Negative values clamp to zero (durations from a
+// stepping clock can, rarely, come out negative).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// histSnap is a point-in-time copy of the buckets, so one quantile walk sees
+// a consistent-enough distribution even while writers keep observing.
+type histSnap struct {
+	count   uint64
+	buckets [histBuckets]uint64
+}
+
+func (h *Histogram) snapshot() histSnap {
+	var s histSnap
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.buckets[i] = n
+		s.count += n
+	}
+	return s
+}
+
+// quantile returns the approximate q-quantile (0 < q <= 1) of the snapshot:
+// the bucket holding the rank-q observation, linearly interpolated. Returns 0
+// for an empty histogram.
+func (s histSnap) quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	// Nearest-rank: the smallest rank r with r >= q*count.
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.count {
+		rank = s.count
+	}
+	var cum uint64
+	for b, n := range s.buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(b)
+			frac := float64(rank-cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return 0 // unreachable: cum reaches count
+}
+
+// bucketBounds returns the value range [lo, hi] bucket b covers.
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return float64(uint64(1) << (b - 1)), float64(uint64(1)<<b - 1)
+}
+
+// Quantile returns the approximate q-quantile (0 < q <= 1) of everything
+// observed so far.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.snapshot().quantile(q)
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000, 1 << 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	wantSum := uint64(0 + 1 + 2 + 3 + 100 + 1000 + 1<<20)
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	// p99 must land in the top bucket: [2^19, 2^20).
+	if p := h.Quantile(0.99); p < 1<<19 || p > 1<<21 {
+		t.Fatalf("p99 = %v, want within the 2^20 bucket", p)
+	}
+	// p50 is the 4th of 7 observations (value 3): bucket [2, 3].
+	if p := h.Quantile(0.50); p < 1 || p > 3 {
+		t.Fatalf("p50 = %v, want in [1, 3]", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-42)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("negative observation: count=%d sum=%d, want 1, 0", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("quantile of clamped value = %v, want 0", q)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(4096)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < 2048 || got > 8191 {
+			t.Fatalf("q%v = %v, want inside bucket [2048, 8191]", q, got)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	if lo, hi := bucketBounds(0); lo != 0 || hi != 0 {
+		t.Fatalf("bucket 0 = [%v, %v], want [0, 0]", lo, hi)
+	}
+	if lo, hi := bucketBounds(1); lo != 1 || hi != 1 {
+		t.Fatalf("bucket 1 = [%v, %v], want [1, 1]", lo, hi)
+	}
+	if lo, hi := bucketBounds(13); lo != 4096 || hi != 8191 {
+		t.Fatalf("bucket 13 = [%v, %v], want [4096, 8191]", lo, hi)
+	}
+}

@@ -1,0 +1,328 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one point-in-time capture of every metric in a Registry.
+type Sample struct {
+	T    time.Time
+	Vals map[string]float64
+}
+
+// SpanEvent is one named interval recorded by Snapshotter.Span — a run of an
+// experiment, a profiled region, a merge. Spans become "X" (complete) events
+// in the Chrome trace export.
+type SpanEvent struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+}
+
+// maxSpans bounds the span log so a misbehaving caller cannot grow the
+// recorder without limit; later spans are dropped once it is full.
+const maxSpans = 4096
+
+// Snapshotter is the flight recorder's time-series layer: a background
+// sampler that copies every Registry metric into a fixed-size ring at a
+// steady interval. The ring keeps the most recent capSamples captures, so
+// memory is bounded no matter how long the process runs, and the tail of any
+// run — the part you want when something went wrong — is always present.
+//
+// The capture can be read three ways: Samples() for programmatic access,
+// TimelineHandler for the ddprofd /debug/timeline JSON endpoint, and
+// WriteChromeTrace for a Perfetto-loadable trace-event file
+// (`ddexp -trace-out run.json`).
+type Snapshotter struct {
+	reg      *Registry
+	interval time.Duration
+
+	// now is the clock; tests inject a deterministic one.
+	now func() time.Time
+
+	mu    sync.Mutex
+	ring  []Sample
+	head  int // oldest element once the ring is full
+	total uint64
+	spans []SpanEvent
+
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewSnapshotter returns a recorder sampling reg every interval, keeping the
+// last capSamples samples. interval <= 0 defaults to 250ms, capSamples <= 0
+// to 1024 (256 KiB-ish of float64s at typical metric counts).
+func NewSnapshotter(reg *Registry, interval time.Duration, capSamples int) *Snapshotter {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	if capSamples <= 0 {
+		capSamples = 1024
+	}
+	return &Snapshotter{
+		reg:      reg,
+		interval: interval,
+		now:      time.Now,
+		ring:     make([]Sample, 0, capSamples),
+	}
+}
+
+// Interval returns the sampling period.
+func (s *Snapshotter) Interval() time.Duration { return s.interval }
+
+// SampleNow takes one sample immediately. Safe concurrently with the
+// background loop; the driver loop calls this on every tick.
+func (s *Snapshotter) SampleNow() {
+	vals := s.reg.Snapshot()
+	t := s.now()
+	s.mu.Lock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, Sample{T: t, Vals: vals})
+	} else {
+		s.ring[s.head] = Sample{T: t, Vals: vals}
+		s.head = (s.head + 1) % len(s.ring)
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Start launches the background sampling loop. Idempotent; Stop ends it.
+func (s *Snapshotter) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SampleNow()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the background loop and takes one final sample, so runs shorter
+// than the interval still capture their end state. Idempotent.
+func (s *Snapshotter) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	close(stop)
+	<-done
+	s.SampleNow()
+}
+
+// Span starts a named interval and returns the function that ends it. The
+// completed span is recorded for the trace export:
+//
+//	done := snap.Span("experiment:throughput")
+//	... run ...
+//	done()
+func (s *Snapshotter) Span(name string) func() {
+	start := s.now()
+	return func() {
+		end := s.now()
+		s.mu.Lock()
+		if len(s.spans) < maxSpans {
+			s.spans = append(s.spans, SpanEvent{Name: name, Start: start, End: end})
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Total returns how many samples have ever been taken (>= len(Samples())
+// once the ring has wrapped).
+func (s *Snapshotter) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Samples returns the retained samples in chronological order.
+func (s *Snapshotter) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, 0, len(s.ring))
+	out = append(out, s.ring[s.head:]...)
+	out = append(out, s.ring[:s.head]...)
+	return out
+}
+
+// Spans returns the recorded spans in completion order.
+func (s *Snapshotter) Spans() []SpanEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanEvent(nil), s.spans...)
+}
+
+// traceEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"): https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+// Perfetto and chrome://tracing both load it.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // microseconds since capture origin
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the capture as Chrome trace-event JSON: one "C"
+// (counter) track per metric built from the samples (emitted on change, so
+// flat metrics cost one event), derived `<base>_per_sec` counter tracks for
+// every `*_total` counter (rate between consecutive samples), and one "X"
+// (complete) event per span. Output is deterministic for a given capture:
+// metric names are emitted in sorted order within each sample.
+func (s *Snapshotter) WriteChromeTrace(w io.Writer) error {
+	samples := s.Samples()
+	spans := s.Spans()
+
+	var origin time.Time
+	if len(samples) > 0 {
+		origin = samples[0].T
+	}
+	for _, sp := range spans {
+		if origin.IsZero() || sp.Start.Before(origin) {
+			origin = sp.Start
+		}
+	}
+	us := func(t time.Time) int64 { return t.Sub(origin).Microseconds() }
+
+	events := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": "ddprof flight recorder"},
+	}}
+
+	last := make(map[string]float64)
+	var prev Sample
+	for i, smp := range samples {
+		names := make([]string, 0, len(smp.Vals))
+		for n := range smp.Vals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			v := smp.Vals[n]
+			if lv, seen := last[n]; !seen || lv != v {
+				last[n] = v
+				events = append(events, traceEvent{
+					Name: n, Ph: "C", Ts: us(smp.T), Pid: 1, Tid: 1,
+					Args: map[string]any{"value": v},
+				})
+			}
+			if base, ok := rateBase(n); ok && i > 0 {
+				if dt := smp.T.Sub(prev.T).Seconds(); dt > 0 {
+					rate := (v - prev.Vals[n]) / dt
+					rn := base + "_per_sec"
+					if lv, seen := last[rn]; !seen || lv != rate {
+						last[rn] = rate
+						events = append(events, traceEvent{
+							Name: rn, Ph: "C", Ts: us(smp.T), Pid: 1, Tid: 1,
+							Args: map[string]any{"value": rate},
+						})
+					}
+				}
+			}
+		}
+		prev = smp
+	}
+	for _, sp := range spans {
+		dur := sp.End.Sub(sp.Start).Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-duration X events vanish in viewers
+		}
+		events = append(events, traceEvent{
+			Name: sp.Name, Ph: "X", Ts: us(sp.Start), Dur: dur, Pid: 1, Tid: 2,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// timelineSample is the wire form of one sample on /debug/timeline.
+type timelineSample struct {
+	TsMs float64            `json:"ts_ms"` // since first retained sample
+	Vals map[string]float64 `json:"vals"`
+}
+
+type timelineSpan struct {
+	Name  string  `json:"name"`
+	TsMs  float64 `json:"ts_ms"`
+	DurMs float64 `json:"dur_ms"`
+}
+
+type timelinePage struct {
+	IntervalMs   float64          `json:"interval_ms"`
+	TotalSamples uint64           `json:"total_samples"`
+	Samples      []timelineSample `json:"samples"`
+	Spans        []timelineSpan   `json:"spans"`
+}
+
+// TimelineHandler serves the retained time series as JSON: sampling
+// interval, lifetime sample count, the ring contents with timestamps
+// relative to the oldest retained sample, and the recorded spans.
+func (s *Snapshotter) TimelineHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		samples := s.Samples()
+		spans := s.Spans()
+		var origin time.Time
+		if len(samples) > 0 {
+			origin = samples[0].T
+		} else if len(spans) > 0 {
+			origin = spans[0].Start
+		}
+		page := timelinePage{
+			IntervalMs:   float64(s.interval.Milliseconds()),
+			TotalSamples: s.Total(),
+			Samples:      make([]timelineSample, 0, len(samples)),
+			Spans:        make([]timelineSpan, 0, len(spans)),
+		}
+		for _, smp := range samples {
+			page.Samples = append(page.Samples, timelineSample{
+				TsMs: float64(smp.T.Sub(origin).Microseconds()) / 1e3,
+				Vals: smp.Vals,
+			})
+		}
+		for _, sp := range spans {
+			page.Spans = append(page.Spans, timelineSpan{
+				Name:  sp.Name,
+				TsMs:  float64(sp.Start.Sub(origin).Microseconds()) / 1e3,
+				DurMs: float64(sp.End.Sub(sp.Start).Microseconds()) / 1e3,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(page)
+	})
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// fakeClock returns a deterministic now() advancing step per call.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	return func() time.Time {
+		cur := t
+		t = t.Add(step)
+		return cur
+	}
+}
+
+func TestSnapshotterRingWraparound(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ticks_total")
+	s := NewSnapshotter(r, time.Second, 4)
+	s.now = fakeClock(time.Unix(1000, 0), 100*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		s.SampleNow()
+	}
+	if got := s.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(samples))
+	}
+	// Chronological: the last 4 of 10, counter values 7..10.
+	for i, smp := range samples {
+		want := float64(7 + i)
+		if got := smp.Vals["ticks_total"]; got != want {
+			t.Errorf("sample %d: ticks_total = %v, want %v", i, got, want)
+		}
+		if i > 0 && !samples[i-1].T.Before(smp.T) {
+			t.Errorf("samples out of order at %d: %v !< %v", i, samples[i-1].T, smp.T)
+		}
+	}
+}
+
+func TestSnapshotterZeroSamples(t *testing.T) {
+	s := NewSnapshotter(NewRegistry(), time.Second, 8)
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("zero-sample trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tf.TraceEvents) != 1 || tf.TraceEvents[0]["ph"] != "M" {
+		t.Fatalf("zero-sample trace should hold exactly the metadata event, got %v", tf.TraceEvents)
+	}
+
+	rec := httptest.NewRecorder()
+	s.TimelineHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeline", nil))
+	var page timelinePage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("zero-sample timeline is not valid JSON: %v", err)
+	}
+	if page.TotalSamples != 0 || len(page.Samples) != 0 {
+		t.Fatalf("zero-sample timeline not empty: %+v", page)
+	}
+}
+
+func TestSnapshotterStartStop(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Add(3)
+	s := NewSnapshotter(r, 5*time.Millisecond, 64)
+	s.Start()
+	s.Start() // idempotent
+	time.Sleep(25 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+	if s.Total() == 0 {
+		t.Fatal("no samples after Start/Stop; Stop must take a final sample")
+	}
+	samples := s.Samples()
+	if got := samples[len(samples)-1].Vals["x_total"]; got != 3 {
+		t.Fatalf("final sample x_total = %v, want 3", got)
+	}
+}
+
+func TestSnapshotterSpan(t *testing.T) {
+	s := NewSnapshotter(NewRegistry(), time.Second, 8)
+	s.now = fakeClock(time.Unix(1000, 0), 250*time.Millisecond)
+	done := s.Span("experiment:rotate")
+	done()
+	spans := s.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	if spans[0].Name != "experiment:rotate" {
+		t.Fatalf("span name = %q", spans[0].Name)
+	}
+	if d := spans[0].End.Sub(spans[0].Start); d != 250*time.Millisecond {
+		t.Fatalf("span duration = %v, want 250ms", d)
+	}
+}
+
+// buildDeterministicCapture assembles the capture behind the golden fixture:
+// fixed clock, three samples over a counter, a gauge, and a histogram, plus
+// one span.
+func buildDeterministicCapture() *Snapshotter {
+	r := NewRegistry()
+	c := r.Counter("pipeline_events_total")
+	g := r.Gauge("pipeline_queue_depth_max")
+	h := r.Histogram("pipeline_stage_worker_ns")
+	s := NewSnapshotter(r, 100*time.Millisecond, 16)
+	s.now = fakeClock(time.Unix(1700000000, 0), 100*time.Millisecond)
+
+	done := s.Span("run:fixture")
+	c.Add(1000)
+	g.Set(3)
+	h.Observe(4096)
+	s.SampleNow()
+	c.Add(2000)
+	h.Observe(4096)
+	h.Observe(1 << 20)
+	s.SampleNow()
+	g.Set(5)
+	s.SampleNow()
+	done()
+	return s
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	s := buildDeterministicCapture()
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	// Schema checks, independent of the byte-exact fixture.
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	var counters, spans, meta int
+	sawRate := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Pid == 0 {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+		switch ev.Ph {
+		case "C":
+			counters++
+			if _, ok := ev.Args["value"].(float64); !ok {
+				t.Fatalf("counter event without numeric args.value: %+v", ev)
+			}
+			if ev.Name == "pipeline_events_per_sec" {
+				sawRate = true
+			}
+		case "X":
+			spans++
+			if ev.Dur < 1 {
+				t.Fatalf("span with dur < 1us: %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 1 || spans != 1 || counters == 0 {
+		t.Fatalf("event mix: %d meta, %d spans, %d counters", meta, spans, counters)
+	}
+	if !sawRate {
+		t.Error("no derived pipeline_events_per_sec counter track in trace")
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden fixture missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden fixture %s (re-run with -update if intended)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestTimelineHandler(t *testing.T) {
+	s := buildDeterministicCapture()
+	rec := httptest.NewRecorder()
+	s.TimelineHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeline", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var page timelinePage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if page.TotalSamples != 3 || len(page.Samples) != 3 {
+		t.Fatalf("timeline samples: total=%d retained=%d, want 3/3", page.TotalSamples, len(page.Samples))
+	}
+	if page.IntervalMs != 100 {
+		t.Errorf("interval_ms = %v, want 100", page.IntervalMs)
+	}
+	if page.Samples[0].TsMs != 0 {
+		t.Errorf("first sample ts_ms = %v, want 0", page.Samples[0].TsMs)
+	}
+	if got := page.Samples[2].Vals["pipeline_events_total"]; got != 3000 {
+		t.Errorf("last sample events_total = %v, want 3000", got)
+	}
+	if got := page.Samples[1].Vals["pipeline_stage_worker_ns_count"]; got != 3 {
+		t.Errorf("sample 1 histogram count = %v, want 3", got)
+	}
+	if len(page.Spans) != 1 || page.Spans[0].Name != "run:fixture" {
+		t.Fatalf("spans = %+v", page.Spans)
+	}
+}

@@ -1,16 +1,21 @@
 // Package telemetry provides the profiler's observability layer: cheap
-// atomic counters and gauges that the hot pipeline paths update at chunk
-// granularity, collected in a Registry that renders a plain-text exposition
-// page (one `name value` pair per line, Prometheus-style) over HTTP.
+// atomic counters, gauges and log-bucketed latency histograms that the hot
+// pipeline paths update at chunk granularity, collected in a Registry that
+// renders a plain-text exposition page (one `name value` pair per line,
+// Prometheus-style) over HTTP.
 //
 // The pipeline metrics (events in, queue depth per worker, chunk-pool
-// recycling, signature occupancy, heavy-hitter redistributions) are grouped
-// in a Pipeline so internal/core can bump typed fields without map lookups
-// on the hot path. The ddprofd daemon serves a Registry per process;
-// `ddexp -metrics addr` serves the same page for local experiment runs.
+// recycling, signature occupancy, stage latencies, heavy-hitter
+// redistributions, live Eq. (2) accuracy) are grouped in a Pipeline so
+// internal/core can bump typed fields without map lookups on the hot path.
+// The ddprofd daemon serves a Registry per process; `ddexp -metrics addr`
+// serves the same page for local experiment runs. The Snapshotter
+// (snapshot.go) turns the same Registry into a time series: a fixed ring of
+// periodic samples exportable as Chrome trace-event JSON.
 package telemetry
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -56,13 +61,14 @@ func (g *Gauge) SetMax(v int64) {
 
 // Registry is a named collection of metrics. All methods are safe for
 // concurrent use; metric handles are interned, so hot paths should hold the
-// *Counter / *Gauge rather than re-resolving names.
+// *Counter / *Gauge / *Histogram rather than re-resolving names.
 type Registry struct {
-	mu        sync.RWMutex
-	start     time.Time
-	counters  map[string]*Counter
-	gauges    map[string]*Gauge
-	pipelines map[string]*Pipeline
+	mu         sync.RWMutex
+	start      time.Time
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	pipelines  map[string]*Pipeline
 
 	// previous scrape snapshot, for windowed per-second rates.
 	scrapeMu   sync.Mutex
@@ -73,11 +79,12 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		start:     time.Now(),
-		counters:  make(map[string]*Counter),
-		gauges:    make(map[string]*Gauge),
-		pipelines: make(map[string]*Pipeline),
-		lastVals:  make(map[string]uint64),
+		start:      time.Now(),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		pipelines:  make(map[string]*Pipeline),
+		lastVals:   make(map[string]uint64),
 	}
 }
 
@@ -120,25 +127,63 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// WriteText renders every metric as one `name value` line, sorted by name.
+// Histogram returns the histogram registered under name, creating it if
+// needed. The exposition page renders it as `<name>_count`, `<name>_sum` and
+// the `<name>_p50/_p90/_p99` quantiles.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// histQuantiles are the quantiles the exposition page and Snapshot render
+// for every histogram.
+var histQuantiles = []struct {
+	suffix string
+	q      float64
+}{{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}}
+
+// WriteText renders every metric as one `name value` line, sorted by line.
 // Counters whose name ends in `_total` additionally get a `<base>_per_sec`
 // line: the rate over the window since the previous WriteText call (since
-// registry creation on the first call). Values never decrease between lines
-// of one exposition; the page is a consistent-enough snapshot for dashboards,
-// not a transaction.
+// registry creation on the first call). Histograms render as count, sum and
+// quantile lines. The whole page is rendered to a private buffer before the
+// first byte reaches w, so a slow reader (a stalled scrape socket) never
+// holds any registry lock, and the output is deterministic for equal metric
+// values: fully sorted, one line per metric.
 func (r *Registry) WriteText(w io.Writer) {
+	buf := r.renderText()
+	w.Write(buf)
+}
+
+// renderText produces the exposition page. All locks are released before it
+// returns; the caller owns the byte slice.
+func (r *Registry) renderText() []byte {
 	now := time.Now()
 	r.mu.RLock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges))
 	cvals := make(map[string]uint64, len(r.counters))
-	gvals := make(map[string]int64, len(r.gauges))
 	for n, c := range r.counters {
-		names = append(names, n)
 		cvals[n] = c.Load()
 	}
+	gvals := make(map[string]int64, len(r.gauges))
 	for n, g := range r.gauges {
-		names = append(names, n)
 		gvals[n] = g.Load()
+	}
+	hsnaps := make(map[string]histSnap, len(r.histograms))
+	hsums := make(map[string]uint64, len(r.histograms))
+	for n, h := range r.histograms {
+		hsnaps[n] = h.snapshot()
+		hsums[n] = h.Sum()
 	}
 	r.mu.RUnlock()
 
@@ -157,17 +202,57 @@ func (r *Registry) WriteText(w io.Writer) {
 	r.lastScrape = now
 	r.scrapeMu.Unlock()
 
-	sort.Strings(names)
-	for _, n := range names {
-		if v, ok := cvals[n]; ok {
-			fmt.Fprintf(w, "%s %d\n", n, v)
-			if base, ok := rateBase(n); ok && window > 0 {
-				fmt.Fprintf(w, "%s_per_sec %.2f\n", base, float64(v-prev[n])/window)
-			}
-			continue
+	lines := make([]string, 0, len(cvals)+len(gvals)+5*len(hsnaps))
+	for n, v := range cvals {
+		lines = append(lines, fmt.Sprintf("%s %d", n, v))
+		if base, ok := rateBase(n); ok && window > 0 {
+			lines = append(lines, fmt.Sprintf("%s_per_sec %.2f", base, float64(v-prev[n])/window))
 		}
-		fmt.Fprintf(w, "%s %d\n", n, gvals[n])
 	}
+	for n, v := range gvals {
+		lines = append(lines, fmt.Sprintf("%s %d", n, v))
+	}
+	for n, s := range hsnaps {
+		lines = append(lines, fmt.Sprintf("%s_count %d", n, s.count))
+		lines = append(lines, fmt.Sprintf("%s_sum %d", n, hsums[n]))
+		for _, hq := range histQuantiles {
+			lines = append(lines, fmt.Sprintf("%s%s %.0f", n, hq.suffix, s.quantile(hq.q)))
+		}
+	}
+	sort.Strings(lines)
+
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Snapshot returns the current value of every metric, keyed by exposition
+// name: counters and gauges verbatim, histograms as their _count, _sum and
+// quantile entries. Unlike WriteText it computes no rate lines and touches
+// no scrape-window state, so periodic sampling (the Snapshotter) and scrape
+// rates cannot disturb each other.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+5*len(r.histograms))
+	for n, c := range r.counters {
+		out[n] = float64(c.Load())
+	}
+	for n, g := range r.gauges {
+		out[n] = float64(g.Load())
+	}
+	for n, h := range r.histograms {
+		s := h.snapshot()
+		out[n+"_count"] = float64(s.count)
+		out[n+"_sum"] = float64(h.Sum())
+		for _, hq := range histQuantiles {
+			out[n+hq.suffix] = s.quantile(hq.q)
+		}
+	}
+	return out
 }
 
 // rateBase reports whether a counter name should get a derived rate line.
@@ -179,17 +264,20 @@ func rateBase(name string) (string, bool) {
 	return "", false
 }
 
-// Handler serves the text exposition page.
+// Handler serves the text exposition page. The page is fully rendered before
+// the response starts, so a slow client costs socket buffer space, never a
+// registry lock.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		buf := r.renderText()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		r.WriteText(w)
+		w.Write(buf)
 	})
 }
 
-// MaxWorkerSlots is the number of per-worker queue-depth gauges a Pipeline
-// carries. Worker i reports into slot i mod MaxWorkerSlots, so arbitrarily
-// wide pipelines alias rather than allocate.
+// MaxWorkerSlots is the number of per-worker gauges a Pipeline carries.
+// Worker i reports into slot i mod MaxWorkerSlots, so arbitrarily wide
+// pipelines alias rather than allocate.
 const MaxWorkerSlots = 64
 
 // Pipeline groups the counters the profiling pipeline updates on its hot
@@ -212,7 +300,8 @@ type Pipeline struct {
 	Redistributions *Counter
 	// DepCacheHits / DepCacheProbes report the detection engines' instance
 	// cache: a hit records a dependence instance with zero map operations.
-	// Published at flush granularity.
+	// Published at sampled-batch granularity while the run is live, with the
+	// remainder folded in at flush.
 	DepCacheHits   *Counter
 	DepCacheProbes *Counter
 	// DupCollapsed counts consecutive duplicate reads the producer collapsed
@@ -227,6 +316,34 @@ type Pipeline struct {
 	// SigOccupancyPermille is the mean signature write-slot occupancy of the
 	// last flushed pipeline, in thousandths.
 	SigOccupancyPermille *Gauge
+
+	// Stage latency histograms (nanoseconds), the flight recorder's span
+	// layer. All are recorded at sampled chunk/batch granularity (one in
+	// Config.SampleEvery) so the hot path stays inside the bench gate:
+	//
+	//	StageProduceNs       per-chunk producer routing: push (including any
+	//	                     backpressure wait), depth observation, refill
+	//	StageTransportWaitNs worker-side wait for the next non-empty batch
+	//	StageWorkerNs        one worker batch through the detection engine
+	//	StageMergeNs         the merge stage, once per flushed run
+	StageProduceNs       *Histogram
+	StageTransportWaitNs *Histogram
+	StageWorkerNs        *Histogram
+	StageMergeNs         *Histogram
+
+	// Live Eq. (2) accuracy telemetry, populated when the worker stores run
+	// with conflict tracking enabled (core.Config.TrackAccuracy):
+	// SigFPRMeasuredPPM is the measured write-slot occupancy — the chance a
+	// membership probe for a fresh address false-positives — and
+	// SigFPRPredictedPPM the Eq. (2) prediction from the same store's
+	// distinct-address estimate, both in parts per million, per worker.
+	SigFPRMeasuredPPM  [MaxWorkerSlots]*Gauge
+	SigFPRPredictedPPM [MaxWorkerSlots]*Gauge
+	// SigInsertConflicts counts write-slot installs that evicted a different
+	// address; SigLookupConflicts counts lookups answered by a slot a
+	// different address wrote — live false positives.
+	SigInsertConflicts *Counter
+	SigLookupConflicts *Counter
 }
 
 // ObserveQueueDepth records a queue-depth observation for one worker: the
@@ -238,6 +355,14 @@ type Pipeline struct {
 func (p *Pipeline) ObserveQueueDepth(worker int, depth int64) {
 	p.QueueDepth[worker%MaxWorkerSlots].Set(depth)
 	p.QueueDepthMax.SetMax(depth)
+}
+
+// ObserveSigFPR records one worker's live signature accuracy: the measured
+// false-positive probability (write-slot occupancy) and the Eq. (2)
+// prediction for the same store, as parts-per-million gauges.
+func (p *Pipeline) ObserveSigFPR(worker int, measured, predicted float64) {
+	p.SigFPRMeasuredPPM[worker%MaxWorkerSlots].Set(int64(measured * 1e6))
+	p.SigFPRPredictedPPM[worker%MaxWorkerSlots].Set(int64(predicted * 1e6))
 }
 
 // Pipeline returns the pipeline metric group registered under prefix,
@@ -261,9 +386,17 @@ func (r *Registry) Pipeline(prefix string) *Pipeline {
 		DupCollapsed:         r.Counter(prefix + "_dup_collapsed_total"),
 		QueueDepthMax:        r.Gauge(prefix + "_queue_depth_max"),
 		SigOccupancyPermille: r.Gauge(prefix + "_sig_occupancy_permille"),
+		StageProduceNs:       r.Histogram(prefix + "_stage_produce_ns"),
+		StageTransportWaitNs: r.Histogram(prefix + "_stage_transport_wait_ns"),
+		StageWorkerNs:        r.Histogram(prefix + "_stage_worker_ns"),
+		StageMergeNs:         r.Histogram(prefix + "_stage_merge_ns"),
+		SigInsertConflicts:   r.Counter(prefix + "_sig_insert_conflicts_total"),
+		SigLookupConflicts:   r.Counter(prefix + "_sig_lookup_conflicts_total"),
 	}
 	for i := range p.QueueDepth {
 		p.QueueDepth[i] = r.Gauge(fmt.Sprintf("%s_queue_depth{worker=\"%d\"}", prefix, i))
+		p.SigFPRMeasuredPPM[i] = r.Gauge(fmt.Sprintf("%s_sig_fpr_measured_ppm{worker=\"%d\"}", prefix, i))
+		p.SigFPRPredictedPPM[i] = r.Gauge(fmt.Sprintf("%s_sig_fpr_predicted_ppm{worker=\"%d\"}", prefix, i))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
