@@ -17,7 +17,7 @@ test:
 # slow; the data races live in the pipelines, the queues, and the daemon's
 # session handling, so that is where the detector earns its keep.
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/ ./internal/server/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/ ./internal/server/ ./internal/stride/
 
 # Formatting gate: fail with the offending diff if any file is not gofmt'd.
 fmt-check:
@@ -51,6 +51,7 @@ bench-gate:
 # the dependence-set fast-update API the instance cache relies on.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzRangeFrame -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzHandshake -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzFastUpdate -fuzztime=10s ./internal/dep/

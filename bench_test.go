@@ -329,20 +329,90 @@ func hotPathStream(events int) ([]event.Access, *prog.Meta) {
 	return evs[:events], m
 }
 
+// stridedStream synthesizes the array-sweep shape SD3 compression targets:
+// a copy kernel with a carried RAW (b[i] read, a[i] write, a[i-1] read),
+// every instruction advancing by a fixed 8-byte stride over a large window.
+func stridedStream(events int) ([]event.Access, *prog.Meta) {
+	m := prog.NewMeta()
+	l := m.AddLoop(prog.Loop{Name: "sweep"})
+	ctx := m.PushCtx(0, l)
+	const window = 1 << 16
+	evs := make([]event.Access, 0, events)
+	for it := uint32(0); len(evs) < events; it++ {
+		i := it % window
+		iv := event.PackIterVec([]uint32{it})
+		src, dst := 0x900000+uint64(i)*8, 0x100000+uint64(i)*8
+		ev := func(addr uint64, k event.Kind, line int) event.Access {
+			return event.Access{Addr: addr, Kind: k, Loc: loc.Pack(2, line), CtxID: ctx, IterVec: iv}
+		}
+		evs = append(evs, ev(src, event.Read, 20), ev(dst, event.Write, 21))
+		if i > 0 {
+			evs = append(evs, ev(dst-8, event.Read, 22))
+		}
+	}
+	return evs[:events], m
+}
+
+// mixedStream interleaves a strided sweep with a random-access instruction,
+// so compression has to keep forming runs while unrelated points land
+// between the elements.
+func mixedStream(events int) ([]event.Access, *prog.Meta) {
+	m := prog.NewMeta()
+	l := m.AddLoop(prog.Loop{Name: "mixed"})
+	ctx := m.PushCtx(0, l)
+	const window = 1 << 16
+	rng := uint64(0x2545F4914F6CDD1D)
+	evs := make([]event.Access, 0, events)
+	for it := uint32(0); len(evs) < events; it++ {
+		i := it % window
+		iv := event.PackIterVec([]uint32{it})
+		rng = rng*6364136223846793005 + 1442695040888963407
+		evs = append(evs,
+			event.Access{Addr: 0x100000 + uint64(i)*8, Kind: event.Write, Loc: loc.Pack(3, 30), CtxID: ctx, IterVec: iv},
+			event.Access{Addr: 0x900000 + (rng>>40)*8, Kind: event.Kind(rng & 1), Loc: loc.Pack(3, 31), CtxID: ctx, IterVec: iv},
+		)
+	}
+	return evs[:events], m
+}
+
+// ptrChaseStream is the anti-strided workload: an LCG-permuted address per
+// event, so every detector stays Random and the point path carries the
+// whole stream — the shape the compression fast path must not tax.
+func ptrChaseStream(events int) ([]event.Access, *prog.Meta) {
+	m := prog.NewMeta()
+	l := m.AddLoop(prog.Loop{Name: "chase"})
+	ctx := m.PushCtx(0, l)
+	rng := uint64(0x9E3779B97F4A7C15)
+	evs := make([]event.Access, 0, events)
+	for it := uint32(0); len(evs) < events; it++ {
+		iv := event.PackIterVec([]uint32{it})
+		rng = rng*6364136223846793005 + 1442695040888963407
+		evs = append(evs,
+			event.Access{Addr: 0x100000 + (rng>>40)*8, Kind: event.Read, Loc: loc.Pack(4, 40), CtxID: ctx, IterVec: iv},
+			event.Access{Addr: 0x100000 + (rng>>24&0xFFFF)*8, Kind: event.Write, Loc: loc.Pack(4, 41), CtxID: ctx, IterVec: iv},
+		)
+	}
+	return evs[:events], m
+}
+
 // BenchmarkHotPath is the per-event cost gate of the profiling pipelines:
 // events/s through the serial engine, the lock-free parallel pipeline and
-// the MT pipeline on a dependence-dense stream. `make bench` records the
+// the MT pipeline on a dependence-dense stream, plus the stride-compression
+// A/B pairs on strided and mixed sweeps and a pointer chase that measures
+// the detector's cost when nothing compresses. `make bench` records the
 // trajectory in BENCH_pipeline.json; regressions show up as a drop in the
-// events/s metric against the baseline stored there.
+// events/s metric against the baseline stored there, and `make bench-gate`
+// additionally requires each strided entry to beat its -nostride twin by
+// 1.5x.
 //
-// All three pipelines run with telemetry attached at the default sampling
-// rate, so the gate prices the flight-recorder instrumentation too: if the
-// stage histograms or publication watermarks ever leak into the per-event
-// path, the events/s floor catches it.
+// All pipelines run with telemetry attached at the default sampling rate,
+// so the gate prices the flight-recorder instrumentation too: if the stage
+// histograms or publication watermarks ever leak into the per-event path,
+// the events/s floor catches it.
 func BenchmarkHotPath(b *testing.B) {
 	stream, meta := hotPathStream(1 << 16)
 	pipe := telemetry.NewRegistry().Pipeline("pipeline")
-	run := func(b *testing.B, mk func() core.Profiler) {
+	run := func(b *testing.B, stream []event.Access, mk func() core.Profiler) {
 		b.ReportAllocs()
 		prof := mk()
 		start := time.Now()
@@ -350,25 +420,43 @@ func BenchmarkHotPath(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			prof.Access(stream[i%len(stream)])
 		}
-		prof.Flush()
+		res := prof.Flush()
 		b.StopTimer()
 		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "events/s")
+		if res != nil && res.Stats.Accesses > 0 {
+			stored := res.Stats.Accesses - res.Stats.RangeElements + res.Stats.Ranges
+			b.ReportMetric(float64(res.Stats.Accesses)/float64(stored), "comp-ratio")
+		}
+	}
+	par4 := func(stream []event.Access, meta *prog.Meta, noComp bool) func(*testing.B) {
+		return func(b *testing.B) {
+			run(b, stream, func() core.Profiler {
+				return core.NewParallel(core.Config{
+					Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta, Metrics: pipe,
+					NoStrideCompression: noComp,
+				})
+			})
+		}
 	}
 	b.Run("serial", func(b *testing.B) {
-		run(b, func() core.Profiler {
+		run(b, stream, func() core.Profiler {
 			return core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewSignature(1 << 20) }, Meta: meta, Metrics: pipe})
 		})
 	})
-	b.Run("parallel4", func(b *testing.B) {
-		run(b, func() core.Profiler {
-			return core.NewParallel(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta, Metrics: pipe})
-		})
-	})
+	b.Run("parallel4", par4(stream, meta, false))
 	b.Run("mt4", func(b *testing.B) {
-		run(b, func() core.Profiler {
+		run(b, stream, func() core.Profiler {
 			return core.NewMT(core.Config{Workers: 4, SlotsPerWorker: 1 << 18, Meta: meta, Metrics: pipe})
 		})
 	})
+	strided, stridedMeta := stridedStream(1 << 16)
+	mixed, mixedMeta := mixedStream(1 << 16)
+	chase, chaseMeta := ptrChaseStream(1 << 16)
+	b.Run("strided4", par4(strided, stridedMeta, false))
+	b.Run("strided4-nostride", par4(strided, stridedMeta, true))
+	b.Run("mixed4", par4(mixed, mixedMeta, false))
+	b.Run("mixed4-nostride", par4(mixed, mixedMeta, true))
+	b.Run("ptrchase4", par4(chase, chaseMeta, false))
 }
 
 // BenchmarkBalance measures the §IV-A load-balance ablation and reports the

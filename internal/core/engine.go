@@ -189,11 +189,12 @@ func (e *Engine) slotFor(a *event.Access) sig.Slot {
 	return s
 }
 
-// build records n instances of a dependence from the stored source slot to
-// the sink access (passed by pointer for the same reason as slotFor).
-func (e *Engine) build(t dep.Type, src sig.Slot, snk *event.Access, n uint64) {
-	carriedAt := prog.NoLoop
-	dist := uint32(0)
+// classify derives the full identity of a dependence instance — its key plus
+// the carried/reduction/reversed classification — from the stored source slot
+// and the sink access. Factored out of build so the range path can batch
+// instances whose classification repeats.
+func (e *Engine) classify(t dep.Type, src sig.Slot, snk *event.Access) (k dep.Key, carriedAt prog.LoopID, reduction, reversed bool, dist uint32) {
+	carriedAt = prog.NoLoop
 	if e.meta != nil {
 		carriedAt, dist = e.meta.CarriedLoopDist(src.Ctx(), snk.CtxID, src.Iter, snk.IterVec)
 	}
@@ -206,16 +207,23 @@ func (e *Engine) build(t dep.Type, src sig.Slot, snk *event.Access, n uint64) {
 		src.Induction() && snk.Flags&event.FlagInduction != 0 && src.Loc() == snk.Loc {
 		carriedAt, dist = prog.NoLoop, 0
 	}
-	reduction := src.Reduction() && snk.Flags&event.FlagReduction != 0 &&
+	reduction = src.Reduction() && snk.Flags&event.FlagReduction != 0 &&
 		src.Loc() == snk.Loc
-	reversed := e.raceCheck && snk.TS < src.TS()
+	reversed = e.raceCheck && snk.TS < src.TS()
 
-	k := dep.Key{
+	k = dep.Key{
 		Type: t,
 		Sink: snk.Loc, SinkThread: int16(snk.Thread),
 		Src: src.Loc(), SrcThread: int16(src.Thread()),
 		Var: snk.Var,
 	}
+	return
+}
+
+// build records n instances of a dependence from the stored source slot to
+// the sink access (passed by pointer for the same reason as slotFor).
+func (e *Engine) build(t dep.Type, src sig.Slot, snk *event.Access, n uint64) {
+	k, carriedAt, reduction, reversed, dist := e.classify(t, src, snk)
 	e.record(k, t, carriedAt, reduction, reversed, dist, n)
 }
 
@@ -273,9 +281,14 @@ func (e *Engine) record(k dep.Key, t dep.Type, carriedAt prog.LoopID, reduction,
 	}
 }
 
-// ProcessChunk runs every event of a chunk through the engine.
+// ProcessChunk runs every event of a chunk through the engine, expanding
+// RangeRef slots through the bulk range path at their position.
 func (e *Engine) ProcessChunk(c *event.Chunk) {
 	for i := range c.Events {
+		if c.Events[i].Kind == event.RangeRef {
+			e.ProcessRange(&c.Ranges[c.Events[i].Addr])
+			continue
+		}
 		e.Process(c.Events[i])
 	}
 }

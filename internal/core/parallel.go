@@ -62,6 +62,13 @@ func newParallel(cfg Config) (*Parallel, error) {
 // Access implements Profiler.
 func (p *Parallel) Access(a event.Access) { p.pr.access(a) }
 
+// AccessRange feeds a pre-compressed strided run (a DDT1 range record) into
+// the pipeline. The producer splits it along the owner mask so per-address
+// routing — and therefore the profile — is exactly what Count Access calls
+// would produce; when splitting doesn't apply the run is expanded through
+// the point path. Single-goroutine, like Access.
+func (p *Parallel) AccessRange(r event.Range) { p.pr.accessRange(&r) }
+
 // Flush implements Profiler.
 func (p *Parallel) Flush() *Result {
 	p.pl.beginFlush()

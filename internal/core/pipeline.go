@@ -178,9 +178,11 @@ type transport interface {
 	pushAccess(a event.Access)
 	// takeChunk returns a recycled chunk if one is available.
 	takeChunk() (*event.Chunk, bool)
-	// pop returns the next batch of events to process, plus the chunk to
-	// recycle after processing (nil for per-access transports).
-	pop() ([]event.Access, *event.Chunk, bool)
+	// pop returns the next batch of events to process, the range side table
+	// RangeRef slots in the batch index into (nil for per-access transports,
+	// which never carry ranges), and the chunk to recycle after processing
+	// (nil for per-access transports).
+	pop() ([]event.Access, []event.Range, *event.Chunk, bool)
 	// recycle returns a drained chunk to the producer.
 	recycle(c *event.Chunk)
 	// depth is the producer-observable queue depth, in push units.
@@ -217,12 +219,12 @@ func (t *chunkTransport) pushAccess(event.Access) {
 
 func (t *chunkTransport) takeChunk() (*event.Chunk, bool) { return t.rec.TryPop() }
 
-func (t *chunkTransport) pop() ([]event.Access, *event.Chunk, bool) {
+func (t *chunkTransport) pop() ([]event.Access, []event.Range, *event.Chunk, bool) {
 	c, ok := t.in.TryPop()
 	if !ok {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return c.Events, c, true
+	return c.Events, c.Ranges, c, true
 }
 
 func (t *chunkTransport) recycle(c *event.Chunk) {
@@ -272,7 +274,7 @@ func (t *accessTransport) pushAccess(a event.Access) { t.in.Push(a) }
 
 func (t *accessTransport) takeChunk() (*event.Chunk, bool) { return nil, false }
 
-func (t *accessTransport) pop() ([]event.Access, *event.Chunk, bool) {
+func (t *accessTransport) pop() ([]event.Access, []event.Range, *event.Chunk, bool) {
 	b := t.batch[:0]
 	for len(b) < accessBatch {
 		a, ok := t.in.TryPop()
@@ -300,14 +302,14 @@ func (t *accessTransport) pop() ([]event.Access, *event.Chunk, bool) {
 	}
 	t.batch = b
 	if len(b) == 0 {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	// Depth observation for the merge stage's queue-depth gauges: what was
 	// drained plus what is still queued (Len is consumer-safe on MPSC).
 	if d := int64(len(b)) + int64(t.in.Len()); d > t.maxDepth {
 		t.maxDepth = d
 	}
-	return b, nil, true
+	return b, nil, nil, true
 }
 
 func (t *accessTransport) recycle(*event.Chunk) {}
@@ -428,7 +430,7 @@ func (w *worker) run() {
 	var waitT0 time.Time
 	waiting := false
 	for idle := 0; ; {
-		evs, c, ok := w.tr.pop()
+		evs, rngs, c, ok := w.tr.pop()
 		if !ok {
 			if idle == 0 && w.m != nil {
 				if w.waits++; w.waits%w.sampleEvery == 0 {
@@ -449,10 +451,10 @@ func (w *worker) run() {
 		w.batches++
 		if w.m != nil && w.batches%w.sampleEvery == 0 {
 			t0 := time.Now()
-			done = w.process(evs)
+			done = w.process(evs, rngs)
 			w.m.StageWorkerNs.Observe(time.Since(t0).Nanoseconds())
 		} else {
-			done = w.process(evs)
+			done = w.process(evs, rngs)
 		}
 		if c != nil {
 			w.tr.recycle(c)
@@ -476,12 +478,20 @@ func (w *worker) run() {
 
 // process applies one event batch, handling the control kinds uniformly for
 // every mode.
-func (w *worker) process(evs []event.Access) (done bool) {
+func (w *worker) process(evs []event.Access, rngs []event.Range) (done bool) {
 	for i := range evs {
 		ev := &evs[i]
 		switch ev.Kind {
 		case event.Flush:
 			done = true
+		case event.RangeRef:
+			// A compressed strided run: one dispatch, then the engine's tight
+			// element loop. Ranges only travel chunked transports of the
+			// parallel (sequential-target) mode, which never holds addresses,
+			// so the held-map probe of the point path does not apply.
+			r := &rngs[ev.Addr]
+			w.events += uint64(r.Count)
+			w.eng.ProcessRange(r)
 		case event.Migrate:
 			st := &migState{addr: ev.Addr}
 			st.write, st.wok = w.eng.Store().LookupWrite(ev.Addr)
@@ -572,9 +582,9 @@ func (p *pipeline) beginFlush() {
 	p.flushed = true
 }
 
-// chunkBytes is the memory footprint of one chunk (events + header), used
-// for the Figure 7/8 queue-memory accounting.
-const chunkBytes = event.ChunkSize*48 + 64
+// chunkBytes is the memory footprint of one chunk (events + range side table
+// + header), used for the Figure 7/8 queue-memory accounting.
+const chunkBytes = event.ChunkSize*48 + event.MaxRangesPerChunk*64 + 64
 
 // merge assembles the uniform Result for every typed mode. It must run after
 // the workers have joined (the flush barrier makes all worker-local state
@@ -719,13 +729,23 @@ type producer struct {
 	heavy    *heavySketch
 	sample   uint64
 
-	noFast            bool
-	redistributeEvery int
-	chunksSinceCheck  int
-	allocatedChunks   uint64
-	stats             RunStats
-	dupPublished      uint64
-	m                 *telemetry.Pipeline
+	// comp enables SD3 range compression (rangecomp.go): non-round-robin
+	// chunked routing only, off under Config.NoStrideCompression. instr is
+	// the direct-mapped per-instruction detector table; own the per-owner
+	// last-touch state. Both are nil when comp is false.
+	comp  bool
+	instr []instrEntry
+	own   []ownerState
+
+	noFast              bool
+	redistributeEvery   int
+	chunksSinceCheck    int
+	allocatedChunks     uint64
+	stats               RunStats
+	dupPublished        uint64
+	rangesPublished     uint64
+	rangeElemsPublished uint64
+	m                   *telemetry.Pipeline
 	// sampleEvery / pushCtr: one in sampleEvery chunk pushes is timed into
 	// StageProduceNs (push incl. backpressure, depth gauge, chunk refill).
 	sampleEvery uint64
@@ -763,6 +783,17 @@ func (pr *producer) init(pl *pipeline, cfg *Config, rr bool) {
 	for i := range pr.open {
 		pr.open[i] = pr.newChunk(pl.workers[i].tr)
 		pr.lastIdx[i] = -1
+	}
+	pr.comp = !rr && !cfg.NoStrideCompression
+	if pr.comp {
+		pr.instr = make([]instrEntry, instrSlots)
+		pr.own = make([]ownerState, slots)
+		for i := range pr.own {
+			// Epoch 1 so zero-valued touch cells read as stale; floor -1 so
+			// no conservative touch floor applies to a fresh chunk.
+			pr.own[i].epoch = 1
+			pr.own[i].floor = -1
+		}
 	}
 }
 
@@ -815,8 +846,31 @@ func (pr *producer) access(a event.Access) {
 			}
 		}
 	}
-	c.Append(a)
-	pr.lastIdx[w] = c.Len() - 1
+	if pr.comp && (a.Kind == event.Read || a.Kind == event.Write) && a.Rep == 0 {
+		// Stride compression (rangecomp.go): absorb a into an open range of
+		// its instruction, or convert the instruction's previous point plus a
+		// into one. On the miss path the appended point's slot is recorded in
+		// the instruction entry — the conversion candidate for the next access.
+		ent, absorbed := pr.compressAppend(&a, w)
+		if absorbed {
+			return
+		}
+		c.Append(a)
+		slot := int32(c.Len() - 1)
+		pr.lastIdx[w] = int(slot)
+		pr.own[w].noteTouch(a.Addr, slot)
+		pr.own[w].pending++
+		ent.lastSlot = slot
+	} else {
+		c.Append(a)
+		pr.lastIdx[w] = c.Len() - 1
+		if pr.comp {
+			// Removes (and any Rep-carrying event) still update the touch
+			// table: nothing before them may be reordered across them.
+			pr.own[w].noteTouch(a.Addr, int32(c.Len()-1))
+			pr.own[w].pending++
+		}
+	}
 	if c.Full() {
 		pr.pushOpen(w)
 		if pr.redistributeEvery > 0 && !pr.rr {
@@ -888,16 +942,29 @@ func (pr *producer) pushOpen(w int) {
 		tgt = pr.next
 		pr.next = (pr.next + 1) % len(pr.pl.workers)
 	}
-	n := c.Len()
+	n := uint64(c.Len())
+	if pr.comp {
+		// Ranges make slot count ≠ event count: publish the logical access
+		// tally instead, and open a fresh touch-table generation — pushed
+		// chunks are immutable, so nothing in them may be merged into again.
+		os := &pr.own[w]
+		n = os.pending
+		os.pending = 0
+		os.epoch++
+		os.floor = -1
+	}
 	tw := pr.pl.workers[tgt]
 	tw.tr.pushChunk(c)
 	pr.stats.Chunks++
 	if pr.m != nil {
-		pr.m.Events.Add(uint64(n))
+		pr.m.Events.Add(n)
 		pr.m.Chunks.Inc()
 		if d := pr.stats.DupCollapsed - pr.dupPublished; d > 0 {
 			pr.m.DupCollapsed.Add(d)
 			pr.dupPublished = pr.stats.DupCollapsed
+		}
+		if pr.comp {
+			pr.publishRangeTelemetry()
 		}
 		// Depth right after the push; the pushed chunk may already have been
 		// consumed, so count it in to keep the gauge a lower bound of the
@@ -1012,5 +1079,9 @@ func (pr *producer) drainFlush() {
 			pr.m.DupCollapsed.Add(d)
 			pr.dupPublished = pr.stats.DupCollapsed
 		}
+		if pr.comp {
+			pr.publishRangeTelemetry()
+		}
 	}
+	pr.publishCompressionState()
 }

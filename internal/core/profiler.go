@@ -59,6 +59,13 @@ type RunStats struct {
 	// Redistributions is the number of rebalance rounds that moved at
 	// least one address.
 	Redistributions uint64
+	// Ranges is the number of compressed strided runs emitted by the
+	// producer's SD3 stride detection (or ingested pre-compressed from a
+	// trace); RangeElements the accesses they stand for. Both are zero with
+	// Config.NoStrideCompression set. Range elements still count in Accesses
+	// and in every dependence count.
+	Ranges        uint64
+	RangeElements uint64
 	// StoreBytes is the actual memory held by all access-history stores.
 	StoreBytes uint64
 	// StoreModeledBytes is the same under the paper's 4 B/slot model.
@@ -115,6 +122,15 @@ type Config struct {
 	// timing every chunk) is what keeps the flight recorder inside the
 	// bench-gate's throughput budget.
 	SampleEvery int
+	// NoStrideCompression disables SD3 range compression in the chunked
+	// parallel producer (rangecomp.go) — the A/B switch of the stride
+	// ingestion work. Profiles are byte-identical either way over exact
+	// stores (the golden fixtures and the equivalence suite hold both paths
+	// to that); over the approximate Signature the two paths may resolve
+	// hash-slot collisions between distinct addresses differently, the error
+	// class Eq. (2) already models. No effect on serial/MT/existence modes,
+	// which never compress.
+	NoStrideCompression bool
 	// TrackAccuracy enables live Eq. (2) accuracy telemetry on workers whose
 	// store is a sig.Signature: slot-conflict counters plus measured vs
 	// predicted false-positive gauges per worker (sig_fpr_measured_ppm /
@@ -204,6 +220,29 @@ func (s *Serial) Access(a event.Access) {
 		}
 	}
 	s.eng.Process(a)
+}
+
+// AccessRange feeds a pre-compressed strided run (a DDT1 range record)
+// through the serial engine: one bulk dispatch instead of Count Access
+// calls. The profile is identical to feeding r.At(0..Count-1) in order.
+func (s *Serial) AccessRange(r event.Range) {
+	if r.Count == 0 {
+		return
+	}
+	if r.Kind == event.Read || r.Kind == event.Write {
+		s.stats.Accesses += uint64(r.Count)
+		s.stats.Ranges++
+		s.stats.RangeElements += uint64(r.Count)
+		if s.m != nil {
+			s.m.Ranges.Inc()
+			s.m.RangeElements.Add(uint64(r.Count))
+			if s.stats.Accesses-s.published >= 1024 {
+				s.m.Events.Add(s.stats.Accesses - s.published)
+				s.published = s.stats.Accesses
+			}
+		}
+	}
+	s.eng.ProcessRange(&r)
 }
 
 // Flush implements Profiler.

@@ -38,6 +38,13 @@ const (
 	// the sequential-target protocol needs no hold because its single
 	// producer reroutes synchronously.
 	Hold
+	// RangeRef marks a chunk slot standing for a strided run (SD3-style
+	// stride compression, §II related work). The slot's Addr field is the
+	// index into the carrying Chunk's Ranges table; every other field is
+	// unused. The run expands, in element order, at the slot's position, so
+	// per-address processing order is exactly what the producer verified
+	// when it built the range.
+	RangeRef
 )
 
 func (k Kind) String() string {
@@ -56,6 +63,8 @@ func (k Kind) String() string {
 		return "flush"
 	case Hold:
 		return "hold"
+	case RangeRef:
+		return "range"
 	}
 	return "invalid"
 }
@@ -105,21 +114,82 @@ const (
 	FlagInduction Flags = 1 << 1
 )
 
+// Range is a compressed strided run: Count accesses by one instruction whose
+// addresses advance by a fixed stride. Element j (0 <= j < Count) stands for
+// the point access
+//
+//	Addr    = Base + j*Stride      (wrapping uint64 arithmetic)
+//	IterVec = IterVec + j*IterDelta
+//
+// with every other field (TS included) shared by all elements and Rep = 0.
+// Stride is a wrapping delta, so descending runs are Stride = -8 cast to
+// uint64; Stride = 0 encodes repeated accesses to one address. Ranges are
+// produced only where the producer has verified that expanding the run in
+// element order at the range's chunk position reproduces the per-address
+// processing order of the uncompressed stream.
+type Range struct {
+	Base      uint64
+	Stride    uint64 // wrapping per-element address delta
+	TS        uint64 // shared by all elements (MT timestamps never compress)
+	IterVec   uint64 // packed iteration vector of the first element
+	IterDelta uint64 // wrapping per-element IterVec delta
+	Loc       loc.SourceLoc
+	Var       loc.VarID
+	CtxID     uint32
+	Count     uint32
+	Thread    int32
+	Kind      Kind
+	Flags     Flags
+}
+
+// At expands element j of the run into a point access.
+func (r *Range) At(j uint32) Access {
+	return Access{
+		Addr:    r.Base + uint64(j)*r.Stride,
+		TS:      r.TS,
+		IterVec: r.IterVec + uint64(j)*r.IterDelta,
+		Loc:     r.Loc,
+		Var:     r.Var,
+		CtxID:   r.CtxID,
+		Thread:  r.Thread,
+		Kind:    r.Kind,
+		Flags:   r.Flags,
+	}
+}
+
+// Last returns the address of the final element.
+func (r *Range) Last() uint64 {
+	if r.Count == 0 {
+		return r.Base
+	}
+	return r.Base + uint64(r.Count-1)*r.Stride
+}
+
 // ChunkSize is the default number of accesses per chunk. 4096 events keeps
 // the per-push synchronization cost negligible while bounding the reordering
 // window.
 const ChunkSize = 4096
 
-// Chunk is a fixed-capacity batch of accesses bound for one worker.
+// MaxRangesPerChunk bounds the per-chunk range table. One range stands for at
+// least two accesses, so 256 ranges can only be exhausted by a chunk already
+// compressing well; once the table is full further runs fall back to points.
+const MaxRangesPerChunk = 256
+
+// Chunk is a fixed-capacity batch of accesses bound for one worker. A slot in
+// Events holds either a point access or — when Kind is RangeRef — a reference
+// (by Addr) into the Ranges side table.
 type Chunk struct {
 	Events []Access
+	Ranges []Range
 	buf    [ChunkSize]Access
+	rbuf   [MaxRangesPerChunk]Range
 }
 
 // NewChunk returns an empty chunk with the default capacity.
 func NewChunk() *Chunk {
 	c := &Chunk{}
 	c.Events = c.buf[:0]
+	c.Ranges = c.rbuf[:0]
 	return c
 }
 
@@ -128,14 +198,28 @@ func (c *Chunk) Append(a Access) {
 	c.Events = append(c.Events, a)
 }
 
+// AppendRange adds a range to the side table and returns its index; the
+// caller must check RangesFull first and install a RangeRef slot referencing
+// the returned index.
+func (c *Chunk) AppendRange(r Range) int {
+	c.Ranges = append(c.Ranges, r)
+	return len(c.Ranges) - 1
+}
+
 // Full reports whether the chunk has reached capacity.
 func (c *Chunk) Full() bool { return len(c.Events) == cap(c.Events) }
 
-// Len returns the number of buffered accesses.
+// RangesFull reports whether the range side table has reached capacity.
+func (c *Chunk) RangesFull() bool { return len(c.Ranges) == cap(c.Ranges) }
+
+// Len returns the number of buffered slots (a RangeRef slot counts once).
 func (c *Chunk) Len() int { return len(c.Events) }
 
 // Reset empties the chunk for reuse.
-func (c *Chunk) Reset() { c.Events = c.buf[:0] }
+func (c *Chunk) Reset() {
+	c.Events = c.buf[:0]
+	c.Ranges = c.rbuf[:0]
+}
 
 // PackIterVec packs the iteration counters of the enclosing loops, deepest
 // last in iters, into a 64-bit vector: the deepest loop occupies bits 0–15,

@@ -13,10 +13,30 @@ import (
 
 // BenchEntry is one parsed `go test -bench` result line that reported a
 // custom events/s metric (BenchmarkHotPath does via b.ReportMetric).
+// Workload/Pattern are attached from the sub-benchmark's recorded metadata
+// (benchMeta); CompRatio is the stride-compression ratio the run reported
+// (observed accesses per stored record, 1 = nothing compressed).
 type BenchEntry struct {
 	Name         string  `json:"name"` // sub-benchmark name, e.g. "serial"
 	NsPerOp      float64 `json:"ns_per_op"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	Workload     string  `json:"workload,omitempty"`
+	Pattern      string  `json:"pattern,omitempty"`
+	CompRatio    float64 `json:"comp_ratio,omitempty"`
+}
+
+// benchMeta maps BenchmarkHotPath sub-benchmark names to the workload they
+// replay and its access pattern, so BENCH_pipeline.json rows carry enough
+// context to read without the benchmark source at hand.
+var benchMeta = map[string]struct{ Workload, Pattern string }{
+	"serial":            {"hotpath", "dependence-dense"},
+	"parallel4":         {"hotpath", "dependence-dense"},
+	"mt4":               {"hotpath", "dependence-dense"},
+	"strided4":          {"strided-sweep", "strided"},
+	"strided4-nostride": {"strided-sweep", "strided"},
+	"mixed4":            {"mixed-sweep", "strided+random"},
+	"mixed4-nostride":   {"mixed-sweep", "strided+random"},
+	"ptrchase4":         {"pointer-chase", "random"},
 }
 
 // BenchRun is one labelled benchmark invocation (e.g. "baseline" before a
@@ -61,9 +81,14 @@ func ParseBench(r io.Reader) ([]BenchEntry, error) {
 			case "events/s":
 				e.EventsPerSec = v
 				found = true
+			case "comp-ratio":
+				e.CompRatio = v
 			}
 		}
 		if found {
+			if md, ok := benchMeta[e.Name]; ok {
+				e.Workload, e.Pattern = md.Workload, md.Pattern
+			}
 			out = append(out, e)
 		}
 	}
@@ -159,6 +184,49 @@ func CompareBench(path, baseLabel string, entries []BenchEntry, tolerance float6
 		return nil, fmt.Errorf("%s: run %q shares no sub-benchmarks with the fresh output", path, baseLabel)
 	}
 	return out, nil
+}
+
+// StrideGate is one stride-compression A/B pair: the events/s of a strided
+// sub-benchmark with compression on against its "-nostride" twin.
+type StrideGate struct {
+	Name          string
+	With, Without float64 // events/s, best repeat per side
+	Ratio         float64 // With / Without
+	Pass          bool
+}
+
+// GateStrideTwins evaluates the stride-compression speedup gate over fresh
+// benchmark entries: every sub-benchmark named "strided..." that has a
+// "-nostride" twin must beat it by at least minRatio (both sides collapse
+// repeats to the best observed events/s, like CompareBench). Pairs for other
+// patterns (mixed twins) are reported but always pass — the gate guards the
+// workload compression targets, interference on mixed streams is
+// informational.
+func GateStrideTwins(entries []BenchEntry, minRatio float64) []StrideGate {
+	best := make(map[string]float64, len(entries))
+	var order []string
+	for _, e := range entries {
+		if _, seen := best[e.Name]; !seen {
+			order = append(order, e.Name)
+		}
+		if e.EventsPerSec > best[e.Name] {
+			best[e.Name] = e.EventsPerSec
+		}
+	}
+	var out []StrideGate
+	for _, name := range order {
+		if strings.HasSuffix(name, "-nostride") {
+			continue
+		}
+		without, ok := best[name+"-nostride"]
+		if !ok || without <= 0 {
+			continue
+		}
+		g := StrideGate{Name: name, With: best[name], Without: without, Ratio: best[name] / without}
+		g.Pass = g.Ratio >= minRatio || !strings.HasPrefix(name, "strided")
+		out = append(out, g)
+	}
+	return out
 }
 
 // AppendBenchRun loads path (if it exists), appends a labelled run and writes

@@ -138,24 +138,27 @@ func clientHandshake(p *minilang.Program, opt ClientOptions) *handshake {
 }
 
 // streamTrace executes p, streaming its framed DDT1 trace to w, and
-// terminates the stream. The recording hook is a trace.SyncWriter, so
-// multi-threaded targets stream safely.
+// terminates the stream. The recording hook is a trace.Compactor, which
+// serializes concurrent callers (so multi-threaded targets stream safely)
+// and folds consecutive strided runs into range records, shrinking the trace
+// on the wire and letting the daemon ingest whole runs in one dispatch.
 func streamTrace(w io.Writer, p *minilang.Program, opt ClientOptions) ([]dep.LoopRecord, uint64, error) {
 	fw := trace.NewFrameWriter(w)
 	tw, err := trace.NewWriter(fw)
 	if err != nil {
 		return nil, 0, fmt.Errorf("server: opening trace stream: %w", err)
 	}
-	sw := trace.NewSyncWriter(tw)
-	info, err := interp.Run(p, sw, interp.Options{Timestamps: opt.MT, YieldEvery: opt.SchedulerFuzz})
+	cw := trace.NewCompactor(tw)
+	info, err := interp.Run(p, cw, interp.Options{Timestamps: opt.MT, YieldEvery: opt.SchedulerFuzz})
 	if err != nil {
 		return nil, 0, fmt.Errorf("server: target run: %w", err)
 	}
-	if err := sw.Close(); err != nil {
+	events := cw.Count()
+	if err := cw.Close(); err != nil {
 		return nil, 0, fmt.Errorf("server: streaming trace: %w", err)
 	}
 	if err := fw.Close(); err != nil {
 		return nil, 0, fmt.Errorf("server: finishing stream: %w", err)
 	}
-	return info.LoopRecords, sw.Count(), nil
+	return info.LoopRecords, events, nil
 }

@@ -416,14 +416,30 @@ func (s *Server) runSession(sess *session) error {
 	if err != nil {
 		return fmt.Errorf("trace stream: %w", err)
 	}
+	// Range records feed the pipeline's bulk path when it has one (the
+	// serial and parallel typed pipelines); otherwise they expand here. The
+	// reader has already validated range element kinds (Read/Write only).
+	ranged, hasRange := prof.(interface{ AccessRange(event.Range) })
 	for {
-		a, err := tr.Next()
+		rec, err := tr.NextRecord()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return fmt.Errorf("trace stream: %w", err)
 		}
+		if rec.IsRange {
+			if hasRange {
+				ranged.AccessRange(rec.Range)
+			} else {
+				for j := uint32(0); j < rec.Range.Count; j++ {
+					prof.Access(rec.Range.At(j))
+				}
+			}
+			sess.events.Add(uint64(rec.Range.Count))
+			continue
+		}
+		a := rec.Access
 		// Pipeline control kinds are daemon-internal; a stream carrying them
 		// is corrupt (a hostile one could hijack the migration mailboxes).
 		if a.Kind > event.Remove {

@@ -6,11 +6,20 @@
 // A Detector watches the address stream of one instruction (source line)
 // and learns whether it accesses memory at a fixed stride. Strided runs are
 // stored as compact (base, stride, count) triples instead of per-address
-// history. The package serves as an ablation comparator for the signature
-// approach: Compress reports how much of a given stream stride compression
+// history. Compress reports how much of a given stream stride compression
 // would capture, and the detector's FSM is tested against the published
 // state semantics.
+//
+// Two observation APIs exist. Observe records the full compressed
+// representation (runs + residual points) for the ablation entry point
+// Compress; it allocates. Track advances only the FSM — state, last address,
+// learned stride — and never allocates, which is what the pipeline producer
+// embeds per instruction on its hot path (internal/core). Producer tables
+// embed Detector by value for zero indirection; dynamically keyed embedders
+// recycle heap detectors through Get/Put instead.
 package stride
+
+import "sync"
 
 // State is the learning state of the per-instruction FSM, following SD3's
 // Start → FirstObserved → StrideLearned → Weak progression.
@@ -86,6 +95,73 @@ func NewDetector() *Detector { return &Detector{} }
 
 // State returns the current FSM state.
 func (d *Detector) State() State { return d.state }
+
+// Stride returns the learned stride; ok is false unless the FSM is in the
+// Learned state (the only state in which the stride is confirmed).
+func (d *Detector) Stride() (stride int64, ok bool) {
+	return d.stride, d.state == Learned
+}
+
+// Last returns the most recently observed address; meaningless in Start.
+func (d *Detector) Last() uint64 { return d.last }
+
+// Reset returns the detector to the Start state, keeping the capacity of any
+// run/point history so pooled detectors do not re-allocate on reuse.
+func (d *Detector) Reset() {
+	*d = Detector{runs: d.runs[:0], points: d.points[:0]}
+}
+
+// Track feeds the next address through the FSM without recording run or
+// point history: the zero-allocation variant of Observe for producers that
+// only need the state and the learned stride. It returns the state after the
+// transition. The transitions match Observe exactly (Random is terminal, as
+// in Observe; embedders that evict and reset table entries re-learn there).
+func (d *Detector) Track(addr uint64) State {
+	switch d.state {
+	case Start:
+		d.last = addr
+		d.state = First
+	case First:
+		d.stride = int64(addr) - int64(d.last)
+		d.last = addr
+		d.state = Learned
+	case Learned:
+		if int64(addr)-int64(d.last) != d.stride {
+			d.state = Weak
+		}
+		d.last = addr
+	case Weak:
+		if int64(addr)-int64(d.last) == d.stride {
+			d.state = Learned
+		} else {
+			d.state = Random
+		}
+		d.last = addr
+	case Random:
+		d.last = addr
+	}
+	return d.state
+}
+
+// Advance records an address the embedder has already verified to continue
+// the learned stride (state Learned, delta == stride): the transition Track
+// would take collapses to updating the last address, and unlike Track this
+// inlines into the embedder's hot loop. Calling it with an unverified
+// address desynchronizes the FSM.
+func (d *Detector) Advance(addr uint64) { d.last = addr }
+
+// pool recycles heap-allocated detectors for embedders that key detectors
+// dynamically (per (thread, line) pair) and cannot embed them by value.
+var pool = sync.Pool{New: func() any { return NewDetector() }}
+
+// Get returns a detector in the Start state from the package pool.
+func Get() *Detector { return pool.Get().(*Detector) }
+
+// Put resets d and returns it to the package pool.
+func Put(d *Detector) {
+	d.Reset()
+	pool.Put(d)
+}
 
 // Observe feeds the next address.
 func (d *Detector) Observe(addr uint64) {

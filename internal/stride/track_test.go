@@ -1,0 +1,132 @@
+package stride
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTrackMatchesObserveStates: Track is the allocation-free projection of
+// Observe — over any stream the two FSMs must agree on state, last address
+// and learned stride at every step.
+func TestTrackMatchesObserveStates(t *testing.T) {
+	f := func(seed uint16, strided bool) bool {
+		obs, trk := NewDetector(), NewDetector()
+		x := uint64(seed) + 1
+		for i := 0; i < 200; i++ {
+			var a uint64
+			if strided {
+				a = 0x100 + uint64(i)*uint64(seed%9+1)
+				if i%37 == 0 {
+					a = x // periodic break exercises Weak/Random
+				}
+			} else {
+				x = x*2862933555777941757 + 3037000493
+				a = x % 4096
+			}
+			obs.Observe(a)
+			trk.Track(a)
+			if obs.state != trk.state || obs.last != trk.last || obs.stride != trk.stride {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackLearnsAndReportsStride(t *testing.T) {
+	d := NewDetector()
+	for i := uint64(0); i < 10; i++ {
+		d.Track(0x1000 + i*16)
+	}
+	s, ok := d.Stride()
+	if !ok || s != 16 {
+		t.Fatalf("Stride() = %d, %v; want 16, true", s, ok)
+	}
+	if d.Last() != 0x1000+9*16 {
+		t.Errorf("Last() = %#x", d.Last())
+	}
+	d.Track(0xDEAD) // break the stride
+	if _, ok := d.Stride(); ok {
+		t.Error("Stride() confirmed in Weak state")
+	}
+}
+
+func TestTrackDoesNotAllocate(t *testing.T) {
+	d := NewDetector()
+	n := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 64; i++ {
+			d.Track(i * 8)
+		}
+		d.Track(12345) // Weak
+		d.Track(99)    // Random
+		d.Reset()
+	})
+	if n != 0 {
+		t.Errorf("Track/Reset allocated %.1f times per run, want 0", n)
+	}
+}
+
+func TestResetKeepsHistoryCapacity(t *testing.T) {
+	d := NewDetector()
+	for i := 0; i < 100; i++ {
+		d.Observe(uint64(i*i + 7)) // non-strided: accumulates points
+	}
+	capBefore := cap(d.points)
+	if capBefore == 0 {
+		t.Fatal("test stream recorded no points")
+	}
+	d.Reset()
+	if d.State() != Start || len(d.points) != 0 || len(d.runs) != 0 {
+		t.Fatalf("Reset left state=%v points=%d runs=%d", d.State(), len(d.points), len(d.runs))
+	}
+	if cap(d.points) != capBefore {
+		t.Errorf("Reset dropped point capacity: %d -> %d", capBefore, cap(d.points))
+	}
+	// The reset detector must behave like a fresh one.
+	for i := uint64(0); i < 5; i++ {
+		d.Track(i * 4)
+	}
+	if s, ok := d.Stride(); !ok || s != 4 {
+		t.Errorf("after Reset: Stride() = %d, %v; want 4, true", s, ok)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	d := Get()
+	if d.State() != Start {
+		t.Fatalf("pooled detector state = %v, want start", d.State())
+	}
+	d.Track(8)
+	d.Track(16)
+	Put(d)
+	d2 := Get()
+	if d2.State() != Start {
+		t.Errorf("recycled detector not reset: state = %v", d2.State())
+	}
+	Put(d2)
+}
+
+// BenchmarkDetectorTrack pins the per-address FSM cost the producer pays on
+// its hot path. Both the all-strided and the never-strided (Random steady
+// state) cases matter: the first is the win, the second the overhead bound.
+func BenchmarkDetectorTrack(b *testing.B) {
+	b.Run("strided", func(b *testing.B) {
+		var d Detector
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Track(uint64(i) * 8)
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		var d Detector
+		x := uint64(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			d.Track(x)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package trace
+
+// Compactor is the recording-side half of range compression: an exact,
+// consecutive-only run detector between the instrumentation hook and a
+// Writer. It folds a run of accesses that are literally adjacent in the
+// stream — same instruction metadata, addresses advancing by a fixed stride,
+// iteration vectors advancing by a fixed delta, equal timestamps — into one
+// DDT1 range record; anything else (including the first non-extending event)
+// flushes the open run and passes through as points, so replaying the trace
+// reproduces the recorded stream event-for-event in order.
+//
+// Consecutive-only is a deliberate limitation: two instructions whose
+// accesses interleave (a[i] = b[i] sweeping two arrays) never form runs here,
+// because reordering them on the wire would change the per-address
+// interleaving the profile depends on. The profiler's own producer carries
+// per-instruction detectors and a last-touch table to compress interleaved
+// streams safely; the trace layer stays order-preserving and simple.
+//
+// Compactor serializes its callers the way SyncWriter does, so it can be
+// installed directly as the hook of a multi-threaded recording run (where
+// distinct timestamps keep runs from forming, and events simply pass
+// through).
+
+import (
+	"sync"
+
+	"ddprof/internal/event"
+)
+
+// compactMin is the run length worth a range record: a 2-element range record
+// is larger than two delta-encoded points, so runs shorter than 3 flush as
+// points.
+const compactMin = 3
+
+// Compactor folds consecutive strided accesses into range records on their
+// way into w. The wrapped Writer must not be used directly while the
+// Compactor is live.
+type Compactor struct {
+	mu  sync.Mutex
+	w   *Writer
+	run event.Range // open candidate; Count==0 none, Count==1 bare point
+}
+
+// NewCompactor wraps w.
+func NewCompactor(w *Writer) *Compactor { return &Compactor{w: w} }
+
+// sameRunMeta reports whether a could belong to the open run: every field a
+// Range shares across its elements must match exactly.
+func (c *Compactor) sameRunMeta(a *event.Access) bool {
+	r := &c.run
+	return a.Loc == r.Loc && a.Var == r.Var && a.CtxID == r.CtxID &&
+		a.Thread == r.Thread && a.Kind == r.Kind && a.Flags == r.Flags &&
+		a.TS == r.TS
+}
+
+// Access implements the hook: extend the open run or flush and restart it.
+func (c *Compactor) Access(a event.Access) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a.Rep != 0 || (a.Kind != event.Read && a.Kind != event.Write) {
+		c.flushLocked()
+		c.w.Access(a)
+		return
+	}
+	switch {
+	case c.run.Count == 0:
+		// Fall through to restart below.
+	case c.run.Count == 1:
+		if c.sameRunMeta(&a) {
+			c.run.Stride = a.Addr - c.run.Base
+			c.run.IterDelta = a.IterVec - c.run.IterVec
+			c.run.Count = 2
+			return
+		}
+		c.flushLocked()
+	default:
+		if c.sameRunMeta(&a) && c.run.Count < maxWireRangeCount &&
+			a.Addr == c.run.Base+uint64(c.run.Count)*c.run.Stride &&
+			a.IterVec == c.run.IterVec+uint64(c.run.Count)*c.run.IterDelta {
+			c.run.Count++
+			return
+		}
+		c.flushLocked()
+	}
+	c.run = event.Range{
+		Base: a.Addr, TS: a.TS, IterVec: a.IterVec,
+		Loc: a.Loc, Var: a.Var, CtxID: a.CtxID,
+		Thread: a.Thread, Kind: a.Kind, Flags: a.Flags,
+		Count: 1,
+	}
+}
+
+// flushLocked drains the open run: long enough and wire-expressible runs go
+// out as one range record, everything else as points.
+func (c *Compactor) flushLocked() {
+	r := c.run
+	c.run.Count = 0
+	if r.Count == 0 {
+		return
+	}
+	if r.Count >= compactMin && wireRangeOK(&r) {
+		c.w.Range(r)
+		return
+	}
+	for j := uint32(0); j < r.Count; j++ {
+		c.w.Access(r.At(j))
+	}
+}
+
+// Flush drains the open run without closing the underlying Writer.
+func (c *Compactor) Flush() {
+	c.mu.Lock()
+	c.flushLocked()
+	c.mu.Unlock()
+}
+
+// Count returns the number of events recorded so far, open run included.
+func (c *Compactor) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.Count() + uint64(c.run.Count)
+}
+
+// Close drains the open run and flushes the trace.
+func (c *Compactor) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+	return c.w.Close()
+}
+
+// Err returns the first serialization error, if any.
+func (c *Compactor) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.Err()
+}

@@ -1,0 +1,165 @@
+package trace
+
+// DDT1 range records: the wire form of event.Range. A range record starts
+// with the RangeRef kind byte, then
+//
+//	elem kind (1 byte, Read or Write)
+//	zigzag delta Base   (from the previous record's final address)
+//	zigzag Stride       (signed per-element address delta)
+//	uvarint Count       (2 .. maxWireRangeCount)
+//	zigzag delta TS     (from the previous record's TS)
+//	uvarint Loc, Var, CtxID, IterVec, IterDelta, Thread
+//	flags (1 byte)
+//
+// After a range record the decoder's address/timestamp context is the run's
+// last element, so a following point access in the same sweep delta-encodes
+// small. Unlike the in-memory Range (whose arithmetic wraps by definition),
+// wire ranges must not wrap: a frame whose Base + Stride*(Count-1) leaves the
+// address space is rejected as corrupt rather than silently aliasing — the
+// decoder never expands an address the encoder did not see.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ddprof/internal/event"
+	"ddprof/internal/loc"
+)
+
+// maxWireRangeCount bounds the element count a single range record may carry,
+// so a hostile 10-byte frame cannot claim 2^32 events and distort accounting
+// before the stream errors out.
+const maxWireRangeCount = 1 << 24
+
+// rangeWraps reports whether base + stride*(count-1) leaves the uint64
+// address space (in either direction).
+func rangeWraps(base uint64, stride int64, count uint32) bool {
+	if count < 2 || stride == 0 {
+		return false
+	}
+	span := uint64(count - 1)
+	if stride > 0 {
+		return span > (^uint64(0)-base)/uint64(stride)
+	}
+	return span > base/uint64(-stride)
+}
+
+// wireRangeOK reports whether r is expressible as a DDT1 range record.
+func wireRangeOK(r *event.Range) bool {
+	return (r.Kind == event.Read || r.Kind == event.Write) &&
+		r.Count >= 2 && r.Count <= maxWireRangeCount &&
+		!rangeWraps(r.Base, int64(r.Stride), r.Count)
+}
+
+// Range serializes one compressed strided run as a single record. The run
+// must be wire-expressible (Read/Write, 2 <= Count <= 1<<24, no address
+// wrap); an inexpressible range poisons the Writer with an error instead of
+// writing a frame every reader would reject.
+func (w *Writer) Range(r event.Range) {
+	if w.err != nil {
+		return
+	}
+	if !wireRangeOK(&r) {
+		w.err = fmt.Errorf("trace: range not wire-expressible (kind %v, count %d, base %#x, stride %d)",
+			r.Kind, r.Count, r.Base, int64(r.Stride))
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		if w.err != nil {
+			return
+		}
+		n := binary.PutUvarint(buf[:], v)
+		_, w.err = w.bw.Write(buf[:n])
+	}
+	putZig := func(v int64) {
+		put(uint64((v << 1) ^ (v >> 63)))
+	}
+	w.err = w.bw.WriteByte(byte(event.RangeRef))
+	if w.err == nil {
+		w.err = w.bw.WriteByte(byte(r.Kind))
+	}
+	putZig(int64(r.Base) - int64(w.prev.Addr))
+	putZig(int64(r.Stride))
+	put(uint64(r.Count))
+	putZig(int64(r.TS) - int64(w.prev.TS))
+	put(uint64(r.Loc))
+	put(uint64(r.Var))
+	put(uint64(r.CtxID))
+	put(r.IterVec)
+	put(r.IterDelta)
+	put(uint64(r.Thread))
+	if w.err == nil {
+		w.err = w.bw.WriteByte(byte(r.Flags))
+	}
+	w.prev.Addr = r.Last()
+	w.prev.TS = r.TS
+	w.count += uint64(r.Count)
+}
+
+// readRange decodes the body of a range record whose RangeRef kind byte has
+// been consumed. It validates every field a hostile stream could abuse —
+// element kind, count bounds, address-space wrap, undefined flag bits —
+// before committing the run to the decode context.
+func (r *Reader) readRange() (event.Range, error) {
+	var rg event.Range
+	kb, err := r.br.ReadByte()
+	if err != nil {
+		return rg, fmt.Errorf("trace: event %d truncated: %w", r.n, noEOF(err))
+	}
+	if k := event.Kind(kb); k != event.Read && k != event.Write {
+		return rg, fmt.Errorf("trace: event %d: invalid range element kind %d", r.n, kb)
+	}
+	rg.Kind = event.Kind(kb)
+	dBase, err := r.getZig()
+	if err != nil {
+		return rg, err
+	}
+	rg.Base = uint64(int64(r.prev.Addr) + dBase)
+	stride, err := r.getZig()
+	if err != nil {
+		return rg, err
+	}
+	rg.Stride = uint64(stride)
+	cnt, err := r.get()
+	if err != nil {
+		return rg, err
+	}
+	if cnt < 2 || cnt > maxWireRangeCount {
+		return rg, fmt.Errorf("trace: event %d: range count %d out of bounds", r.n, cnt)
+	}
+	rg.Count = uint32(cnt)
+	if rangeWraps(rg.Base, stride, rg.Count) {
+		return rg, fmt.Errorf("trace: event %d: range %#x + %d*%d overflows the address space",
+			r.n, rg.Base, stride, rg.Count-1)
+	}
+	dTS, err := r.getZig()
+	if err != nil {
+		return rg, err
+	}
+	rg.TS = uint64(int64(r.prev.TS) + dTS)
+	var vals [6]uint64
+	for i := range vals {
+		if vals[i], err = r.get(); err != nil {
+			return rg, err
+		}
+	}
+	rg.Loc = loc.SourceLoc(vals[0])
+	rg.Var = loc.VarID(vals[1])
+	rg.CtxID = uint32(vals[2])
+	rg.IterVec = vals[3]
+	rg.IterDelta = vals[4]
+	rg.Thread = int32(vals[5])
+	fb, err := r.br.ReadByte()
+	if err != nil {
+		return rg, fmt.Errorf("trace: event %d truncated: %w", r.n, noEOF(err))
+	}
+	if event.Flags(fb)&^(event.FlagReduction|event.FlagInduction) != 0 {
+		return rg, fmt.Errorf("trace: event %d: undefined flag bits %#x", r.n, fb)
+	}
+	rg.Flags = event.Flags(fb)
+	r.prev.Addr = rg.Last()
+	r.prev.TS = rg.TS
+	r.n += uint64(rg.Count)
+	return rg, nil
+}

@@ -149,6 +149,10 @@ type Reader struct {
 	br   *bufio.Reader
 	prev event.Access
 	n    uint64
+	// Pending expansion of a decoded range record: Next hands out
+	// pendRange.At(pendNext) until the run is drained.
+	pendRange event.Range
+	pendNext  uint32
 }
 
 // NewReader checks the stream magic and returns a Reader positioned at the
@@ -180,32 +184,80 @@ func noEOF(err error) error {
 	return err
 }
 
-// Next decodes one event. It returns io.EOF at a clean end of stream (an
-// event boundary); a stream that ends inside a record returns an error
-// wrapping io.ErrUnexpectedEOF instead.
+// Next decodes one event, expanding range records (one compressed strided
+// run on the wire) into their per-element point accesses. It returns io.EOF
+// at a clean end of stream (a record boundary); a stream that ends inside a
+// record returns an error wrapping io.ErrUnexpectedEOF instead.
 func (r *Reader) Next() (event.Access, error) {
-	var a event.Access
+	if r.pendNext < r.pendRange.Count {
+		a := r.pendRange.At(r.pendNext)
+		r.pendNext++
+		return a, nil
+	}
+	rec, err := r.NextRecord()
+	if err != nil {
+		return event.Access{}, err
+	}
+	if rec.IsRange {
+		r.pendRange = rec.Range
+		r.pendNext = 1
+		return rec.Range.At(0), nil
+	}
+	return rec.Access, nil
+}
+
+// Record is one decoded trace record: either a point access or a compressed
+// strided run. Exactly one of the two is meaningful, selected by IsRange.
+type Record struct {
+	Access  event.Access
+	Range   event.Range
+	IsRange bool
+}
+
+// NextRecord decodes one record without expanding ranges — the bulk-ingest
+// counterpart of Next, used by ddprofd to feed compressed runs straight into
+// a pipeline's range path. Count() advances by the element count of each
+// record (a range counts as Count events).
+func (r *Reader) NextRecord() (Record, error) {
+	var rec Record
 	kb, err := r.br.ReadByte()
 	if err == io.EOF {
-		return a, io.EOF
+		return rec, io.EOF
 	}
 	if err != nil {
-		return a, err
+		return rec, err
+	}
+	if event.Kind(kb) == event.RangeRef {
+		rec.Range, err = r.readRange()
+		rec.IsRange = true
+		return rec, err
 	}
 	if event.Kind(kb) > event.Flush {
-		return a, fmt.Errorf("trace: event %d: invalid kind %d", r.n, kb)
+		return rec, fmt.Errorf("trace: event %d: invalid kind %d", r.n, kb)
 	}
-	get := func() (uint64, error) {
-		v, err := binary.ReadUvarint(r.br)
-		if err != nil {
-			return 0, fmt.Errorf("trace: event %d truncated: %w", r.n, noEOF(err))
-		}
-		return v, nil
+	rec.Access, err = r.readPoint(kb)
+	return rec, err
+}
+
+func (r *Reader) get() (uint64, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: event %d truncated: %w", r.n, noEOF(err))
 	}
-	getZig := func() (int64, error) {
-		u, err := get()
-		return int64(u>>1) ^ -int64(u&1), err
-	}
+	return v, nil
+}
+
+func (r *Reader) getZig() (int64, error) {
+	u, err := r.get()
+	return int64(u>>1) ^ -int64(u&1), err
+}
+
+// readPoint decodes the body of a point record whose kind byte kb has been
+// consumed and validated.
+func (r *Reader) readPoint(kb byte) (event.Access, error) {
+	var a event.Access
+	get := r.get
+	getZig := r.getZig
 	a.Kind = event.Kind(kb)
 	dAddr, err := getZig()
 	if err != nil {
