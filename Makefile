@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt-check fuzz bench bench-gate
+.PHONY: all build vet test race check fmt-check fuzz bench bench-producer bench-gate
 
 all: build
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race pass over the concurrent subsystems. The full suite under -race is
-# slow; the data races live in the pipelines, the queues, and the daemon's
-# session handling, so that is where the detector earns its keep.
+# slow; the data races live in the pipelines, the queues, the daemon's
+# session handling, and the VM's spawned target threads, so that is where
+# the detector earns its keep.
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/ ./internal/server/ ./internal/stride/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/ ./internal/server/ ./internal/stride/ ./internal/vm/
 
 # Formatting gate: fail with the offending diff if any file is not gofmt'd.
 fmt-check:
@@ -42,10 +43,21 @@ bench:
 # baseline is machine-relative — a floor of attainable throughput on the
 # machine that recorded it — so on new hardware re-record it first with
 # `make bench BENCH_LABEL=hotpath`.
+# Producer throughput: interpreter-vs-VM events/s across the three event-
+# source families (raw production and no-op-sink delivery for each),
+# recorded under the "producer" label. Re-record with this target after an
+# intentional producer change, like `make bench BENCH_LABEL=hotpath` for
+# the consumer side.
+bench-producer:
+	$(GO) test -run=^$$ -bench=BenchmarkProducer -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/ddexp -bench-label producer benchjson
+
 BENCH_BASELINE ?= hotpath
 bench-gate:
 	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-compare $(BENCH_BASELINE) benchjson
+	$(GO) test -run=^$$ '-bench=BenchmarkProducer/.*/vm' -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/ddexp -bench-compare producer benchjson
 
 # Short fuzz pass over the hardened decoders (trace, framing, server) and
 # the dependence-set fast-update API the instance cache relies on.
@@ -55,3 +67,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzHandshake -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzFastUpdate -fuzztime=10s ./internal/dep/
+	$(GO) test -run=^$$ -fuzz=FuzzVMEquivalence -fuzztime=10s ./internal/vm/

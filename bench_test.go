@@ -19,11 +19,13 @@ import (
 	"ddprof/internal/core"
 	"ddprof/internal/event"
 	"ddprof/internal/exp"
+	"ddprof/internal/interp"
 	"ddprof/internal/loc"
 	"ddprof/internal/prog"
 	"ddprof/internal/queue"
 	"ddprof/internal/sig"
 	"ddprof/internal/telemetry"
+	"ddprof/internal/vm"
 )
 
 func benchOpts() exp.Options {
@@ -457,6 +459,28 @@ func BenchmarkHotPath(b *testing.B) {
 	b.Run("mixed4", par4(mixed, mixedMeta, false))
 	b.Run("mixed4-nostride", par4(mixed, mixedMeta, true))
 	b.Run("ptrchase4", par4(chase, chaseMeta, false))
+
+	// The producer side of the same hot path: raw event production (nil
+	// hook) from both executors on the scalar family, so this benchmark
+	// shows the VM-vs-interpreter events/s ratio next to the consumer
+	// pipelines it feeds. BenchmarkProducer has the full family × hook
+	// matrix.
+	prod := producerTargets()[0]
+	for _, ex := range []interp.Executor{interp.TreeWalker{}, vm.New()} {
+		b.Run("producer-"+ex.Name(), func(b *testing.B) {
+			var events uint64
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				info, err := ex.Run(prod.prog, nil, prod.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += info.Accesses
+			}
+			b.ReportMetric(float64(events)/time.Since(start).Seconds(), "events/s")
+		})
+	}
 }
 
 // BenchmarkBalance measures the §IV-A load-balance ablation and reports the
@@ -472,5 +496,116 @@ func BenchmarkBalance(b *testing.B) {
 		b.ReportMetric(rows[0].Modulo, "modulo-imbalance")
 		b.ReportMetric(rows[0].Redistributed, "redistributed-imbalance")
 		b.ReportMetric(rows[0].RoundRobin, "roundrobin-imbalance")
+	}
+}
+
+// --- producer benchmarks -------------------------------------------------
+
+// producerTargets are the event-source benchmark programs: a scalar
+// reduction kernel, a strided array sweep, and a 4-thread locked counter
+// run with timestamps the way ModeMT profiles it. Together they cover the
+// three instruction mixes the producers see in practice.
+func producerTargets() []struct {
+	name string
+	prog *ddprof.Program
+	opt  interp.Options
+} {
+	scalar := ddprof.NewProgram("producer-scalar")
+	scalar.MainFunc(func(b *ddprof.Block) {
+		b.Decl("sum", ddprof.Ci(0))
+		b.Decl("odd", ddprof.Ci(0))
+		b.For("i", ddprof.Ci(0), ddprof.Ci(20000), ddprof.Ci(1),
+			ddprof.LoopOpt{Name: "acc"}, func(l *ddprof.Block) {
+				l.Reduce("sum", ddprof.OpAdd, ddprof.Add(ddprof.V("i"), ddprof.Ci(1)))
+				l.If(ddprof.Eq(ddprof.Mod(ddprof.V("i"), ddprof.Ci(2)), ddprof.Ci(1)),
+					func(t *ddprof.Block) {
+						t.Reduce("odd", ddprof.OpAdd, ddprof.V("i"))
+					}, nil)
+			})
+	})
+
+	strided := ddprof.NewProgram("producer-strided")
+	strided.MainFunc(func(b *ddprof.Block) {
+		const n = 4096
+		b.DeclArr("a", ddprof.Ci(n))
+		b.DeclArr("src", ddprof.Ci(n))
+		b.For("t", ddprof.Ci(0), ddprof.Ci(6), ddprof.Ci(1),
+			ddprof.LoopOpt{Name: "sweep"}, func(o *ddprof.Block) {
+				o.For("i", ddprof.Ci(1), ddprof.Ci(n), ddprof.Ci(1),
+					ddprof.LoopOpt{Name: "copy"}, func(l *ddprof.Block) {
+						l.Set("a", ddprof.V("i"),
+							ddprof.Add(ddprof.Idx("src", ddprof.V("i")),
+								ddprof.Idx("a", ddprof.Sub(ddprof.V("i"), ddprof.Ci(1)))))
+					})
+			})
+	})
+
+	threaded := ddprof.NewProgram("producer-threaded")
+	threaded.MainFunc(func(b *ddprof.Block) {
+		b.Decl("counter", ddprof.Ci(0))
+		b.Spawn(4, func(s *ddprof.Block) {
+			s.Decl("local", ddprof.Ci(0))
+			s.For("i", ddprof.Ci(0), ddprof.Ci(2000), ddprof.Ci(1),
+				ddprof.LoopOpt{Name: "work"}, func(l *ddprof.Block) {
+					l.Reduce("local", ddprof.OpAdd, ddprof.Add(ddprof.V("i"), ddprof.Tid()))
+					l.If(ddprof.Eq(ddprof.Mod(ddprof.V("i"), ddprof.Ci(50)), ddprof.Ci(0)),
+						func(t *ddprof.Block) {
+							t.Lock("m", func(c *ddprof.Block) {
+								c.Reduce("counter", ddprof.OpAdd, ddprof.Ci(1))
+							})
+						}, nil)
+				})
+		})
+	})
+
+	return []struct {
+		name string
+		prog *ddprof.Program
+		opt  interp.Options
+	}{
+		{"scalar", scalar, interp.Options{}},
+		{"strided", strided, interp.Options{}},
+		{"threaded", threaded, interp.Options{Timestamps: true}},
+	}
+}
+
+// BenchmarkProducer measures the two event producers — the tree-walking
+// interpreter and the bytecode VM — and reports events/s. Each family runs
+// twice per executor: raw production (nil hook — the producer's capacity,
+// every instrumentation point reached and counted but no event
+// materialized), and delivery into a no-op sink (the per-event
+// Access-construction and hook-dispatch cost added on top, which is the
+// same for both executors and so compresses their ratio). `make
+// bench-producer` records the raw numbers in BENCH_pipeline.json; `make
+// bench-gate` fails if the VM's throughput drops more than 10% below the
+// committed "producer" baseline.
+func BenchmarkProducer(b *testing.B) {
+	sink := event.HookFunc(func(event.Access) {})
+	hooks := []struct {
+		name string
+		h    event.Hook
+	}{{"raw", nil}, {"sink", sink}}
+	for _, tgt := range producerTargets() {
+		for _, hk := range hooks {
+			for _, ex := range []interp.Executor{interp.TreeWalker{}, vm.New()} {
+				name := tgt.name + "/" + ex.Name()
+				if hk.name == "sink" {
+					name = tgt.name + "-sink/" + ex.Name()
+				}
+				b.Run(name, func(b *testing.B) {
+					var events uint64
+					b.ResetTimer()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						info, err := ex.Run(tgt.prog, hk.h, tgt.opt)
+						if err != nil {
+							b.Fatal(err)
+						}
+						events += info.Accesses
+					}
+					b.ReportMetric(float64(events)/time.Since(start).Seconds(), "events/s")
+				})
+			}
+		}
 	}
 }

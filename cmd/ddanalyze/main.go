@@ -17,6 +17,7 @@ import (
 	"ddprof/internal/core"
 	"ddprof/internal/framework"
 	"ddprof/internal/interp"
+	"ddprof/internal/vm"
 	"ddprof/internal/workloads"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		mt      = flag.Bool("mt", false, "profile the pthread variant with the MT profiler")
 		threads = flag.Int("threads", 4, "target threads for -mt")
 		workers = flag.Int("workers", 8, "profiling worker threads")
+		useTW   = flag.Bool("interp", false, "execute the target with the reference tree-walking interpreter instead of the bytecode VM")
 	)
 	flag.Parse()
 
@@ -60,7 +62,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ddanalyze:", err)
 		os.Exit(2)
 	}
-	info, err := interp.Run(prog, prof, iopt)
+	exec := interp.Executor(vm.New())
+	if *useTW {
+		exec = interp.TreeWalker{}
+	}
+	info, err := exec.Run(prog, prof, iopt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddanalyze:", err)
 		os.Exit(1)

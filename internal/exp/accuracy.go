@@ -31,11 +31,11 @@ func Table1(opt Options) (*report.Table, []Table1Row, error) {
 			continue
 		}
 		p := w.Build(opt.wcfg())
-		cap, info, err := captureRun(p)
+		cap, info, err := captureRun(opt, p)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		truth := cap.replay(perfectSerial(w.Build(opt.wcfg())))
+		truth := replay(cap, perfectSerial(w.Build(opt.wcfg())))
 		row := Table1Row{
 			Program:   w.Name,
 			LOC:       w.LOC,
@@ -44,7 +44,7 @@ func Table1(opt Options) (*report.Table, []Table1Row, error) {
 			Deps:      truth.Deps.Unique(),
 		}
 		for _, slots := range opt.Slots {
-			got := cap.replay(sigSerial(w.Build(opt.wcfg()), slots))
+			got := replay(cap, sigSerial(w.Build(opt.wcfg()), slots))
 			row.Rates = append(row.Rates, stats.Compare(truth.Deps, got.Deps))
 		}
 		rows = append(rows, row)
@@ -152,7 +152,7 @@ func MergeAblation(opt Options) (*report.Table, []MergeRow, error) {
 		}
 		p := w.Build(opt.wcfg())
 		prof := perfectSerial(p)
-		if _, err := captureAndReplayDirect(p, prof); err != nil {
+		if _, err := captureAndReplayDirect(opt, p, prof); err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		res := prof.Flush()

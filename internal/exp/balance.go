@@ -54,7 +54,7 @@ func Balance(opt Options) (*report.Table, []BalanceRow, error) {
 				RedistributeEvery: redistribute,
 				Metrics:           Telemetry,
 			})
-			if _, err := interp.Run(p, prof, interp.Options{}); err != nil {
+			if _, err := opt.run(p, prof, interp.Options{}); err != nil {
 				return nil, err
 			}
 			return prof.Flush(), nil
@@ -73,7 +73,7 @@ func Balance(opt Options) (*report.Table, []BalanceRow, error) {
 		row.Migrations = res.Stats.Migrations
 
 		ex := core.NewExistence(core.Config{Workers: workers})
-		if _, err := interp.Run(w.Build(opt.wcfg()), ex, interp.Options{}); err != nil {
+		if _, err := opt.run(w.Build(opt.wcfg()), ex, interp.Options{}); err != nil {
 			return nil, nil, fmt.Errorf("%s existence: %w", name, err)
 		}
 		row.RoundRobin = core.Imbalance(ex.Flush().WorkerEvents)

@@ -37,6 +37,24 @@ var benchMeta = map[string]struct{ Workload, Pattern string }{
 	"mixed4":            {"mixed-sweep", "strided+random"},
 	"mixed4-nostride":   {"mixed-sweep", "strided+random"},
 	"ptrchase4":         {"pointer-chase", "random"},
+
+	// BenchmarkHotPath's producer pair and BenchmarkProducer's family ×
+	// executor matrix ("scalar/vm" is raw production, "scalar-sink/vm" adds
+	// delivery into a no-op hook; see bench_test.go).
+	"producer-interp":      {"producer-scalar", "scalar-reduction"},
+	"producer-vm":          {"producer-scalar", "scalar-reduction"},
+	"scalar/interp":        {"producer-scalar", "scalar-reduction"},
+	"scalar/vm":            {"producer-scalar", "scalar-reduction"},
+	"scalar-sink/interp":   {"producer-scalar", "scalar-reduction"},
+	"scalar-sink/vm":       {"producer-scalar", "scalar-reduction"},
+	"strided/interp":       {"producer-strided", "strided"},
+	"strided/vm":           {"producer-strided", "strided"},
+	"strided-sink/interp":  {"producer-strided", "strided"},
+	"strided-sink/vm":      {"producer-strided", "strided"},
+	"threaded/interp":      {"producer-threaded", "threaded+locks"},
+	"threaded/vm":          {"producer-threaded", "threaded+locks"},
+	"threaded-sink/interp": {"producer-threaded", "threaded+locks"},
+	"threaded-sink/vm":     {"producer-threaded", "threaded+locks"},
 }
 
 // BenchRun is one labelled benchmark invocation (e.g. "baseline" before a

@@ -15,6 +15,7 @@ import (
 	"ddprof/internal/minilang"
 	"ddprof/internal/sig"
 	"ddprof/internal/telemetry"
+	"ddprof/internal/vm"
 	"ddprof/internal/workloads"
 )
 
@@ -41,6 +42,24 @@ type Options struct {
 	Reps int
 	// Only restricts an experiment to the named workloads (empty = all).
 	Only []string
+	// Producer executes the target programs and emits the access events.
+	// nil selects the bytecode VM; cmd/ddexp -interp substitutes the
+	// reference tree-walking interpreter. Both emit byte-identical
+	// streams, so results differ only in producer-side wall time.
+	Producer interp.Executor
+}
+
+// exec returns the configured producer, defaulting to the bytecode VM.
+func (o Options) exec() interp.Executor {
+	if o.Producer != nil {
+		return o.Producer
+	}
+	return vm.New()
+}
+
+// run executes p under the configured producer.
+func (o Options) run(p *minilang.Program, hook event.Hook, iopt interp.Options) (*interp.RunInfo, error) {
+	return o.exec().Run(p, hook, iopt)
 }
 
 // want reports whether a workload participates under the Only filter.
@@ -102,40 +121,18 @@ func (o Options) wcfg() workloads.Config {
 	return workloads.Config{Scale: o.Scale, Threads: o.TargetThreads}
 }
 
-// capture records the full access stream of one run so it can be replayed
-// into several profiler configurations without re-executing the target.
-type capture struct {
-	events []event.Access
-	seen   map[uint64]struct{}
-}
-
-func newCapture() *capture {
-	return &capture{seen: make(map[uint64]struct{})}
-}
-
-// Access implements interp.Hook.
-func (c *capture) Access(a event.Access) {
-	c.events = append(c.events, a)
-	if a.Kind == event.Read || a.Kind == event.Write {
-		c.seen[a.Addr] = struct{}{}
-	}
-}
-
-// Addresses returns the number of distinct addresses touched.
-func (c *capture) Addresses() int { return len(c.seen) }
-
-// replay feeds the captured stream into a profiler and flushes it.
-func (c *capture) replay(p core.Profiler) *core.Result {
-	for i := range c.events {
-		p.Access(c.events[i])
+// replay feeds a recorded stream into a profiler and flushes it.
+func replay(c *event.Recorder, p core.Profiler) *core.Result {
+	for _, a := range c.Events() {
+		p.Access(a)
 	}
 	return p.Flush()
 }
 
-// captureRun executes a program once under a capture hook.
-func captureRun(p *minilang.Program) (*capture, *interp.RunInfo, error) {
-	c := newCapture()
-	info, err := interp.Run(p, c, interp.Options{})
+// captureRun executes a program once under a recording hook.
+func captureRun(opt Options, p *minilang.Program) (*event.Recorder, *interp.RunInfo, error) {
+	c := event.NewRecorder()
+	info, err := opt.run(p, c, interp.Options{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,8 +141,8 @@ func captureRun(p *minilang.Program) (*capture, *interp.RunInfo, error) {
 
 // captureAndReplayDirect runs a program directly under a profiler hook
 // (no intermediate capture).
-func captureAndReplayDirect(p *minilang.Program, prof core.Profiler) (*interp.RunInfo, error) {
-	return interp.Run(p, prof, interp.Options{})
+func captureAndReplayDirect(opt Options, p *minilang.Program, prof core.Profiler) (*interp.RunInfo, error) {
+	return opt.run(p, prof, interp.Options{})
 }
 
 // timeRun measures the wall time of fn averaged over reps runs.

@@ -21,7 +21,7 @@ func TestRotateMeasuredFPRMatchesEq2(t *testing.T) {
 	}
 	opt := Defaults().norm()
 	p := w.Build(opt.wcfg())
-	cap, _, err := captureRun(p)
+	cap, _, err := captureRun(Options{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestRotateMeasuredFPRMatchesEq2(t *testing.T) {
 		Metrics:       pipe,
 		TrackAccuracy: true,
 	})
-	cap.replay(prof)
+	replay(cap, prof)
 
 	meas := float64(pipe.SigFPRMeasuredPPM[0].Load()) / 1e6
 	pred := float64(pipe.SigFPRPredictedPPM[0].Load()) / 1e6

@@ -37,7 +37,7 @@ func Fig5(opt Options) (*report.Table, []Fig5Row, error) {
 		}
 		row := Fig5Row{Program: w.Name, Suite: w.Suite}
 		native, err := timeRun(opt.Reps, func() error {
-			_, err := interp.Run(w.Build(opt.wcfg()), nil, interp.Options{})
+			_, err := opt.run(w.Build(opt.wcfg()), nil, interp.Options{})
 			return err
 		})
 		if err != nil {
@@ -49,7 +49,7 @@ func Fig5(opt Options) (*report.Table, []Fig5Row, error) {
 			d, err := timeRun(opt.Reps, func() error {
 				p := w.Build(opt.wcfg())
 				prof := mk(p)
-				if _, err := interp.Run(p, prof, interp.Options{}); err != nil {
+				if _, err := opt.run(p, prof, interp.Options{}); err != nil {
 					return err
 				}
 				prof.Flush()
@@ -135,7 +135,7 @@ func Fig6(opt Options) (*report.Table, []Fig6Row, error) {
 			continue
 		}
 		native, err := timeRun(opt.Reps, func() error {
-			_, err := interp.Run(w.BuildParallel(opt.wcfg()), nil, interp.Options{})
+			_, err := opt.run(w.BuildParallel(opt.wcfg()), nil, interp.Options{})
 			return err
 		})
 		if err != nil {
@@ -146,7 +146,7 @@ func Fig6(opt Options) (*report.Table, []Fig6Row, error) {
 			d, err := timeRun(opt.Reps, func() error {
 				p := w.BuildParallel(opt.wcfg())
 				prof := core.NewMT(core.Config{Workers: workers, SlotsPerWorker: opt.SlotsPerWorker, Meta: p.Meta, Metrics: Telemetry})
-				if _, err := interp.Run(p, prof, interp.Options{Timestamps: true}); err != nil {
+				if _, err := opt.run(p, prof, interp.Options{Timestamps: true}); err != nil {
 					return err
 				}
 				prof.Flush()
@@ -212,7 +212,7 @@ func Fig7(opt Options) (*report.Table, []Fig7Row, error) {
 			// like the paper (6.25e6 x 16 = 1e8 total).
 			perWorker := opt.SlotsPerWorker * 16 / workers
 			prof := core.NewParallel(core.Config{Workers: workers, SlotsPerWorker: perWorker, Meta: p.Meta, Metrics: Telemetry})
-			if _, err := interp.Run(p, prof, interp.Options{}); err != nil {
+			if _, err := opt.run(p, prof, interp.Options{}); err != nil {
 				return nil, nil, fmt.Errorf("%s %dT: %w", w.Name, workers, err)
 			}
 			res := prof.Flush()
@@ -254,7 +254,7 @@ func Fig8(opt Options) (*report.Table, []Fig7Row, error) {
 			p := w.BuildParallel(opt.wcfg())
 			perWorker := opt.SlotsPerWorker * 16 / workers
 			prof := core.NewMT(core.Config{Workers: workers, SlotsPerWorker: perWorker, Meta: p.Meta, Metrics: Telemetry})
-			if _, err := interp.Run(p, prof, interp.Options{Timestamps: true}); err != nil {
+			if _, err := opt.run(p, prof, interp.Options{Timestamps: true}); err != nil {
 				return nil, nil, fmt.Errorf("%s %dT: %w", w.Name, workers, err)
 			}
 			res := prof.Flush()
@@ -306,7 +306,7 @@ type StoreRow struct {
 func StoreAblation(opt Options) (*report.Table, []StoreRow, error) {
 	opt = opt.norm()
 	w, _ := workloads.ByName("rgbyuv")
-	cap, _, err := captureRun(w.Build(opt.wcfg()))
+	cap, _, err := captureRun(opt, w.Build(opt.wcfg()))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -330,8 +330,8 @@ func StoreAblation(opt Options) (*report.Table, []StoreRow, error) {
 		d, err := timeRun(opt.Reps, func() error {
 			st := c.mk()
 			eng := core.NewEngine(st, nil, false)
-			for i := range cap.events {
-				eng.Process(cap.events[i])
+			for _, a := range cap.Events() {
+				eng.Process(a)
 			}
 			bytes = st.Bytes()
 			return nil

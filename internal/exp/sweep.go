@@ -26,11 +26,11 @@ func Sweep(opt Options, workload string) (*report.Table, []SweepRow, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("unknown workload %q", workload)
 	}
-	cap, _, err := captureRun(w.Build(opt.wcfg()))
+	cap, _, err := captureRun(opt, w.Build(opt.wcfg()))
 	if err != nil {
 		return nil, nil, err
 	}
-	truth := cap.replay(perfectSerial(w.Build(opt.wcfg())))
+	truth := replay(cap, perfectSerial(w.Build(opt.wcfg())))
 	n := cap.Addresses()
 
 	var rows []SweepRow
@@ -39,7 +39,7 @@ func Sweep(opt Options, workload string) (*report.Table, []SweepRow, error) {
 		if m < 4 {
 			m = 4
 		}
-		got := cap.replay(sigSerial(w.Build(opt.wcfg()), m))
+		got := replay(cap, sigSerial(w.Build(opt.wcfg()), m))
 		r := stats.Compare(truth.Deps, got.Deps)
 		rows = append(rows, SweepRow{
 			Slots:     m,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ddprof/internal/core"
+	"ddprof/internal/event"
 	"ddprof/internal/prog"
 	"ddprof/internal/report"
 	"ddprof/internal/sig"
@@ -35,7 +36,7 @@ func Throughput(opt Options) (*report.Table, []ThroughputRow, error) {
 	type stream struct {
 		name string
 		meta *prog.Meta
-		cap  *capture
+		cap  *event.Recorder
 	}
 	var streams []stream
 	for _, w := range workloads.All() {
@@ -43,7 +44,7 @@ func Throughput(opt Options) (*report.Table, []ThroughputRow, error) {
 			continue
 		}
 		p := w.Build(opt.wcfg())
-		c, _, err := captureRun(p)
+		c, _, err := captureRun(opt, p)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s capture: %w", w.Name, err)
 		}
@@ -95,7 +96,7 @@ func Throughput(opt Options) (*report.Table, []ThroughputRow, error) {
 			d, err := timeRun(opt.Reps, func() error {
 				events, hits, probes, dups, ranges, rangeElems = 0, 0, 0, 0, 0, 0
 				for _, s := range streams {
-					res := s.cap.replay(pipe.mk(s.meta, noFast))
+					res := replay(s.cap, pipe.mk(s.meta, noFast))
 					events += res.Stats.Accesses
 					hits += res.Stats.DepCacheHits
 					probes += res.Stats.DepCacheProbes

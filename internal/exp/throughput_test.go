@@ -21,7 +21,7 @@ func TestHotPathByteIdenticalOnSuite(t *testing.T) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			p := w.Build(opt.wcfg())
-			cap, _, err := captureRun(p)
+			cap, _, err := captureRun(Options{}, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -51,8 +51,8 @@ func TestHotPathByteIdenticalOnSuite(t *testing.T) {
 				},
 			}
 			for name, mk := range mks {
-				slow := cap.replay(mk(true))
-				fast := cap.replay(mk(false))
+				slow := replay(cap, mk(true))
+				fast := replay(cap, mk(false))
 				if fast.Deps.Unique() != slow.Deps.Unique() {
 					t.Fatalf("%s: unique deps fast %d, slow %d", name, fast.Deps.Unique(), slow.Deps.Unique())
 				}

@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 )
 
-// arena is the simulated address space. Every minilang scalar and array
+// Arena is the simulated address space. Every minilang scalar and array
 // element occupies one 8-byte word; word w lives at byte address
 // baseAddr + w*8. Freed ranges are recycled (exact-size free lists), so
 // address reuse after deallocation — the case variable-lifetime analysis
@@ -15,7 +15,12 @@ import (
 // Values are stored as float64 bits through atomic loads/stores: target
 // programs are allowed to race (that is §V-B's subject), and atomics keep
 // such logical races from being undefined behaviour in the host process.
-type arena struct {
+//
+// The arena is exported because both executors — the tree-walking
+// interpreter here and the bytecode VM in internal/vm — must draw simulated
+// addresses from the same deterministic allocator for their event streams to
+// be byte-identical.
+type Arena struct {
 	mu    sync.Mutex
 	pages [maxPages]*arenaPage
 	free  map[int][]uint64 // words -> free base word indices
@@ -31,12 +36,42 @@ const (
 
 type arenaPage [pageWords]uint64
 
-func newArena() *arena {
-	return &arena{free: make(map[int][]uint64)}
+// pagePool recycles arena pages across runs. Allocating and zeroing a fresh
+// 512 KiB page per run is the single largest allocation either executor
+// makes; a pooled page is always fully zero, and Recycle restores that
+// invariant by clearing only the words a run actually touched.
+var pagePool = sync.Pool{New: func() any { return new(arenaPage) }}
+
+// NewArena returns an empty simulated address space.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]uint64)}
 }
 
-// alloc reserves a run of words and returns its base word index.
-func (a *arena) alloc(words int) uint64 {
+// Recycle returns the arena's pages to the process-wide pool and leaves the
+// arena empty. Call it only when nothing references simulated memory any
+// more — after a run has completed and its results have been extracted.
+func (a *Arena) Recycle() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for pg := uint64(0); pg*pageWords < a.next; pg++ {
+		p := a.pages[pg]
+		if p == nil {
+			continue
+		}
+		n := a.next - pg*pageWords
+		if n > pageWords {
+			n = pageWords
+		}
+		clear(p[:n])
+		a.pages[pg] = nil
+		pagePool.Put(p)
+	}
+	a.next = 0
+	a.free = make(map[int][]uint64)
+}
+
+// Alloc reserves a run of words and returns its base word index.
+func (a *Arena) Alloc(words int) uint64 {
 	if words <= 0 {
 		words = 1
 	}
@@ -51,40 +86,57 @@ func (a *arena) alloc(words int) uint64 {
 	a.next += uint64(words)
 	lastPage := (a.next - 1) >> pageWordsBits
 	if lastPage >= maxPages {
-		panic(rtError{"simulated memory exhausted"})
+		panic(RuntimeError{"simulated memory exhausted"})
 	}
 	for pg := base >> pageWordsBits; pg <= lastPage; pg++ {
 		if a.pages[pg] == nil {
-			a.pages[pg] = new(arenaPage)
+			a.pages[pg] = pagePool.Get().(*arenaPage)
 		}
 	}
 	return base
 }
 
-// release recycles a run for future allocations of the same size.
-func (a *arena) release(base uint64, words int) {
+// Release recycles a run for future allocations of the same size.
+func (a *Arena) Release(base uint64, words int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.free[words] = append(a.free[words], base)
 }
 
-// load reads the word at index w.
-func (a *arena) load(w uint64) float64 {
+// PlainLoad and PlainStore are non-atomic variants of Load/Store for
+// executors that can prove the target program is single-threaded (no spawn
+// blocks — the bytecode compiler knows this statically). They touch the
+// same cells, so values and simulated addresses are unchanged; skipping the
+// atomic store's full memory barrier is free speed on the hot path. Never
+// mix them with concurrent target threads.
+func (a *Arena) PlainLoad(w uint64) float64 {
+	p := a.pages[w>>pageWordsBits]
+	return math.Float64frombits(p[w&(pageWords-1)])
+}
+
+// PlainStore writes the word at index w without an atomic barrier.
+func (a *Arena) PlainStore(w uint64, v float64) {
+	p := a.pages[w>>pageWordsBits]
+	p[w&(pageWords-1)] = math.Float64bits(v)
+}
+
+// Load reads the word at index w.
+func (a *Arena) Load(w uint64) float64 {
 	p := a.pages[w>>pageWordsBits]
 	return math.Float64frombits(atomic.LoadUint64(&p[w&(pageWords-1)]))
 }
 
-// store writes the word at index w.
-func (a *arena) store(w uint64, v float64) {
+// Store writes the word at index w.
+func (a *Arena) Store(w uint64, v float64) {
 	p := a.pages[w>>pageWordsBits]
 	atomic.StoreUint64(&p[w&(pageWords-1)], math.Float64bits(v))
 }
 
-// addrOf converts a word index to a simulated byte address.
-func addrOf(w uint64) uint64 { return baseAddr + w*8 }
+// AddrOf converts a word index to a simulated byte address.
+func AddrOf(w uint64) uint64 { return baseAddr + w*8 }
 
-// rtError is a minilang runtime error (out-of-bounds index, unknown
-// variable, …) carried by panic to the Run boundary.
-type rtError struct{ msg string }
+// RuntimeError is a minilang runtime error (out-of-bounds index, unknown
+// variable, …) carried by panic to the Run boundary of either executor.
+type RuntimeError struct{ Msg string }
 
-func (e rtError) Error() string { return "minilang runtime error: " + e.msg }
+func (e RuntimeError) Error() string { return "minilang runtime error: " + e.Msg }

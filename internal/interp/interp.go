@@ -24,11 +24,9 @@ import (
 	"ddprof/internal/prog"
 )
 
-// Hook receives one event per memory access. core.Serial, core.Parallel and
-// core.MT all satisfy it.
-type Hook interface {
-	Access(a event.Access)
-}
+// Hook receives one event per memory access; it is an alias of the shared
+// event.Hook contract. core.Serial, core.Parallel and core.MT all satisfy it.
+type Hook = event.Hook
 
 // Options configure a run.
 type Options struct {
@@ -83,7 +81,7 @@ func Run(p *minilang.Program, hook Hook, opt Options) (info *RunInfo, err error)
 		p:         p,
 		hook:      hook,
 		opt:       opt,
-		ar:        newArena(),
+		ar:        NewArena(),
 		mutexes:   make(map[string]*sync.Mutex),
 		loopIters: make([]atomic.Uint64, len(p.Meta.Loops())),
 		calls:     make(map[string]uint64),
@@ -96,7 +94,7 @@ func Run(p *minilang.Program, hook Hook, opt Options) (info *RunInfo, err error)
 
 	defer func() {
 		if r := recover(); r != nil {
-			if re, ok := r.(rtError); ok {
+			if re, ok := r.(RuntimeError); ok {
 				err = re
 				return
 			}
@@ -131,9 +129,10 @@ func Run(p *minilang.Program, hook Hook, opt Options) (info *RunInfo, err error)
 	})
 	for name, b := range root.vars {
 		if !b.isArr {
-			info.Vars[name] = in.ar.load(b.base)
+			info.Vars[name] = in.ar.Load(b.base)
 		}
 	}
+	in.ar.Recycle()
 	return info, nil
 }
 
@@ -142,7 +141,7 @@ type interp struct {
 	p    *minilang.Program
 	hook Hook
 	opt  Options
-	ar   *arena
+	ar   *Arena
 
 	muMu    sync.Mutex
 	mutexes map[string]*sync.Mutex
@@ -212,7 +211,7 @@ type tstate struct {
 	in       *interp
 	id       int32
 	frame    *frame
-	bar      *barrier
+	bar      *Barrier
 	iters    []uint32
 	vec      uint64
 	accesses uint64
@@ -221,7 +220,7 @@ type tstate struct {
 }
 
 func (t *tstate) fail(format string, args ...any) {
-	panic(rtError{fmt.Sprintf(format, args...)})
+	panic(RuntimeError{fmt.Sprintf(format, args...)})
 }
 
 // emit reports one access to the hook.
@@ -233,7 +232,7 @@ func (t *tstate) emit(kind event.Kind, w uint64, ln loc.SourceLoc, v loc.VarID, 
 		return
 	}
 	a := event.Access{
-		Addr:    addrOf(w),
+		Addr:    AddrOf(w),
 		IterVec: t.vec,
 		Loc:     ln,
 		Var:     v,
@@ -253,14 +252,14 @@ func (t *tstate) emit(kind event.Kind, w uint64, ln loc.SourceLoc, v loc.VarID, 
 
 // loadWord reads a word and reports the access.
 func (t *tstate) loadWord(w uint64, ln loc.SourceLoc, v loc.VarID, ctx uint32, fl event.Flags) float64 {
-	val := t.in.ar.load(w)
+	val := t.in.ar.Load(w)
 	t.emit(event.Read, w, ln, v, ctx, fl)
 	return val
 }
 
 // storeWord writes a word and reports the access.
 func (t *tstate) storeWord(w uint64, val float64, ln loc.SourceLoc, v loc.VarID, ctx uint32, fl event.Flags) {
-	t.in.ar.store(w, val)
+	t.in.ar.Store(w, val)
 	t.emit(event.Write, w, ln, v, ctx, fl)
 }
 
@@ -285,7 +284,7 @@ func (t *tstate) declScalar(name string) *binding {
 	if b, ok := t.frame.vars[name]; ok && !b.isArr {
 		return b
 	}
-	b := &binding{base: t.in.ar.alloc(1), words: 1, varID: t.in.p.Tab.Var(name)}
+	b := &binding{base: t.in.ar.Alloc(1), words: 1, varID: t.in.p.Tab.Var(name)}
 	t.frame.vars[name] = b
 	return b
 }
@@ -340,7 +339,7 @@ func (t *tstate) execStmt(s minilang.Stmt) bool {
 		if b, ok := t.frame.vars[st.Name]; ok && b.isArr && b.words == size {
 			return false // reuse the existing allocation
 		}
-		b := &binding{base: t.in.ar.alloc(size), words: size, varID: t.in.p.Tab.Var(st.Name), isArr: true}
+		b := &binding{base: t.in.ar.Alloc(size), words: size, varID: t.in.p.Tab.Var(st.Name), isArr: true}
 		t.frame.vars[st.Name] = b
 
 	case *minilang.AssignStmt:
@@ -395,7 +394,7 @@ func (t *tstate) execStmt(s minilang.Stmt) bool {
 		for w := 0; w < b.words; w++ {
 			t.emit(event.Remove, b.base+uint64(w), ln, b.varID, ctx, 0)
 		}
-		t.in.ar.release(b.base, b.words)
+		t.in.ar.Release(b.base, b.words)
 		delete(f.vars, st.Name)
 
 	case *minilang.SpawnStmt:
@@ -412,7 +411,7 @@ func (t *tstate) execStmt(s minilang.Stmt) bool {
 		if t.bar == nil {
 			t.fail("barrier outside spawn")
 		}
-		t.bar.wait()
+		t.bar.Wait()
 
 	default:
 		t.fail("unknown statement %T", s)
@@ -497,7 +496,7 @@ func (t *tstate) execSpawn(st *minilang.SpawnStmt) {
 	if t.bar != nil {
 		t.fail("nested spawn")
 	}
-	bar := newBarrier(st.Threads)
+	bar := NewBarrier(st.Threads)
 	var wg sync.WaitGroup
 	for tid := 0; tid < st.Threads; tid++ {
 		wg.Add(1)
@@ -515,10 +514,10 @@ func (t *tstate) execSpawn(st *minilang.SpawnStmt) {
 			defer func() {
 				t.in.accesses.Add(ts.accesses)
 				if r := recover(); r != nil {
-					if re, ok := r.(rtError); ok {
+					if re, ok := r.(RuntimeError); ok {
 						e := error(re)
 						t.in.threadErr.CompareAndSwap(nil, &e)
-						bar.abort()
+						bar.Abort()
 						return
 					}
 					panic(r)
@@ -529,7 +528,7 @@ func (t *tstate) execSpawn(st *minilang.SpawnStmt) {
 	}
 	wg.Wait()
 	if e := t.in.threadErr.Load(); e != nil {
-		panic(rtError{(*e).Error()})
+		panic(RuntimeError{(*e).Error()})
 	}
 }
 
@@ -560,7 +559,7 @@ func (t *tstate) call(fn string, args []minilang.Expr, ln loc.SourceLoc, ctx uin
 			}
 		}
 		v := t.eval(args[i], ln, ctx)
-		b := &binding{base: t.in.ar.alloc(1), words: 1, varID: t.in.p.Tab.Var(prm)}
+		b := &binding{base: t.in.ar.Alloc(1), words: 1, varID: t.in.p.Tab.Var(prm)}
 		nf.vars[prm] = b
 		t.storeWord(b.base, v, ln, b.varID, ctx, 0)
 	}
@@ -596,7 +595,7 @@ func (t *tstate) call(fn string, args []minilang.Expr, ln loc.SourceLoc, ctx uin
 			}
 		}
 		if !aliased {
-			t.in.ar.release(b.base, b.words)
+			t.in.ar.Release(b.base, b.words)
 		}
 	}
 	t.frame = saved
@@ -742,50 +741,4 @@ func need(t *tstate, a []float64, n int, fn string) {
 	if len(a) != n {
 		t.fail("builtin %q wants %d args, got %d", fn, n, len(a))
 	}
-}
-
-// barrier is a reusable (cyclic) barrier for Spawn bodies.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
-	dead  bool
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) wait() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.dead {
-		panic(rtError{"barrier aborted"})
-	}
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		return
-	}
-	for gen == b.gen && !b.dead {
-		b.cond.Wait()
-	}
-	if b.dead {
-		panic(rtError{"barrier aborted"})
-	}
-}
-
-// abort releases all waiters after a thread failed.
-func (b *barrier) abort() {
-	b.mu.Lock()
-	b.dead = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
 }

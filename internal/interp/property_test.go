@@ -6,70 +6,12 @@ import (
 	"testing"
 
 	. "ddprof/internal/minilang"
+	"ddprof/internal/testgen"
 )
 
-// genExpr builds a random expression tree over variables x, y, z together
-// with a Go reference evaluator for it. Division-like operators guard their
-// right operand so the reference never traps.
-func genExpr(r *rand.Rand, depth int, env map[string]float64) (Expr, func() float64) {
-	if depth <= 0 || r.Intn(4) == 0 {
-		switch r.Intn(3) {
-		case 0:
-			v := float64(r.Intn(41) - 20)
-			return C(v), func() float64 { return v }
-		case 1:
-			names := []string{"x", "y", "z"}
-			n := names[r.Intn(len(names))]
-			return V(n), func() float64 { return env[n] }
-		default:
-			v := float64(r.Intn(7) + 1)
-			return C(v), func() float64 { return v }
-		}
-	}
-	l, lf := genExpr(r, depth-1, env)
-	rr, rf := genExpr(r, depth-1, env)
-	switch r.Intn(12) {
-	case 0:
-		return Add(l, rr), func() float64 { return lf() + rf() }
-	case 1:
-		return Sub(l, rr), func() float64 { return lf() - rf() }
-	case 2:
-		return Mul(l, rr), func() float64 { return lf() * rf() }
-	case 3:
-		// Guarded integer division.
-		return IDiv(l, Add(Mul(rr, C(0)), C(3))), func() float64 {
-			return float64(int64(lf()) / 3)
-		}
-	case 4:
-		return Mod(l, Add(Mul(rr, C(0)), C(7))), func() float64 {
-			return float64(int64(lf()) % 7)
-		}
-	case 5:
-		return BAnd(l, rr), func() float64 { return float64(int64(lf()) & int64(rf())) }
-	case 6:
-		return Xor(l, rr), func() float64 { return float64(int64(lf()) ^ int64(rf())) }
-	case 7:
-		return Lt(l, rr), func() float64 { return b2f(lf() < rf()) }
-	case 8:
-		return Ge(l, rr), func() float64 { return b2f(lf() >= rf()) }
-	case 9:
-		return And(l, rr), func() float64 { return b2f(lf() != 0 && rf() != 0) }
-	case 10:
-		return Neg(l), func() float64 { return -lf() }
-	default:
-		return CallE("abs", l), func() float64 { return math.Abs(lf()) }
-	}
-}
-
-func b2f(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// TestExpressionSemanticsProperty evaluates 300 random expression trees in
-// minilang and compares against the Go reference evaluation.
+// TestExpressionSemanticsProperty evaluates 300 random expression trees
+// (from the shared testgen harness) in minilang and compares against the
+// Go reference evaluation.
 func TestExpressionSemanticsProperty(t *testing.T) {
 	r := rand.New(rand.NewSource(20150512)) // the paper's conference date
 	for trial := 0; trial < 300; trial++ {
@@ -78,7 +20,7 @@ func TestExpressionSemanticsProperty(t *testing.T) {
 			"y": float64(r.Intn(201) - 100),
 			"z": float64(r.Intn(11)),
 		}
-		ex, ref := genExpr(r, 4, env)
+		ex, ref := testgen.Expr(r, 4, env)
 		p := New("prop")
 		p.MainFunc(func(b *Block) {
 			b.Decl("x", C(env["x"]))

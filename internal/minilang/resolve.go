@@ -1,0 +1,96 @@
+package minilang
+
+// Static scope/slot resolution for compiled execution.
+//
+// The interpreter resolves variable names at every access by walking a chain
+// of map-based frames. A compiled executor wants flat per-frame slot arrays
+// instead, so this pass enumerates, per lexical frame, every name the frame
+// can ever bind and assigns each a stable slot index. minilang has exactly
+// three frame kinds — the root (main) frame, one frame per function call,
+// and one frame per Spawn thread; blocks (loop, if, lock bodies) do not
+// introduce frames — so each statement's frame chain is statically known.
+//
+// A slot existing does not mean the name is bound: bindings still appear
+// when the declaration executes (and disappear on Free), which is why a
+// compiled reference carries the ordered list of chain slots that may hold
+// the name, not a single coordinate.
+
+// Scope is one lexical frame's slot layout. Slots are assigned in
+// first-appearance order; for function scopes, parameters occupy the first
+// len(Params) slots in declaration order.
+type Scope struct {
+	// Names maps slot index back to the variable name.
+	Names []string
+	// Slot maps a name to its slot index.
+	Slot map[string]int
+}
+
+func newScope() *Scope { return &Scope{Slot: make(map[string]int)} }
+
+func (s *Scope) add(name string) {
+	if _, ok := s.Slot[name]; !ok {
+		s.Slot[name] = len(s.Names)
+		s.Names = append(s.Names, name)
+	}
+}
+
+// Resolved is the program's complete slot layout.
+type Resolved struct {
+	// Root is the entry main frame's scope.
+	Root *Scope
+	// Funcs holds one scope per function (params + locals). "main" appears
+	// here too, covering the corner case of main invoked as an ordinary
+	// function (which gets a fresh frame, not the root frame).
+	Funcs map[string]*Scope
+	// Spawns holds one scope per Spawn statement body.
+	Spawns map[*SpawnStmt]*Scope
+}
+
+// Resolve computes the slot layout of every frame in p.
+func Resolve(p *Program) *Resolved {
+	r := &Resolved{
+		Funcs:  make(map[string]*Scope),
+		Spawns: make(map[*SpawnStmt]*Scope),
+	}
+	for name, f := range p.Funcs {
+		s := newScope()
+		for _, prm := range f.Params {
+			s.add(prm)
+		}
+		r.collect(s, f.Body)
+		r.Funcs[name] = s
+	}
+	if main := p.Funcs["main"]; main != nil {
+		s := newScope()
+		r.collect(s, main.Body)
+		r.Root = s
+	}
+	return r
+}
+
+// collect adds every name the statement list can bind in the frame owning
+// scope s, descending into nested blocks; Spawn bodies open their own scope.
+func (r *Resolved) collect(s *Scope, stmts []Stmt) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *DeclStmt:
+			s.add(st.Name)
+		case *DeclArrStmt:
+			s.add(st.Name)
+		case *ForStmt:
+			s.add(st.Var)
+			r.collect(s, st.Body)
+		case *WhileStmt:
+			r.collect(s, st.Body)
+		case *IfStmt:
+			r.collect(s, st.Then)
+			r.collect(s, st.Else)
+		case *LockStmt:
+			r.collect(s, st.Body)
+		case *SpawnStmt:
+			ns := newScope()
+			r.collect(ns, st.Body)
+			r.Spawns[st] = ns
+		}
+	}
+}

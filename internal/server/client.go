@@ -14,6 +14,7 @@ import (
 	"ddprof/internal/loc"
 	"ddprof/internal/minilang"
 	"ddprof/internal/trace"
+	"ddprof/internal/vm"
 )
 
 // ClientOptions configure one remote profiling session.
@@ -28,8 +29,19 @@ type ClientOptions struct {
 	MT bool
 	// SchedulerFuzz is passed to the interpreter (ModeMT visibility fuzz).
 	SchedulerFuzz int
+	// Interp records the trace with the reference tree-walking interpreter
+	// instead of the default bytecode VM.
+	Interp bool
 	// Timeout bounds every socket read and write. Default 60s.
 	Timeout time.Duration
+}
+
+// executor selects the event producer for the local recording run.
+func (opt ClientOptions) executor() interp.Executor {
+	if opt.Interp {
+		return interp.TreeWalker{}
+	}
+	return vm.New()
 }
 
 // RemoteResult is the outcome of a remote profiling session.
@@ -149,7 +161,7 @@ func streamTrace(w io.Writer, p *minilang.Program, opt ClientOptions) ([]dep.Loo
 		return nil, 0, fmt.Errorf("server: opening trace stream: %w", err)
 	}
 	cw := trace.NewCompactor(tw)
-	info, err := interp.Run(p, cw, interp.Options{Timestamps: opt.MT, YieldEvery: opt.SchedulerFuzz})
+	info, err := opt.executor().Run(p, cw, interp.Options{Timestamps: opt.MT, YieldEvery: opt.SchedulerFuzz})
 	if err != nil {
 		return nil, 0, fmt.Errorf("server: target run: %w", err)
 	}

@@ -1,0 +1,341 @@
+// Package testgen generates random minilang expressions and programs for
+// differential testing. The property suite in internal/interp checks the
+// tree-walking interpreter against a Go reference evaluation of the same
+// expression; the fuzzer in internal/vm runs whole random programs under
+// both executors and requires byte-identical event streams.
+//
+// Generated programs always terminate: every For loop has constant bounds,
+// every While loop decrements an explicit counter, and there is no
+// recursion. Array indices are masked non-negative and reduced modulo the
+// array length, and divisor operands are constant non-zero, so the programs
+// normally run to completion — runtime-error equivalence is pinned by the
+// hand-written cases in internal/vm instead. Spawn is deliberately absent:
+// thread interleaving makes raw streams scheduling-dependent, which would
+// break exact comparison.
+package testgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	ml "ddprof/internal/minilang"
+)
+
+// Expr builds a random expression tree over the scalars named in env
+// together with a Go reference evaluator for it. Division-like operators
+// guard their right operand so the reference never traps.
+func Expr(r *rand.Rand, depth int, env map[string]float64) (ml.Expr, func() float64) {
+	names := make([]string, 0, len(env))
+	for n := range env {
+		names = append(names, n)
+	}
+	// Map iteration order is random; sort for reproducibility.
+	sort.Strings(names)
+	return genExpr(r, depth, env, names)
+}
+
+func genExpr(r *rand.Rand, depth int, env map[string]float64, names []string) (ml.Expr, func() float64) {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			v := float64(r.Intn(41) - 20)
+			return ml.C(v), func() float64 { return v }
+		case 1:
+			n := names[r.Intn(len(names))]
+			return ml.V(n), func() float64 { return env[n] }
+		default:
+			v := float64(r.Intn(7) + 1)
+			return ml.C(v), func() float64 { return v }
+		}
+	}
+	l, lf := genExpr(r, depth-1, env, names)
+	rr, rf := genExpr(r, depth-1, env, names)
+	switch r.Intn(12) {
+	case 0:
+		return ml.Add(l, rr), func() float64 { return lf() + rf() }
+	case 1:
+		return ml.Sub(l, rr), func() float64 { return lf() - rf() }
+	case 2:
+		return ml.Mul(l, rr), func() float64 { return lf() * rf() }
+	case 3:
+		// Guarded integer division.
+		return ml.IDiv(l, ml.Add(ml.Mul(rr, ml.C(0)), ml.C(3))), func() float64 {
+			return float64(int64(lf()) / 3)
+		}
+	case 4:
+		return ml.Mod(l, ml.Add(ml.Mul(rr, ml.C(0)), ml.C(7))), func() float64 {
+			return float64(int64(lf()) % 7)
+		}
+	case 5:
+		return ml.BAnd(l, rr), func() float64 { return float64(int64(lf()) & int64(rf())) }
+	case 6:
+		return ml.Xor(l, rr), func() float64 { return float64(int64(lf()) ^ int64(rf())) }
+	case 7:
+		return ml.Lt(l, rr), func() float64 { return b2f(lf() < rf()) }
+	case 8:
+		return ml.Ge(l, rr), func() float64 { return b2f(lf() >= rf()) }
+	case 9:
+		return ml.And(l, rr), func() float64 { return b2f(lf() != 0 && rf() != 0) }
+	case 10:
+		return ml.Neg(l), func() float64 { return -lf() }
+	default:
+		return ml.CallE("abs", l), func() float64 { return math.Abs(lf()) }
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// scope tracks what a statement generator may reference.
+type scope struct {
+	// scalars may be read and written.
+	scalars []string
+	// ro scalars may only be read: loop induction variables, while-loop
+	// countdown counters and array-length parameters — writing any of
+	// these could make a generated loop non-terminating or an index
+	// computation trap.
+	ro     []string
+	arrays []string
+	// alen gives the expression that bounds indices into each array: a
+	// constant in main, the length parameter inside helpers.
+	alen map[string]ml.Expr
+}
+
+// readable returns a random scalar eligible for reading, or "".
+func (sc *scope) readable(r *rand.Rand) string {
+	n := len(sc.scalars) + len(sc.ro)
+	if n == 0 {
+		return ""
+	}
+	i := r.Intn(n)
+	if i < len(sc.scalars) {
+		return sc.scalars[i]
+	}
+	return sc.ro[i-len(sc.scalars)]
+}
+
+type gen struct {
+	r     *rand.Rand
+	next  int // fresh-name counter
+	stmts int // remaining statement budget
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.next++
+	return fmt.Sprintf("%s%d", prefix, g.next)
+}
+
+// expr builds a random value expression over the scope: scalar reads,
+// masked array reads, arithmetic and single-argument builtins.
+func (g *gen) expr(sc *scope, depth int) ml.Expr {
+	r := g.r
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch {
+		case sc.readable(r) != "" && r.Intn(3) != 0:
+			return ml.V(sc.readable(r))
+		case len(sc.arrays) > 0 && r.Intn(2) == 0:
+			a := sc.arrays[r.Intn(len(sc.arrays))]
+			return ml.Idx(a, g.index(sc, a))
+		default:
+			return ml.C(float64(r.Intn(19) - 9))
+		}
+	}
+	l := g.expr(sc, depth-1)
+	switch r.Intn(10) {
+	case 0:
+		return ml.Add(l, g.expr(sc, depth-1))
+	case 1:
+		return ml.Sub(l, g.expr(sc, depth-1))
+	case 2:
+		return ml.Mul(l, g.expr(sc, depth-1))
+	case 3:
+		return ml.IDiv(l, ml.C(float64(r.Intn(6)+1)))
+	case 4:
+		return ml.Mod(l, ml.C(float64(r.Intn(9)+1)))
+	case 5:
+		return ml.BAnd(l, ml.C(float64(r.Intn(255)+1)))
+	case 6:
+		return ml.Lt(l, g.expr(sc, depth-1))
+	case 7:
+		return ml.Neg(l)
+	case 8:
+		switch r.Intn(4) {
+		case 0:
+			return ml.CallE("abs", l)
+		case 1:
+			return ml.CallE("floor", l)
+		case 2:
+			return ml.CallE("sqrt", ml.CallE("abs", l))
+		default:
+			return ml.CallE("max", l, g.expr(sc, depth-1))
+		}
+	default:
+		return ml.Xor(l, g.expr(sc, depth-1))
+	}
+}
+
+// index builds an always-in-bounds index expression for array a: an
+// arbitrary value masked non-negative, then reduced modulo the length.
+func (g *gen) index(sc *scope, a string) ml.Expr {
+	return ml.Mod(ml.BAnd(g.expr(sc, 1), ml.Ci(1023)), sc.alen[a])
+}
+
+// block emits up to g's remaining budget of random statements into b.
+func (g *gen) block(b *ml.Block, sc *scope, depth int, topLevel bool) {
+	n := 1 + g.r.Intn(4)
+	for i := 0; i < n && g.stmts > 0; i++ {
+		g.stmts--
+		g.stmt(b, sc, depth, topLevel)
+	}
+}
+
+func (g *gen) stmt(b *ml.Block, sc *scope, depth int, topLevel bool) {
+	r := g.r
+	switch r.Intn(12) {
+	case 0: // declare a fresh scalar
+		name := g.fresh("s")
+		b.Decl(name, g.expr(sc, 2))
+		sc.scalars = append(sc.scalars, name)
+	case 1, 2: // assign or reduce an existing scalar
+		if len(sc.scalars) == 0 {
+			b.Decl(g.fresh("s"), g.expr(sc, 2))
+			return
+		}
+		name := sc.scalars[r.Intn(len(sc.scalars))]
+		if r.Intn(3) == 0 {
+			b.Reduce(name, []ml.BinOp{ml.OpAdd, ml.OpMul}[r.Intn(2)], g.expr(sc, 2))
+		} else {
+			b.Assign(name, g.expr(sc, 2))
+		}
+	case 3, 4: // array store or in-place reduction
+		if len(sc.arrays) == 0 {
+			return
+		}
+		a := sc.arrays[r.Intn(len(sc.arrays))]
+		if r.Intn(3) == 0 {
+			b.SetReduce(a, g.index(sc, a), ml.OpAdd, g.expr(sc, 2))
+		} else {
+			b.Set(a, g.index(sc, a), g.expr(sc, 2))
+		}
+	case 5: // branch
+		if depth <= 0 {
+			return
+		}
+		var elseFn func(*ml.Block)
+		if r.Intn(2) == 0 {
+			elseFn = func(eb *ml.Block) { g.block(eb, sc, depth-1, false) }
+		}
+		b.If(g.expr(sc, 2), func(tb *ml.Block) { g.block(tb, sc, depth-1, false) }, elseFn)
+	case 6, 7: // counted loop, sometimes with non-unit step
+		if depth <= 0 {
+			return
+		}
+		iv := g.fresh("i")
+		step := 1 + r.Intn(2)
+		inner := *sc
+		inner.ro = append(append([]string(nil), sc.ro...), iv)
+		b.For(iv, ml.Ci(r.Intn(2)), ml.Ci(2+r.Intn(6)), ml.Ci(step),
+			ml.LoopOpt{Name: iv}, func(lb *ml.Block) {
+				g.block(lb, &inner, depth-1, false)
+			})
+	case 8: // while loop over an explicit countdown
+		if depth <= 0 {
+			return
+		}
+		c := g.fresh("w")
+		b.Decl(c, ml.Ci(1+r.Intn(5)))
+		inner := *sc
+		inner.ro = append(append([]string(nil), sc.ro...), c)
+		b.While(ml.Gt(ml.V(c), ml.Ci(0)), ml.LoopOpt{Name: c}, func(wb *ml.Block) {
+			g.block(wb, &inner, depth-1, false)
+			wb.Assign(c, ml.Sub(ml.V(c), ml.Ci(1)))
+		})
+		sc.ro = append(sc.ro, c)
+	case 9: // free a scratch array and redeclare it (address reuse)
+		if !topLevel || len(sc.arrays) == 0 {
+			return
+		}
+		a := sc.arrays[r.Intn(len(sc.arrays))]
+		b.Free(a)
+		size := 2 + r.Intn(14)
+		b.DeclArr(a, ml.Ci(size))
+		sc.alen[a] = ml.Ci(size)
+	default: // declare a fresh array
+		name := g.fresh("a")
+		size := 2 + r.Intn(14)
+		b.DeclArr(name, ml.Ci(size))
+		sc.arrays = append(sc.arrays, name)
+		sc.alen[name] = ml.Ci(size)
+	}
+}
+
+// helperBody fills one helper function: params are an aliased array a, its
+// length n and a scalar s; the body mixes the random statement mix with a
+// guaranteed pass over the array, and may return a value.
+func (g *gen) helperBody(fb *ml.Block, ret bool) {
+	sc := &scope{
+		scalars: []string{"s"},
+		ro:      []string{"n"},
+		arrays:  []string{"a"},
+		alen:    map[string]ml.Expr{"a": ml.V("n")},
+	}
+	g.block(fb, sc, 2, false)
+	iv := g.fresh("i")
+	fb.For(iv, ml.Ci(0), ml.V("n"), ml.Ci(1), ml.LoopOpt{Name: iv}, func(lb *ml.Block) {
+		lb.SetReduce("a", ml.V(iv), ml.OpAdd, ml.Add(ml.V("s"), ml.V(iv)))
+	})
+	if ret {
+		fb.Ret(g.expr(sc, 2))
+	}
+}
+
+// Program builds a random, always-terminating minilang program exercising
+// scalars, arrays, nested loops, branches, reductions, builtins, free with
+// redeclaration, computed indices, and helper calls that alias arrays by
+// reference.
+func Program(r *rand.Rand) *ml.Program {
+	g := &gen{r: r, stmts: 40 + r.Intn(60)}
+	p := ml.New("testgen")
+	p.Func("bump", []string{"a", "n", "s"}, func(fb *ml.Block) {
+		g.helperBody(fb, false)
+	})
+	p.Func("tally", []string{"a", "n", "s"}, func(fb *ml.Block) {
+		g.helperBody(fb, true)
+	})
+	p.MainFunc(func(b *ml.Block) {
+		sc := &scope{alen: map[string]ml.Expr{}}
+		for i := 0; i < 2+r.Intn(2); i++ {
+			name := g.fresh("s")
+			b.Decl(name, ml.C(float64(r.Intn(21)-10)))
+			sc.scalars = append(sc.scalars, name)
+		}
+		for i := 0; i < 1+r.Intn(2); i++ {
+			name := g.fresh("a")
+			size := 4 + r.Intn(12)
+			b.DeclArr(name, ml.Ci(size))
+			sc.arrays = append(sc.arrays, name)
+			sc.alen[name] = ml.Ci(size)
+		}
+		g.block(b, sc, 3, true)
+		// A few helper calls over randomly chosen arrays: bump mutates the
+		// aliased array in place, tally also returns a value.
+		for i := 0; i < 1+r.Intn(3); i++ {
+			a := sc.arrays[r.Intn(len(sc.arrays))]
+			if r.Intn(2) == 0 {
+				b.Call("bump", ml.V(a), sc.alen[a], g.expr(sc, 2))
+			} else {
+				name := g.fresh("s")
+				b.Decl(name, ml.CallE("tally", ml.V(a), sc.alen[a], g.expr(sc, 2)))
+				sc.scalars = append(sc.scalars, name)
+			}
+			g.block(b, sc, 2, true)
+		}
+	})
+	return p
+}

@@ -1,0 +1,56 @@
+package vm_test
+
+import (
+	"testing"
+
+	"ddprof/internal/interp"
+	"ddprof/internal/minilang"
+	"ddprof/internal/vm"
+	"ddprof/internal/workloads"
+)
+
+// The benchmarks below price the VM's two halves separately on a real
+// workload (NAS CG at quarter scale): BenchmarkCompileOnly is the one-time
+// translation cost a Run amortizes, BenchmarkExecPrecompiled the per-run
+// dispatch cost once compiled, and BenchmarkExecInterp the tree-walking
+// reference on the same program. The producer families in the root
+// package's BenchmarkProducer measure events/s on synthetic instruction
+// mixes; this trio answers "what does compilation cost and what does it
+// buy on a full benchmark kernel".
+
+func buildCG() *minilang.Program {
+	w, _ := workloads.ByName("CG")
+	return w.Build(workloads.Config{Scale: 0.25})
+}
+
+func BenchmarkCompileOnly(b *testing.B) {
+	p := buildCG()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Compile(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecPrecompiled(b *testing.B) {
+	p := buildCG()
+	prg, err := vm.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prg.Run(nil, interp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecInterp(b *testing.B) {
+	p := buildCG()
+	for i := 0; i < b.N; i++ {
+		if _, err := interp.Run(p, nil, interp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,763 @@
+// Package vm compiles minilang programs to flat bytecode and executes them
+// with a switch-dispatch loop — the fast instrumentation producer.
+//
+// The tree-walking interpreter (internal/interp) resolves every variable by
+// walking map-based frames and re-dispatches on AST node types at every
+// evaluation step; at pipeline rates that makes the producer the bottleneck
+// (ROADMAP item 3). The VM removes both costs: a compile pass assigns every
+// lexical frame a flat slot layout (minilang.Resolve) and lowers statements
+// and expressions to a linear instruction array operating on a value stack,
+// so the hot path is an indexed slot read, an arena word access, and one
+// hook call per event.
+//
+// The VM is an exact drop-in for the interpreter: it emits the same event
+// stream byte for byte — same simulated addresses (both executors share
+// interp.Arena and its deterministic exact-size free lists), same emit
+// order, flags, contexts, iteration vectors, timestamps and YieldEvery
+// scheduling points. The interpreter stays as the reference semantics;
+// equivalence is pinned by the golden-profile suite and FuzzVMEquivalence.
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"ddprof/internal/event"
+	"ddprof/internal/loc"
+	"ddprof/internal/minilang"
+)
+
+// opcode enumerates bytecode operations. Stack effects are noted as
+// pops→pushes. Bindings captured before sub-evaluation (the interpreter
+// resolves a store's target before evaluating its value) travel on the value
+// stack as w/vid pairs: word indices and variable IDs are far below 2^53, so
+// float64 round-trips them exactly.
+type opcode uint8
+
+const (
+	opConst       opcode = iota // 0→1 push immediate
+	opTid                       // 0→1 push thread ID
+	opLen                       // 0→1 push array length (no memory access)
+	opLoad                      // 0→1 resolve scalar, load, emit Read
+	opBindScalar                // 0→2 resolve scalar, push w, vid
+	opBindArr                   // 0→3 resolve array, push base, words, vid
+	opIdxCheck                  // 4→2 pop idx, vid, words, base; bounds-check; push w=base+idx, vid
+	opLoadWKeep                 // 0→1 load word at stack[sp-2] (vid at sp-1), emit Read, push value
+	opLoadWPop                  // 2→1 pop vid, w; load, emit Read, push value
+	opStoreW                    // 3→0 pop value, vid, w; store, emit Write
+	opStoreWKeep                // 1→0 pop value; keep w, vid; store, emit Write
+	opBin                       // 2→1 apply binary operator a
+	opNeg                       // 1→1
+	opNot                       // 1→1
+	opToBool                    // 1→1 normalize to 0/1
+	opAndCheck                  // 1→0/1 if zero: push 0, jump a
+	opOrCheck                   // 1→0/1 if non-zero: push 1, jump a
+	opJmp                       // jump a
+	opJz                        // 1→0 jump a if zero
+	opGeJmp                     // 2→0 pop to, cur; jump a if cur >= to
+	opBuiltin                   // b→1 builtin a with b args
+	opPop                       // 1→0
+	opPop2                      // 2→0
+	opDecl                      // 0→2 ensure scalar binding in slot a, push w, vid
+	opDeclArr                   // 1→0 pop size, ensure array binding in slot a
+	opFree                      // 0→0 emit Removes, release, unbind
+	opPushLoop                  // enter loop a: iteration-vector push
+	opIterIncr                  // bump innermost iteration counter
+	opSetIterPeek               // set innermost iteration counter to stack[sp-1]
+	opAddOne                    // stack[sp-1] += 1 (while-loop trip counter)
+	opEndLoop                   // leave loop a: pop vector, credit innermost count
+	opEndLoopW                  // 1→0 leave while-loop a: pop trip count, pop vector, credit count
+	opCallNew                   // allocate pending frame for function a, record call
+	opArgScalar                 // 1→0 pop value, alloc+bind param slot b, emit Write
+	opArgVar                    // 0→0 alias array arg (ref a) into param slot b, or load+copy scalar
+	opInvoke                    // 0→(1 on return) activate pending frame, enter function a
+	opRet                       // 1→0 pop return value, unwind to caller
+	opSpawn                     // run spawn block a on its thread count, join
+	opLock                      // acquire mutex a
+	opUnlock                    // release mutex a
+	opBarrier                   // wait on the enclosing spawn's barrier
+	opFail                      // raise preformatted runtime error a
+
+	// Fused superinstructions. Each one is a compile-time combination of the
+	// ops above for a pattern the profiler showed hot; it performs the exact
+	// same arena accesses and emits the exact same events in the same order
+	// as its unfused expansion, so the instrumentation stream is unchanged —
+	// only dispatch count and value-stack traffic drop.
+	opBinC         // 1→1 opConst + opBin: apply operator a with constant rhs f
+	opIdxLoad      // 4→1 opIdxCheck + opLoadWPop: array element read
+	opBindLoad     // 0→3 opBindScalar + opLoadWKeep: scalar reduction prologue
+	opIdxCheckLoad // 4→3 opIdxCheck + opLoadWKeep: array reduction prologue
+	opBinStore     // 4→0 opBin + opStoreW: reduction epilogue
+	opStoreC       // 0→0 opBindScalar + opConst + opStoreW: constant scalar assign
+	opDeclC        // 0→0 opDecl + opConst + opStoreW: constant scalar decl
+	opHeadC        // 0→0 constant-bound for header: read induction, jump a if >= f
+	opHeadLen      // 0→0 len-bound for header: read induction, jump a if >= len(ref b)
+	opIncrC        // 0→0 constant-step for increment: bump iter, read+write induction, jump a
+	opIdxLoadVar   // 0→1 opBindArr + opLoad + opIdxLoad: a[i] with variable index (refs a, b)
+	opIdxAddrVar   // 0→2 opBindArr + opLoad + opIdxCheck: a[i] store prefix (refs a, b)
+	opHeadVar      // 0→0 variable-bound for header: read induction (fl), read bound ref b (fl2), jump a if >=
+	opReduceVar    // 0→0 opBindLoad + opLoad + opBinStore: x ⊕= y, operator in f, rhs ref b
+	opLoadBinC     // 0→1 opLoad + opBinC: push V(ref a) ⊕ f, operator in b
+	opBinCJz       // 1→0 opBinC + opJz: pop l, jump a if l ⊕b f is zero
+	opIdxLoadVC    // 0→1 opBindArr + opLoadBinC + opIdxLoad: arr[a][ V(b) ⊕op2 f ] read
+	opReduceC      // 0→0 opBindLoad + opConst + opBinStore: x ⊕b= f
+	opReduceVC     // 0→0 x ⊕= V(y) ⊕2 f: refs a/b, inner operator op2, outer operator in vid
+
+	// opEnd terminates every compiled body: fall off the end of main (or a
+	// function with no explicit return). A sentinel instruction keeps the
+	// dispatch loop free of a per-instruction pc bounds test.
+	opEnd
+)
+
+// instr is one bytecode instruction. The event-template fields (ln, ctx,
+// vid, fl) are precomputed at compile time so emitting an access costs no
+// lookups.
+type instr struct {
+	op  opcode
+	fl  event.Flags
+	fl2 event.Flags   // second event's flags, for fusions spanning two flag sets
+	op2 uint8         // secondary operator, for fusions spanning two BinOps
+	a   int32         // primary operand: slot, ref, target pc, function index…
+	b   int32         // secondary operand
+	ln  loc.SourceLoc // source location attributed to emitted events
+	ctx uint32        // static loop context of emitted events
+	vid loc.VarID     // statically-known variable ID (decls, params)
+	f   float64       // immediate constant
+}
+
+// cand is one candidate (frame, slot) a name may be bound at, ordered
+// innermost first; the first bound slot wins at runtime, reproducing the
+// interpreter's dynamic frame-chain lookup.
+type cand struct {
+	depth int32
+	slot  int32
+}
+
+// ref is one compiled variable reference. The innermost candidate is
+// inlined as (d0, s0) — almost every lookup hits it, and keeping it out of
+// the candidate slice saves the slice-header load and loop setup on every
+// resolve. d0 == -1 means the name is not declared in any enclosing scope.
+type ref struct {
+	name   string
+	d0, s0 int32
+	rest   []cand // outer candidates, innermost first (usually empty)
+}
+
+// fcode is one compiled code body: the entry main, a function, or a spawn
+// block.
+type fcode struct {
+	name      string
+	ins       []instr
+	idx       int32 // index in Program.funcs; -1 for main and spawn bodies
+	frameSize int
+	names     []string // slot -> name (root Vars extraction, debugging)
+	release   []int32  // function epilogue: local slots in sorted-name order
+	maxStack  int
+}
+
+// scode is a compiled Spawn block.
+type scode struct {
+	fc      *fcode
+	threads int
+}
+
+// Program is a compiled minilang program, reusable across runs.
+type Program struct {
+	src    *minilang.Program
+	main   *fcode
+	funcs  []*fcode
+	fidx   map[string]int
+	spawns []*scode
+	refs   []ref
+	strs   []string
+	mus    []string // mutex index -> name
+	nloops int
+}
+
+// compiler holds program-wide compile state.
+type compiler struct {
+	p        *minilang.Program
+	res      *minilang.Resolved
+	prg      *Program
+	strIdx   map[string]int32
+	mutexIdx map[string]int32
+}
+
+// Compile lowers p to bytecode. Statically malformed constructs (unknown
+// functions, arity mismatches) compile to failing instructions rather than
+// compile errors, so programs that never execute the bad path behave exactly
+// like they do under the interpreter.
+func Compile(p *minilang.Program) (*Program, error) {
+	main := p.Funcs["main"]
+	if main == nil {
+		return nil, fmt.Errorf("vm: program %q has no main", p.Name)
+	}
+	res := minilang.Resolve(p)
+	prg := &Program{src: p, fidx: make(map[string]int), nloops: len(p.Meta.Loops())}
+	c := &compiler{p: p, res: res, prg: prg,
+		strIdx: make(map[string]int32), mutexIdx: make(map[string]int32)}
+
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	prg.funcs = make([]*fcode, len(names))
+	for i, n := range names {
+		prg.fidx[n] = i
+	}
+	for i, n := range names {
+		prg.funcs[i] = c.compileFunc(p.Funcs[n], res.Funcs[n])
+		prg.funcs[i].idx = int32(i)
+	}
+	// The entry main runs in the root frame with a single-scope chain. (A
+	// recursive call to "main" uses the function compilation above, which
+	// gets a fresh frame chained to the root, like the interpreter.)
+	prg.main = c.compileBody(main.Name, main.Body, []*minilang.Scope{res.Root})
+	return prg, nil
+}
+
+// str interns a string (names for runtime messages, preformatted errors).
+func (c *compiler) str(s string) int32 {
+	if i, ok := c.strIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.prg.strs))
+	c.prg.strs = append(c.prg.strs, s)
+	c.strIdx[s] = i
+	return i
+}
+
+// mutex interns a mutex name.
+func (c *compiler) mutex(name string) int32 {
+	if i, ok := c.mutexIdx[name]; ok {
+		return i
+	}
+	i := int32(len(c.prg.mus))
+	c.prg.mus = append(c.prg.mus, name)
+	c.mutexIdx[name] = i
+	return i
+}
+
+// compileFunc compiles a callable function: params occupy the first slots,
+// and the epilogue releases locals in sorted name order — the same
+// determinism rule the interpreter applies so arena free lists (and with
+// them all later simulated addresses) are run-order independent.
+func (c *compiler) compileFunc(f *minilang.Func, scope *minilang.Scope) *fcode {
+	fc := c.compileBody(f.Name, f.Body, []*minilang.Scope{scope, c.res.Root})
+	fc.release = make([]int32, 0, len(scope.Names))
+	sorted := append([]string(nil), scope.Names...)
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		fc.release = append(fc.release, int32(scope.Slot[n]))
+	}
+	return fc
+}
+
+// compileBody compiles a statement list under the given static frame chain
+// (innermost scope first).
+func (c *compiler) compileBody(name string, body []minilang.Stmt, chain []*minilang.Scope) *fcode {
+	g := &cgen{c: c, chain: chain, refMemo: make(map[string]int32)}
+	for _, s := range body {
+		g.stmt(s)
+	}
+	g.emit(instr{op: opEnd})
+	return &fcode{
+		name:      name,
+		ins:       g.ins,
+		idx:       -1,
+		frameSize: len(chain[0].Names),
+		names:     chain[0].Names,
+		maxStack:  computeMaxStack(g.ins),
+	}
+}
+
+// cgen generates code for one body.
+type cgen struct {
+	c       *compiler
+	chain   []*minilang.Scope
+	ins     []instr
+	refMemo map[string]int32
+}
+
+func (g *cgen) emit(i instr) int32 {
+	g.ins = append(g.ins, i)
+	return int32(len(g.ins) - 1)
+}
+
+// here is the pc of the next instruction to be emitted.
+func (g *cgen) here() int32 { return int32(len(g.ins)) }
+
+// patch sets a branch target.
+func (g *cgen) patch(at int32, target int32) { g.ins[at].a = target }
+
+// ref interns a compiled reference for name under this body's chain.
+func (g *cgen) ref(name string) int32 {
+	if i, ok := g.refMemo[name]; ok {
+		return i
+	}
+	r := ref{name: name, d0: -1}
+	for d, sc := range g.chain {
+		if slot, ok := sc.Slot[name]; ok {
+			if r.d0 < 0 {
+				r.d0, r.s0 = int32(d), int32(slot)
+			} else {
+				r.rest = append(r.rest, cand{depth: int32(d), slot: int32(slot)})
+			}
+		}
+	}
+	i := int32(len(g.c.prg.refs))
+	g.c.prg.refs = append(g.c.prg.refs, r)
+	g.refMemo[name] = i
+	return i
+}
+
+func (g *cgen) fail(format string, args ...any) {
+	g.emit(instr{op: opFail, a: g.c.str(fmt.Sprintf(format, args...))})
+}
+
+func (g *cgen) stmt(s minilang.Stmt) {
+	ln, ctx := s.Pos()
+	switch st := s.(type) {
+	case *minilang.DeclStmt:
+		if cv, ok := st.Init.(*minilang.ConstExpr); ok {
+			g.emit(instr{op: opDeclC, a: int32(g.chain[0].Slot[st.Name]),
+				vid: g.c.p.Tab.Var(st.Name), f: cv.V, ln: ln, ctx: ctx})
+			return
+		}
+		g.emit(instr{op: opDecl, a: int32(g.chain[0].Slot[st.Name]), vid: g.c.p.Tab.Var(st.Name)})
+		g.expr(st.Init, ln, ctx)
+		g.emit(instr{op: opStoreW, ln: ln, ctx: ctx})
+
+	case *minilang.DeclArrStmt:
+		g.expr(st.Size, ln, ctx)
+		g.emit(instr{op: opDeclArr, a: int32(g.chain[0].Slot[st.Name]),
+			b: g.c.str(st.Name), vid: g.c.p.Tab.Var(st.Name)})
+
+	case *minilang.AssignStmt:
+		// The target binding is captured before the value evaluates, exactly
+		// like the interpreter; the fused forms keep that order because
+		// nothing between their bind and store emits or fails.
+		if st.Reduction {
+			be, ok := st.Val.(*minilang.BinExpr)
+			if !ok {
+				g.emit(instr{op: opBindScalar, a: g.ref(st.Name)})
+				g.fail("reduction value is not a binary expression")
+				return
+			}
+			switch rv := be.R.(type) {
+			case *minilang.VarExpr:
+				// Whole statement in one dispatch; the target's Read/Write
+				// carry the reduction flag, the rhs Read does not. The
+				// operator travels in f (a and b hold the two refs).
+				g.emit(instr{op: opReduceVar, a: g.ref(st.Name), b: g.ref(rv.Name),
+					f: float64(be.Op), fl: event.FlagReduction, ln: ln, ctx: ctx})
+				return
+			case *minilang.ConstExpr:
+				g.emit(instr{op: opReduceC, a: g.ref(st.Name), b: int32(be.Op),
+					f: rv.V, fl: event.FlagReduction, ln: ln, ctx: ctx})
+				return
+			case *minilang.BinExpr:
+				// x ⊕= y ⊕2 c — the accumulate shape of every dot product
+				// and running sum. vid is free here (the target's ID comes
+				// from its binding), so it carries the outer operator.
+				if lv, ok := rv.L.(*minilang.VarExpr); ok &&
+					rv.Op != minilang.OpAnd && rv.Op != minilang.OpOr {
+					if cv, ok := rv.R.(*minilang.ConstExpr); ok {
+						g.emit(instr{op: opReduceVC, a: g.ref(st.Name), b: g.ref(lv.Name),
+							op2: uint8(rv.Op), vid: loc.VarID(be.Op), f: cv.V,
+							fl: event.FlagReduction, ln: ln, ctx: ctx})
+						return
+					}
+				}
+			}
+			g.emit(instr{op: opBindLoad, a: g.ref(st.Name), fl: event.FlagReduction, ln: ln, ctx: ctx})
+			g.expr(be.R, ln, ctx)
+			g.emit(instr{op: opBinStore, a: int32(be.Op), fl: event.FlagReduction, ln: ln, ctx: ctx})
+			return
+		}
+		if cv, ok := st.Val.(*minilang.ConstExpr); ok {
+			g.emit(instr{op: opStoreC, a: g.ref(st.Name), f: cv.V, ln: ln, ctx: ctx})
+			return
+		}
+		g.emit(instr{op: opBindScalar, a: g.ref(st.Name)})
+		g.expr(st.Val, ln, ctx)
+		g.emit(instr{op: opStoreW, ln: ln, ctx: ctx})
+
+	case *minilang.AssignIdxStmt:
+		// Array resolved before the index expression runs (the interpreter
+		// captures the binding first, then evaluates and bounds-checks).
+		if ve, ok := st.Idx.(*minilang.VarExpr); ok && !st.Reduction {
+			// (The reduction form stays unfused: its element read carries
+			// FlagReduction while the index read does not, and a fused
+			// instruction holds only one flag set.)
+			g.emit(instr{op: opIdxAddrVar, a: g.ref(st.Name), b: g.ref(ve.Name), ln: ln, ctx: ctx})
+			g.expr(st.Val, ln, ctx)
+			g.emit(instr{op: opStoreW, ln: ln, ctx: ctx})
+			return
+		}
+		g.emit(instr{op: opBindArr, a: g.ref(st.Name)})
+		g.expr(st.Idx, ln, ctx)
+		if st.Reduction {
+			be, ok := st.Val.(*minilang.BinExpr)
+			if !ok {
+				g.emit(instr{op: opIdxCheck, a: g.ref(st.Name), ln: ln})
+				g.fail("reduction value is not a binary expression")
+				return
+			}
+			g.emit(instr{op: opIdxCheckLoad, a: g.ref(st.Name), fl: event.FlagReduction, ln: ln, ctx: ctx})
+			g.expr(be.R, ln, ctx)
+			g.emit(instr{op: opBinStore, a: int32(be.Op), fl: event.FlagReduction, ln: ln, ctx: ctx})
+			return
+		}
+		g.emit(instr{op: opIdxCheck, a: g.ref(st.Name), ln: ln})
+		g.expr(st.Val, ln, ctx)
+		g.emit(instr{op: opStoreW, ln: ln, ctx: ctx})
+
+	case *minilang.ForStmt:
+		// Mirrors interp.execFor: init store at the statement's own context,
+		// condition/increment at the body context with FlagInduction, the
+		// increment attributed to the iteration it begins (Figure 1's
+		// {RAW i}{WAR i} shape). The loop variable's binding is captured
+		// once, before the loop, as a w/vid pair kept under the loop's
+		// stack temporaries.
+		g.emit(instr{op: opDecl, a: int32(g.chain[0].Slot[st.Var]), vid: g.c.p.Tab.Var(st.Var)})
+		g.expr(st.From, ln, ctx)
+		g.emit(instr{op: opStoreWKeep, fl: event.FlagInduction, ln: ln, ctx: ctx})
+		g.emit(instr{op: opPushLoop, a: int32(st.Loop)})
+		top := g.here()
+		var exit int32
+		if cv, ok := st.To.(*minilang.ConstExpr); ok {
+			exit = g.emit(instr{op: opHeadC, f: cv.V, fl: event.FlagInduction, ln: ln, ctx: st.BodyCtx})
+		} else if le, ok := st.To.(*minilang.LenExpr); ok {
+			// The array's length is re-resolved every iteration, after the
+			// induction read, exactly where the unfused opLen would run.
+			exit = g.emit(instr{op: opHeadLen, b: g.ref(le.Name),
+				fl: event.FlagInduction, ln: ln, ctx: st.BodyCtx})
+		} else if ve, ok := st.To.(*minilang.VarExpr); ok {
+			// Variable bound: the bound's Read re-fires every iteration, after
+			// the induction Read and without the induction flag.
+			exit = g.emit(instr{op: opHeadVar, b: g.ref(ve.Name),
+				fl: event.FlagInduction, ln: ln, ctx: st.BodyCtx})
+		} else {
+			g.emit(instr{op: opLoadWKeep, fl: event.FlagInduction, ln: ln, ctx: st.BodyCtx})
+			g.expr(st.To, ln, st.BodyCtx)
+			exit = g.emit(instr{op: opGeJmp})
+		}
+		for _, bs := range st.Body {
+			g.stmt(bs)
+		}
+		if cv, ok := st.Step.(*minilang.ConstExpr); ok {
+			g.emit(instr{op: opIncrC, a: top, f: cv.V, fl: event.FlagInduction, ln: ln, ctx: st.BodyCtx})
+		} else {
+			g.emit(instr{op: opIterIncr})
+			g.emit(instr{op: opLoadWKeep, fl: event.FlagInduction, ln: ln, ctx: st.BodyCtx})
+			g.expr(st.Step, ln, st.BodyCtx)
+			g.emit(instr{op: opBin, a: int32(minilang.OpAdd)})
+			g.emit(instr{op: opStoreWKeep, fl: event.FlagInduction, ln: ln, ctx: st.BodyCtx})
+			g.emit(instr{op: opJmp, a: top})
+		}
+		g.patch(exit, g.here())
+		g.emit(instr{op: opEndLoop, a: int32(st.Loop)})
+		g.emit(instr{op: opPop2})
+
+	case *minilang.WhileStmt:
+		// The interpreter evaluates the condition of iteration k with the
+		// iteration vector still showing k-1 (setIter runs after the check),
+		// so the trip counter lives on the value stack and is copied into
+		// the vector only between condition and body.
+		g.emit(instr{op: opPushLoop, a: int32(st.Loop)})
+		g.emit(instr{op: opConst, f: 0})
+		top := g.here()
+		exit := g.condJz(st.Cond, ln, ctx)
+		g.emit(instr{op: opSetIterPeek})
+		for _, bs := range st.Body {
+			g.stmt(bs)
+		}
+		g.emit(instr{op: opAddOne})
+		g.emit(instr{op: opJmp, a: top})
+		g.patch(exit, g.here())
+		g.emit(instr{op: opEndLoopW, a: int32(st.Loop)})
+
+	case *minilang.IfStmt:
+		toElse := g.condJz(st.Cond, ln, ctx)
+		for _, bs := range st.Then {
+			g.stmt(bs)
+		}
+		if len(st.Else) > 0 {
+			toEnd := g.emit(instr{op: opJmp})
+			g.patch(toElse, g.here())
+			for _, bs := range st.Else {
+				g.stmt(bs)
+			}
+			g.patch(toEnd, g.here())
+		} else {
+			g.patch(toElse, g.here())
+		}
+
+	case *minilang.CallStmt:
+		g.call(st.Fn, st.Args, ln, ctx)
+		g.emit(instr{op: opPop})
+
+	case *minilang.ReturnStmt:
+		if st.Val != nil {
+			g.expr(st.Val, ln, ctx)
+		} else {
+			g.emit(instr{op: opConst, f: 0})
+		}
+		g.emit(instr{op: opRet})
+
+	case *minilang.FreeStmt:
+		g.emit(instr{op: opFree, a: g.ref(st.Name), ln: ln, ctx: ctx})
+
+	case *minilang.SpawnStmt:
+		scope := g.c.res.Spawns[st]
+		fc := g.c.compileBody("spawn", st.Body, append([]*minilang.Scope{scope}, g.chain...))
+		g.c.prg.spawns = append(g.c.prg.spawns, &scode{fc: fc, threads: st.Threads})
+		g.emit(instr{op: opSpawn, a: int32(len(g.c.prg.spawns) - 1)})
+
+	case *minilang.LockStmt:
+		mu := g.c.mutex(st.Mutex)
+		g.emit(instr{op: opLock, a: mu})
+		for _, bs := range st.Body {
+			g.stmt(bs)
+		}
+		g.emit(instr{op: opUnlock, a: mu})
+
+	case *minilang.BarrierStmt:
+		g.emit(instr{op: opBarrier})
+
+	default:
+		g.fail("unknown statement %T", s)
+	}
+}
+
+// call compiles a user-function invocation (statement or expression); the
+// return value is left on the stack.
+func (g *cgen) call(fn string, args []minilang.Expr, ln loc.SourceLoc, ctx uint32) {
+	f := g.c.p.Funcs[fn]
+	if f == nil {
+		g.fail("call to undefined function %q", fn)
+		return
+	}
+	if len(args) != len(f.Params) {
+		g.fail("function %q wants %d args, got %d", fn, len(f.Params), len(args))
+		return
+	}
+	fi := int32(g.c.prg.fidx[fn])
+	g.emit(instr{op: opCallNew, a: fi})
+	for i, prm := range f.Params {
+		if ve, ok := args[i].(*minilang.VarExpr); ok {
+			// Arrays pass by reference; scalars copy. Which one it is only
+			// resolves at runtime, like the interpreter's lookup.
+			g.emit(instr{op: opArgVar, a: g.ref(ve.Name), b: int32(i),
+				vid: g.c.p.Tab.Var(prm), ln: ln, ctx: ctx})
+			continue
+		}
+		g.expr(args[i], ln, ctx)
+		g.emit(instr{op: opArgScalar, b: int32(i), vid: g.c.p.Tab.Var(prm), ln: ln, ctx: ctx})
+	}
+	g.emit(instr{op: opInvoke, a: fi})
+}
+
+// condJz compiles a branch condition followed by a jump-if-zero and returns
+// the jump's index for patching. Comparisons against a constant — the shape
+// of nearly every if/while guard — fuse the final compare into the jump
+// itself (opBinCJz), so `if x % 2 == 1` costs two dispatches, not four.
+func (g *cgen) condJz(cond minilang.Expr, ln loc.SourceLoc, ctx uint32) int32 {
+	if be, ok := cond.(*minilang.BinExpr); ok &&
+		be.Op != minilang.OpAnd && be.Op != minilang.OpOr {
+		if cv, ok := be.R.(*minilang.ConstExpr); ok {
+			g.expr(be.L, ln, ctx)
+			return g.emit(instr{op: opBinCJz, b: int32(be.Op), f: cv.V})
+		}
+	}
+	g.expr(cond, ln, ctx)
+	return g.emit(instr{op: opJz})
+}
+
+func (g *cgen) expr(e minilang.Expr, ln loc.SourceLoc, ctx uint32) {
+	switch ex := e.(type) {
+	case *minilang.ConstExpr:
+		g.emit(instr{op: opConst, f: ex.V})
+
+	case *minilang.VarExpr:
+		g.emit(instr{op: opLoad, a: g.ref(ex.Name), ln: ln, ctx: ctx})
+
+	case *minilang.IndexExpr:
+		if ve, ok := ex.Idx.(*minilang.VarExpr); ok {
+			g.emit(instr{op: opIdxLoadVar, a: g.ref(ex.Name), b: g.ref(ve.Name), ln: ln, ctx: ctx})
+			return
+		}
+		if be, ok := ex.Idx.(*minilang.BinExpr); ok &&
+			be.Op != minilang.OpAnd && be.Op != minilang.OpOr {
+			// arr[i ⊕ c] — the stencil neighbour access.
+			if ve, ok := be.L.(*minilang.VarExpr); ok {
+				if cv, ok := be.R.(*minilang.ConstExpr); ok {
+					g.emit(instr{op: opIdxLoadVC, a: g.ref(ex.Name), b: g.ref(ve.Name),
+						op2: uint8(be.Op), f: cv.V, ln: ln, ctx: ctx})
+					return
+				}
+			}
+		}
+		g.emit(instr{op: opBindArr, a: g.ref(ex.Name)})
+		g.expr(ex.Idx, ln, ctx)
+		g.emit(instr{op: opIdxLoad, a: g.ref(ex.Name), ln: ln, ctx: ctx})
+
+	case *minilang.LenExpr:
+		g.emit(instr{op: opLen, a: g.ref(ex.Name)})
+
+	case *minilang.BinExpr:
+		switch ex.Op {
+		case minilang.OpAnd:
+			g.expr(ex.L, ln, ctx)
+			sc := g.emit(instr{op: opAndCheck})
+			g.expr(ex.R, ln, ctx)
+			g.emit(instr{op: opToBool})
+			g.patch(sc, g.here())
+		case minilang.OpOr:
+			g.expr(ex.L, ln, ctx)
+			sc := g.emit(instr{op: opOrCheck})
+			g.expr(ex.R, ln, ctx)
+			g.emit(instr{op: opToBool})
+			g.patch(sc, g.here())
+		default:
+			if cv, ok := ex.R.(*minilang.ConstExpr); ok {
+				if lv, ok := ex.L.(*minilang.VarExpr); ok {
+					g.emit(instr{op: opLoadBinC, a: g.ref(lv.Name), b: int32(ex.Op),
+						f: cv.V, ln: ln, ctx: ctx})
+					return
+				}
+				g.expr(ex.L, ln, ctx)
+				g.emit(instr{op: opBinC, a: int32(ex.Op), f: cv.V})
+				return
+			}
+			g.expr(ex.L, ln, ctx)
+			g.expr(ex.R, ln, ctx)
+			g.emit(instr{op: opBin, a: int32(ex.Op)})
+		}
+
+	case *minilang.UnExpr:
+		g.expr(ex.X, ln, ctx)
+		if ex.Op == minilang.OpNeg {
+			g.emit(instr{op: opNeg})
+		} else {
+			g.emit(instr{op: opNot})
+		}
+
+	case *minilang.CallExpr:
+		// Builtins shadow user functions in expression position, exactly
+		// like the interpreter's eval; arguments still evaluate before an
+		// arity mismatch is reported.
+		if bi, ok := builtinIdx[ex.Fn]; ok {
+			for _, a := range ex.Args {
+				g.expr(a, ln, ctx)
+			}
+			if len(ex.Args) != builtinArity[bi] {
+				g.fail("builtin %q wants %d args, got %d", ex.Fn, builtinArity[bi], len(ex.Args))
+				return
+			}
+			g.emit(instr{op: opBuiltin, a: bi, b: int32(len(ex.Args))})
+			return
+		}
+		g.call(ex.Fn, ex.Args, ln, ctx)
+
+	case *minilang.TidExpr:
+		g.emit(instr{op: opTid})
+
+	default:
+		g.fail("unknown expression %T", e)
+	}
+}
+
+// builtinIdx and builtinArity enumerate the pure math builtins.
+var builtinIdx = map[string]int32{
+	"sqrt": 0, "abs": 1, "floor": 2, "ceil": 3, "sin": 4, "cos": 5,
+	"exp": 6, "log": 7, "pow": 8, "min": 9, "max": 10,
+}
+
+var builtinArity = [...]int{1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2}
+
+// computeMaxStack walks the control-flow graph and returns the peak value
+// stack depth, so the dispatch loop can reserve headroom once per call
+// instead of bounds-checking every push. Structured codegen guarantees a
+// consistent depth at every join point; the walk asserts it.
+func computeMaxStack(ins []instr) int {
+	depth := make([]int32, len(ins))
+	seen := make([]bool, len(ins))
+	var max int32
+	var visit func(pc int, d int32)
+	visit = func(pc int, d int32) {
+		for pc < len(ins) {
+			if seen[pc] {
+				if depth[pc] != d {
+					panic(fmt.Sprintf("vm: inconsistent stack depth at pc %d: %d vs %d", pc, depth[pc], d))
+				}
+				return
+			}
+			seen[pc] = true
+			depth[pc] = d
+			i := ins[pc]
+			switch i.op {
+			case opJmp, opIncrC:
+				pc = int(i.a)
+				continue
+			case opHeadC, opHeadLen, opHeadVar:
+				visit(int(i.a), d)
+			case opJz, opBinCJz:
+				d--
+				visit(int(i.a), d)
+			case opGeJmp:
+				d -= 2
+				visit(int(i.a), d)
+			case opAndCheck, opOrCheck:
+				visit(int(i.a), d) // branch taken: pop 1, push 0/1
+				d--
+			case opRet, opFail, opEnd:
+				return
+			default:
+				d += stackDelta(i)
+			}
+			if d > max {
+				max = d
+			}
+			if d < 0 {
+				panic(fmt.Sprintf("vm: stack underflow at pc %d", pc))
+			}
+			pc++
+		}
+	}
+	visit(0, 0)
+	return int(max)
+}
+
+func stackDelta(i instr) int32 {
+	switch i.op {
+	case opConst, opTid, opLen, opLoad, opLoadWKeep, opInvoke, opIdxLoadVar,
+		opLoadBinC, opIdxLoadVC:
+		return 1
+	case opBindScalar, opDecl, opIdxAddrVar:
+		return 2
+	case opBindArr:
+		return 3
+	case opNeg, opNot, opToBool, opFree, opPushLoop, opIterIncr, opSetIterPeek,
+		opAddOne, opEndLoop, opCallNew, opArgVar, opSpawn, opLock, opUnlock,
+		opBarrier, opBinC, opStoreC, opDeclC, opHeadC, opHeadLen, opHeadVar,
+		opIncrC, opReduceVar, opReduceC, opReduceVC, opEnd:
+		return 0
+	case opBin, opStoreWKeep, opPop, opDeclArr, opArgScalar, opLoadWPop, opEndLoopW,
+		opIdxCheckLoad, opBinCJz:
+		return -1
+	case opPop2, opIdxCheck:
+		return -2
+	case opStoreW, opIdxLoad:
+		return -3
+	case opBindLoad:
+		return 3
+	case opBinStore:
+		return -4
+	case opBuiltin:
+		return 1 - i.b
+	}
+	panic(fmt.Sprintf("vm: stackDelta of unhandled opcode %d", i.op))
+}
