@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt-check fuzz bench bench-producer bench-gate
+.PHONY: all build vet test race check fmt-check fuzz bench bench-producer bench-merge bench-gate
 
 all: build
 
@@ -15,10 +15,11 @@ test:
 
 # Race pass over the concurrent subsystems. The full suite under -race is
 # slow; the data races live in the pipelines, the queues, the daemon's
-# session handling, and the VM's spawned target threads, so that is where
-# the detector earns its keep.
+# session handling, the VM's spawned target threads, and the parallel tree
+# merge over the dependence slabs, so that is where the detector earns its
+# keep.
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./internal/queue/ ./internal/server/ ./internal/stride/ ./internal/vm/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/dep/ ./internal/queue/ ./internal/server/ ./internal/stride/ ./internal/vm/
 
 # Formatting gate: fail with the offending diff if any file is not gofmt'd.
 fmt-check:
@@ -52,12 +53,21 @@ bench-producer:
 	$(GO) test -run=^$$ -bench=BenchmarkProducer -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-label producer benchjson
 
+# Merge-stage throughput: serial fold vs parallel tree reduction across the
+# workers × distinct-deps × overlap matrix, recorded under the "merge"
+# label. Re-record with this target after an intentional merge change.
+bench-merge:
+	$(GO) test -run=^$$ '-bench=^BenchmarkMerge$$/' -benchtime=1s -count=3 . \
+		| $(GO) run ./cmd/ddexp -bench-label merge benchjson
+
 BENCH_BASELINE ?= hotpath
 bench-gate:
 	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-compare $(BENCH_BASELINE) benchjson
 	$(GO) test -run=^$$ '-bench=BenchmarkProducer/.*/vm' -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-compare producer benchjson
+	$(GO) test -run=^$$ '-bench=^BenchmarkMerge$$/.*/tree' -benchtime=1s -count=3 . \
+		| $(GO) run ./cmd/ddexp -bench-compare merge benchjson
 
 # Short fuzz pass over the hardened decoders (trace, framing, server) and
 # the dependence-set fast-update API the instance cache relies on.
@@ -67,4 +77,5 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzHandshake -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzFastUpdate -fuzztime=10s ./internal/dep/
+	$(GO) test -run=^$$ -fuzz=FuzzSetMergeEquivalence -fuzztime=10s ./internal/dep/
 	$(GO) test -run=^$$ -fuzz=FuzzVMEquivalence -fuzztime=10s ./internal/vm/

@@ -17,6 +17,7 @@ import (
 
 	"ddprof"
 	"ddprof/internal/core"
+	"ddprof/internal/dep"
 	"ddprof/internal/event"
 	"ddprof/internal/exp"
 	"ddprof/internal/interp"
@@ -479,6 +480,104 @@ func BenchmarkHotPath(b *testing.B) {
 				events += info.Accesses
 			}
 			b.ReportMetric(float64(events)/time.Since(start).Seconds(), "events/s")
+		})
+	}
+}
+
+// --- merge-stage benchmarks ----------------------------------------------
+
+// mergeShardKey fabricates the i-th distinct dependence key of the merge
+// benchmark's key universe.
+func mergeShardKey(i int) dep.Key {
+	return dep.Key{
+		Type:       dep.Type(i % 3),
+		Sink:       loc.SourceLoc(uint32(i)),
+		Src:        loc.SourceLoc(uint32(i>>1) ^ 0x55555),
+		Var:        loc.VarID(i % 1024),
+		SinkThread: int16(i % 4),
+	}
+}
+
+// buildMergeShards synthesizes `workers` per-worker dependence sets over a
+// universe of `distinct` keys: overlapPct percent of the universe appears in
+// every shard (the duplicated dependences the merge must fold), the rest is
+// partitioned evenly (the private dependences it must insert).
+func buildMergeShards(workers, distinct, overlapPct int) []*dep.Set {
+	shared := distinct * overlapPct / 100
+	shards := make([]*dep.Set, workers)
+	for w := range shards {
+		s := dep.NewSet()
+		for i := 0; i < shared; i++ {
+			s.AddDist(mergeShardKey(i), i%2 == 0, i%3 == 0, false, uint32(i%8))
+		}
+		lo := shared + (distinct-shared)*w/workers
+		hi := shared + (distinct-shared)*(w+1)/workers
+		for i := lo; i < hi; i++ {
+			s.AddDist(mergeShardKey(i), i%2 == 1, false, false, uint32(i%5))
+		}
+		shards[w] = s
+	}
+	return shards
+}
+
+// BenchmarkMerge measures the end-of-run merge stage in isolation: folding W
+// per-worker dependence sets into one profile, serial fold (the old
+// pipeline.merge loop — accumulate into a fresh set one worker at a time)
+// against the parallel tree reduction (dep.MergeShards) now on that path.
+// The matrix spans worker count, distinct-dependence population and the
+// overlap ratio between shards; events/s counts merged source entries, so
+// the two modes are directly comparable per configuration. `make
+// bench-merge` records the matrix under the "merge" label in
+// BENCH_pipeline.json; `make bench-gate` fails if the tree side drops more
+// than 10% below that committed baseline.
+func BenchmarkMerge(b *testing.B) {
+	cfgs := []struct {
+		name                       string
+		workers, distinct, overlap int
+	}{
+		{"w4-d64k-ov50", 4, 1 << 16, 50},
+		{"w8-d64k-ov50", 8, 1 << 16, 50},
+		{"w16-d64k-ov50", 16, 1 << 16, 50},
+		{"w8-d16k-ov50", 8, 1 << 14, 50},
+		{"w8-d256k-ov50", 8, 1 << 18, 50},
+		{"w8-d64k-ov0", 8, 1 << 16, 0},
+		{"w8-d64k-ov90", 8, 1 << 16, 90},
+	}
+	run := func(b *testing.B, workers, distinct, overlap int, fn func([]*dep.Set) *dep.Set, releaseInputs bool) {
+		var total uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			shards := buildMergeShards(workers, distinct, overlap)
+			for _, sh := range shards {
+				total += uint64(sh.Unique())
+			}
+			b.StartTimer()
+			res := fn(shards)
+			b.StopTimer()
+			if releaseInputs {
+				for _, sh := range shards {
+					sh.Release()
+				}
+			}
+			res.Release()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+	}
+	for _, c := range cfgs {
+		c := c
+		b.Run(c.name+"/serial", func(b *testing.B) {
+			run(b, c.workers, c.distinct, c.overlap, func(shards []*dep.Set) *dep.Set {
+				acc := dep.NewSet()
+				for _, sh := range shards {
+					acc.Merge(sh)
+				}
+				return acc
+			}, true) // serial fold leaves its inputs live; release them off-clock
+		})
+		b.Run(c.name+"/tree", func(b *testing.B) {
+			run(b, c.workers, c.distinct, c.overlap, dep.MergeShards, false)
 		})
 	}
 }

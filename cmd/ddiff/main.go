@@ -7,6 +7,11 @@
 //
 //	ddiff a.txt b.txt             # text profiles (ddprof default output)
 //	ddiff -binary a.ddp b.ddp     # binary profiles (ddprof -format binary)
+//
+// Binary profiles are diffed as streams: DDP1 writes dependences in
+// canonical key order, so the two files merge-join record by record and
+// neither profile is ever materialized in memory — diffing two
+// million-dependence stored profiles costs two records of state.
 package main
 
 import (
@@ -25,18 +30,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	a, err := load(flag.Arg(0), *binary)
+	d, err := diff(flag.Arg(0), flag.Arg(1), *binary)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddiff:", err)
 		os.Exit(1)
 	}
-	b, err := load(flag.Arg(1), *binary)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ddiff:", err)
-		os.Exit(1)
-	}
-
-	d := dep.Diff(a, b)
 	fmt.Printf("%d common dependences\n", d.Common)
 	printSide(fmt.Sprintf("only in %s (%d)", flag.Arg(0), len(d.OnlyA)), d.OnlyA)
 	printSide(fmt.Sprintf("only in %s (%d)", flag.Arg(1), len(d.OnlyB)), d.OnlyB)
@@ -47,16 +45,49 @@ func main() {
 	os.Exit(1) // differences found: non-zero like diff(1)
 }
 
-func load(path string, binary bool) (*dep.Set, error) {
+func diff(pathA, pathB string, binary bool) (dep.DiffResult, error) {
+	if binary {
+		return diffBinary(pathA, pathB)
+	}
+	a, err := loadText(pathA)
+	if err != nil {
+		return dep.DiffResult{}, err
+	}
+	b, err := loadText(pathB)
+	if err != nil {
+		return dep.DiffResult{}, err
+	}
+	return dep.Diff(a, b), nil
+}
+
+func diffBinary(pathA, pathB string) (dep.DiffResult, error) {
+	fa, err := os.Open(pathA)
+	if err != nil {
+		return dep.DiffResult{}, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(pathB)
+	if err != nil {
+		return dep.DiffResult{}, err
+	}
+	defer fb.Close()
+	da, err := dep.NewDecoder(fa)
+	if err != nil {
+		return dep.DiffResult{}, fmt.Errorf("%s: %w", pathA, err)
+	}
+	db, err := dep.NewDecoder(fb)
+	if err != nil {
+		return dep.DiffResult{}, fmt.Errorf("%s: %w", pathB, err)
+	}
+	return dep.DiffStreams(da, db)
+}
+
+func loadText(path string) (*dep.Set, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if binary {
-		set, _, _, err := dep.Decode(f)
-		return set, err
-	}
 	set, _, _, err := dep.Parse(f)
 	return set, err
 }

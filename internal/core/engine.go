@@ -76,7 +76,7 @@ type depCacheEntry struct {
 	key  dep.Key
 	st   *dep.Stats
 	agg  *loopAgg    // aggregate of `loop` (nil until a carried instance)
-	ck   *carriedKey // this key's record within agg
+	ck   *dep.Stats  // this key's record within agg.keys (Reduction = allRed)
 	loop prog.LoopID // loop of the last carried instance (NoLoop if none)
 }
 
@@ -93,21 +93,21 @@ func keyHash(k dep.Key) uint32 {
 }
 
 // loopAgg tracks distinct carried dependence keys per loop so LoopDeps can
-// report unique counts rather than instance counts. Records are held by
-// pointer so the instance cache can update them without a map lookup.
+// report unique counts rather than instance counts. The key set is a
+// dep.Set — the same slab-backed table as the dependence sets — with a
+// key's Stats.Reduction standing in for "every carried instance so far
+// joined two reduction accesses" (a fresh Ref starts Reduction true, and
+// both the engine and Set.Merge fold it with AND, which is exactly the
+// carried-reduction rule). Ref's pointer stability lets the instance cache
+// update a record without a lookup, and worker tables fold through the same
+// cache-linear merge as the dependence sets.
 type loopAgg struct {
-	keys       map[dep.Key]*carriedKey
+	keys       *dep.Set
 	minRAWDist uint32
 }
 
-// carriedKey is the per-(loop, key) aggregate: whether every carried
-// instance so far joined two reduction accesses.
-type carriedKey struct {
-	allRed bool
-}
-
 func newLoopAgg() *loopAgg {
-	return &loopAgg{keys: make(map[dep.Key]*carriedKey)}
+	return &loopAgg{keys: dep.NewSet()}
 }
 
 // NewEngine returns an engine writing to a fresh dependence set. meta may be
@@ -252,7 +252,7 @@ func (e *Engine) record(k dep.Key, t dep.Type, carriedAt prog.LoopID, reduction,
 
 	if ent != nil && ent.loop == carriedAt {
 		// Repeat carried instance: update the memoized aggregate directly.
-		ent.ck.allRed = ent.ck.allRed && reduction
+		ent.ck.Reduction = ent.ck.Reduction && reduction
 		if t == dep.RAW {
 			if ent.agg.minRAWDist == 0 || dist < ent.agg.minRAWDist {
 				ent.agg.minRAWDist = dist
@@ -265,12 +265,8 @@ func (e *Engine) record(k dep.Key, t dep.Type, carriedAt prog.LoopID, reduction,
 		agg = newLoopAgg()
 		e.loops[carriedAt] = agg
 	}
-	ck := agg.keys[k]
-	if ck == nil {
-		ck = &carriedKey{allRed: true}
-		agg.keys[k] = ck
-	}
-	ck.allRed = ck.allRed && reduction
+	ck := agg.keys.Ref(k) // fresh records start Reduction (= allRed) true
+	ck.Reduction = ck.Reduction && reduction
 	if t == dep.RAW {
 		if agg.minRAWDist == 0 || dist < agg.minRAWDist {
 			agg.minRAWDist = dist
@@ -296,11 +292,11 @@ func (e *Engine) ProcessChunk(c *event.Chunk) {
 // summary renders one loop's aggregate as a LoopDeps row.
 func (agg *loopAgg) summary() *LoopDeps {
 	ld := &LoopDeps{MinRAWDist: agg.minRAWDist}
-	for k, ck := range agg.keys {
+	agg.keys.Range(func(k dep.Key, ck dep.Stats) bool {
 		switch k.Type {
 		case dep.RAW:
 			ld.CarriedRAW++
-			if ck.allRed {
+			if ck.Reduction {
 				ld.CarriedRAWRed++
 			}
 		case dep.WAR:
@@ -308,7 +304,8 @@ func (agg *loopAgg) summary() *LoopDeps {
 		case dep.WAW:
 			ld.CarriedWAW++
 		}
-	}
+		return true
+	})
 	return ld
 }
 
@@ -330,21 +327,20 @@ func loopDepsOf(aggs map[prog.LoopID]*loopAgg) map[prog.LoopID]*LoopDeps {
 // sets: the same dependence key can surface on several workers (same source
 // lines, different addresses) and must count once, exactly as in a serial
 // run. Reduction eligibility is the AND over all instances, so per-worker
-// flags combine with AND.
+// flags combine with AND — which is exactly Set.Merge's Reduction fold.
+// mergeLoopAggs consumes src: a loop seen only there moves into dst whole,
+// a shared loop's key slabs are folded and released. Both folds are
+// commutative and associative, so the merge stage's tree reduction applies
+// it in any pairing order.
 func mergeLoopAggs(dst, src map[prog.LoopID]*loopAgg) {
 	for id, s := range src {
 		d := dst[id]
 		if d == nil {
-			d = &loopAgg{keys: make(map[dep.Key]*carriedKey, len(s.keys))}
-			dst[id] = d
+			dst[id] = s
+			continue
 		}
-		for k, ck := range s.keys {
-			if dc := d.keys[k]; dc != nil {
-				dc.allRed = dc.allRed && ck.allRed
-			} else {
-				d.keys[k] = &carriedKey{allRed: ck.allRed}
-			}
-		}
+		d.keys.Merge(s.keys)
+		s.keys.Release()
 		if d.minRAWDist == 0 || (s.minRAWDist > 0 && s.minRAWDist < d.minRAWDist) {
 			d.minRAWDist = s.minRAWDist
 		}

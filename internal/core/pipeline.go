@@ -593,17 +593,20 @@ const chunkBytes = event.ChunkSize*48 + event.MaxRangesPerChunk*64 + 64
 // where concurrent producers keep no shared counter).
 //
 // "This step incurs only minor overhead since the local maps are free of
-// duplicates" (§IV). Loop aggregates merge at key-set granularity: the same
-// carried key may surface on several workers (same source lines, different
-// addresses) and must not be double-counted.
+// duplicates" (§IV) — true for one process, not for a daemon draining
+// sessions with millions of distinct dependences across many workers, so the
+// fold is a parallel tree reduction (see mergeTree) instead of a serial
+// loop. Loop aggregates merge at key-set granularity: the same carried key
+// may surface on several workers (same source lines, different addresses)
+// and must not be double-counted.
 func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *Result {
 	var mergeT0 time.Time
 	if p.m != nil {
 		mergeT0 = time.Now()
 	}
-	res := &Result{Deps: dep.NewSet(), Stats: stats}
-	aggs := make(map[prog.LoopID]*loopAgg)
+	res := &Result{Stats: stats}
 	stores := make([]sig.Store, 0, len(p.workers))
+	nodes := make([]*mergeNode, 0, len(p.workers))
 	for _, w := range p.workers {
 		if sumAccesses {
 			res.Stats.Accesses += w.events
@@ -612,8 +615,10 @@ func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *R
 			res.WorkerEvents = append(res.WorkerEvents, w.events)
 			res.Stats.QueueBytes += w.tr.memBytes()
 		}
-		res.Deps.Merge(w.eng.Deps())
-		mergeLoopAggs(aggs, w.eng.loops)
+		// The worker's set and loop table are stolen, not copied: the
+		// pipeline is past its flush barrier and the engines are done, so
+		// the reduction may consume them in place.
+		nodes = append(nodes, &mergeNode{deps: w.eng.Deps(), aggs: w.eng.loops})
 		res.Stats.StoreBytes += w.eng.Store().Bytes()
 		res.Stats.StoreModeledBytes += w.eng.Store().ModeledBytes()
 		hits, probes := w.eng.CacheStats()
@@ -621,12 +626,13 @@ func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *R
 		res.Stats.DepCacheProbes += probes
 		stores = append(stores, w.eng.Store())
 	}
-	res.Loops = loopDepsOf(aggs)
 	res.Stats.QueueBytes += queueBytes
 	if p.m != nil {
 		// Final telemetry publication: each worker adds only the delta beyond
 		// what it already published in flight (the workers have joined, so
-		// their local state is safe to read here).
+		// their local state is safe to read here). Published before the tree
+		// reduction, so a scrape that lands during a long merge of a large
+		// profile already reads the final counters and occupancy gauges.
 		for i, w := range p.workers {
 			w.publishTelemetry()
 			if w.tr == nil {
@@ -637,9 +643,88 @@ func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *R
 			}
 		}
 		publishOccupancy(p.m, stores...)
+	}
+	root := mergeTree(nodes)
+	res.Deps = root.deps
+	res.Loops = loopDepsOf(root.aggs)
+	if p.m != nil {
 		p.m.StageMergeNs.Observe(time.Since(mergeT0).Nanoseconds())
 	}
 	return res
+}
+
+// mergeNode pairs one reduction operand's dependence set with its loop
+// aggregates so both fold at the same tree level.
+type mergeNode struct {
+	deps *dep.Set
+	aggs map[prog.LoopID]*loopAgg
+}
+
+// mergeTree unions the worker results by parallel tree reduction: each round
+// merges adjacent pairs concurrently, halving the live set, so end-of-run
+// latency is O(log W) rounds instead of the serial fold's O(W) — and each
+// round's pair merges run on their own goroutines, putting the idle cores
+// that just finished consuming events back to work. Rounds write into a
+// fresh slice (never in place) so no goroutine reads a slot another is
+// writing. The per-dependence and per-loop-key folds are commutative and
+// associative, so the tree's result is exactly the serial fold's; the core
+// equivalence tests and the dep package's merge fuzzer pin that.
+func mergeTree(nodes []*mergeNode) *mergeNode {
+	if len(nodes) == 0 {
+		return &mergeNode{deps: dep.NewSet(), aggs: make(map[prog.LoopID]*loopAgg)}
+	}
+	// On a single processor the rounds cannot overlap and the tree re-folds
+	// a pair's entries at every level it survives; a flat fold into the
+	// largest worker's set does strictly less work, so take that path.
+	if runtime.GOMAXPROCS(0) == 1 {
+		big := 0
+		for i, n := range nodes {
+			if n.deps.Unique() > nodes[big].deps.Unique() {
+				big = i
+			}
+		}
+		acc := nodes[big]
+		for i, n := range nodes {
+			if i != big {
+				acc.deps.Merge(n.deps)
+				n.deps.Release()
+				mergeLoopAggs(acc.aggs, n.aggs)
+			}
+		}
+		return acc
+	}
+	for len(nodes) > 1 {
+		half := len(nodes) / 2
+		next := make([]*mergeNode, half, half+1)
+		var wg sync.WaitGroup
+		for i := 0; i < half; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				next[i] = mergePairNodes(nodes[2*i], nodes[2*i+1])
+			}(i)
+		}
+		wg.Wait()
+		if len(nodes)%2 == 1 {
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+// mergePairNodes folds the smaller dependence set into the larger (stealing
+// the big one as accumulator minimizes Ref misses and index regrows) and
+// releases the consumed set's slab pages for reuse. Loop aggregates fold the
+// same direction; both folds are order-insensitive.
+func mergePairNodes(a, b *mergeNode) *mergeNode {
+	if b.deps.Unique() > a.deps.Unique() {
+		a, b = b, a
+	}
+	a.deps.Merge(b.deps)
+	b.deps.Release()
+	mergeLoopAggs(a.aggs, b.aggs)
+	return a
 }
 
 // ownerOf is the modulo rule of Equation 1. The paper uses `address % W` on

@@ -1,6 +1,7 @@
 package dep
 
 import (
+	"bytes"
 	"testing"
 
 	"ddprof/internal/loc"
@@ -179,6 +180,68 @@ func TestDiff(t *testing.T) {
 	a2.Add(shared, false, false, false)
 	if !Diff(a2, b2).Identical() {
 		t.Error("count differences must not affect Diff")
+	}
+}
+
+// TestDiffStreams pins the streaming merge-join against the in-memory Diff
+// for sets with asymmetric keys and unequal sizes, plus empty-vs-nonempty
+// and identical streams.
+func TestDiffStreams(t *testing.T) {
+	tab := loc.NewTable()
+	encodeOf := func(s *Set) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, s, tab, nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	streamDiff := func(a, b *Set) DiffResult {
+		da, err := NewDecoder(bytes.NewReader(encodeOf(a)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := NewDecoder(bytes.NewReader(encodeOf(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DiffStreams(da, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	same := func(x, y DiffResult) bool {
+		if x.Common != y.Common || len(x.OnlyA) != len(y.OnlyA) || len(x.OnlyB) != len(y.OnlyB) {
+			return false
+		}
+		for i := range x.OnlyA {
+			if x.OnlyA[i] != y.OnlyA[i] {
+				return false
+			}
+		}
+		for i := range x.OnlyB {
+			if x.OnlyB[i] != y.OnlyB[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	a, b := NewSet(), NewSet()
+	for i := 0; i < 30; i++ {
+		a.Add(key(Type(i%3), i, i/2, 1), false, false, false)
+	}
+	for i := 15; i < 45; i++ { // overlaps a on [15,30)
+		b.Add(key(Type(i%3), i, i/2, 1), false, false, false)
+	}
+	for _, c := range []struct{ x, y *Set }{
+		{a, b}, {b, a}, {a, a}, {a, NewSet()}, {NewSet(), b}, {NewSet(), NewSet()},
+	} {
+		want := Diff(c.x, c.y)
+		got := streamDiff(c.x, c.y)
+		if !same(got, want) {
+			t.Fatalf("stream diff diverges: got %+v, want %+v", got, want)
+		}
 	}
 }
 

@@ -1,6 +1,10 @@
 package dep
 
-import "sort"
+import (
+	"fmt"
+	"io"
+	"sort"
+)
 
 // DiffResult lists the dependence keys present in one set but not the other
 // — the tool behind input-sensitivity studies (paper §I: profiles from
@@ -44,4 +48,65 @@ func (r DiffResult) Identical() bool {
 
 func sortKeys(ks []Key) {
 	sort.Slice(ks, func(i, j int) bool { return lessKey(ks[i], ks[j]) })
+}
+
+// DiffStreams merge-joins two binary-profile record streams by key without
+// materializing either profile as a Set: the DDP1 format writes records in
+// canonical lessKey order, so one record of lookahead per side suffices.
+// Both streams must honor that ordering; a record out of order is reported
+// as an error rather than silently misclassified. OnlyA/OnlyB come out
+// already sorted (inherited from the streams).
+func DiffStreams(a, b *Decoder) (DiffResult, error) {
+	var r DiffResult
+	type head struct {
+		k  Key
+		ok bool
+	}
+	var ha, hb head
+	advance := func(d *Decoder, h *head, name string) error {
+		k, _, err := d.Next()
+		if err == io.EOF {
+			h.ok = false
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if h.ok && !lessKey(h.k, k) {
+			return fmt.Errorf("dep: profile %s not in canonical order", name)
+		}
+		h.k, h.ok = k, true
+		return nil
+	}
+	// Prime both heads; the order check needs the previous key, so reset ok
+	// around the first pull.
+	if err := advance(a, &ha, "a"); err != nil {
+		return r, err
+	}
+	if err := advance(b, &hb, "b"); err != nil {
+		return r, err
+	}
+	for ha.ok || hb.ok {
+		switch {
+		case !hb.ok || (ha.ok && lessKey(ha.k, hb.k)):
+			r.OnlyA = append(r.OnlyA, ha.k)
+			if err := advance(a, &ha, "a"); err != nil {
+				return r, err
+			}
+		case !ha.ok || lessKey(hb.k, ha.k):
+			r.OnlyB = append(r.OnlyB, hb.k)
+			if err := advance(b, &hb, "b"); err != nil {
+				return r, err
+			}
+		default:
+			r.Common++
+			if err := advance(a, &ha, "a"); err != nil {
+				return r, err
+			}
+			if err := advance(b, &hb, "b"); err != nil {
+				return r, err
+			}
+		}
+	}
+	return r, nil
 }

@@ -2,6 +2,9 @@ package dep
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -134,6 +137,144 @@ func TestDecodeImplausibleCounts(t *testing.T) {
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // ~2^34
 	if _, _, _, err := Decode(&buf); err == nil || !strings.Contains(err.Error(), "implausible") {
 		t.Errorf("huge count not rejected: %v", err)
+	}
+}
+
+// TestGoldenBinaryRoundTrip pins the wire format: the canonical encoding of
+// the rich set must keep this exact digest (recorded from the pre-slab
+// map-backed encoder, so the format survived the storage rewrite), and the
+// streaming Decoder must read back every record in canonical order.
+func TestGoldenBinaryRoundTrip(t *testing.T) {
+	const golden = "76be746a4a27f8a5bb20939bd007c9847dcc37ff6874c8acd04ea6b002c0a6e8"
+	s, tab, loops := buildRichSet()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())); got != golden {
+		t.Fatalf("wire format changed: digest %s, want %s", got, golden)
+	}
+
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != s.Unique() {
+		t.Fatalf("decoder Len %d, want %d", d.Len(), s.Unique())
+	}
+	if len(d.Loops()) != len(loops) || d.Loops()[0] != loops[0] {
+		t.Fatalf("decoder loops %+v, want %+v", d.Loops(), loops)
+	}
+	var prev Key
+	n := 0
+	for {
+		k, st, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 && !lessKey(prev, k) {
+			t.Fatalf("record %d out of canonical order: %+v then %+v", n, prev, k)
+		}
+		prev = k
+		want, ok := s.Lookup(k)
+		if !ok || want != st {
+			t.Fatalf("record %d: stats %+v, want %+v (ok=%v)", n, st, want, ok)
+		}
+		n++
+	}
+	if n != s.Unique() {
+		t.Fatalf("streamed %d records, want %d", n, s.Unique())
+	}
+	if _, _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF: %v", err)
+	}
+}
+
+func TestDecodeMergeFoldsIntoExisting(t *testing.T) {
+	s, tab, loops := buildRichSet()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	// Decoding the same profile twice into one accumulator must double every
+	// count and instance but keep the key population fixed.
+	acc := NewSet()
+	for i := 0; i < 2; i++ {
+		if _, _, err := DecodeMerge(bytes.NewReader(buf.Bytes()), acc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Unique() != s.Unique() {
+		t.Fatalf("unique %d, want %d", acc.Unique(), s.Unique())
+	}
+	if acc.Instances() != 2*s.Instances() {
+		t.Fatalf("instances %d, want %d", acc.Instances(), 2*s.Instances())
+	}
+	s.Range(func(k Key, st Stats) bool {
+		got, ok := acc.Lookup(k)
+		if !ok {
+			t.Fatalf("lost %+v", k)
+		}
+		if got.Count != 2*st.Count || got.MinDist != st.MinDist || got.MaxDist != st.MaxDist {
+			t.Fatalf("fold wrong for %+v: %+v from %+v", k, got, st)
+		}
+		return true
+	})
+}
+
+func TestEncodeUnionMatchesSerialMerge(t *testing.T) {
+	a, tab, loops := buildRichSet()
+	b := NewSet()
+	for i := 0; i < 40; i++ { // half-overlapping second shard
+		k := Key{Type: Type(i % 4), Sink: loc.Pack(1, 1+i%9), Src: loc.Pack(1, 1+i%6),
+			Var: tab.Var([]string{"alpha", "beta", "gamma"}[i%3])}
+		b.AddDist(k, i%2 == 1, i%5 == 0, false, uint32(i%3))
+	}
+	uniqA, uniqB := a.Unique(), b.Unique()
+	merged := NewSet()
+	merged.Merge(a)
+	merged.Merge(b)
+	var want, got bytes.Buffer
+	if err := Encode(&want, merged, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeUnion(&got, tab, loops, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("EncodeUnion not byte-identical to Encode of the serial merge")
+	}
+	// The inputs must be untouched.
+	if a.Unique() != uniqA || b.Unique() != uniqB {
+		t.Fatalf("EncodeUnion modified its shards: %d/%d, %d/%d", a.Unique(), uniqA, b.Unique(), uniqB)
+	}
+}
+
+func TestDecoderTruncatedMidRecord(t *testing.T) {
+	s, tab, loops := buildRichSet()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, tab, loops); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()[:buf.Len()-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, err := d.Next()
+		if err == nil {
+			continue
+		}
+		if err == io.EOF {
+			t.Fatal("truncated stream read cleanly to EOF")
+		}
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+		}
+		break
 	}
 }
 

@@ -76,7 +76,7 @@ func Write(w io.Writer, s *Set, tab *loc.Table, loops []LoopRecord, opt WriterOp
 		for _, k := range ks {
 			st, _ := s.Lookup(k)
 			b.WriteByte(' ')
-			b.WriteString(entry(k, st, tab, opt))
+			b.WriteString(formatEntry(k, st, tab, opt))
 		}
 		lines = append(lines, outLine{l: sk.l, thr: sk.thr, order: 1, text: b.String()})
 	}
@@ -105,8 +105,8 @@ func Write(w io.Writer, s *Set, tab *loc.Table, loops []LoopRecord, opt WriterOp
 	return nil
 }
 
-// entry renders one "{TYPE source|var}" element.
-func entry(k Key, st Stats, tab *loc.Table, opt WriterOptions) string {
+// formatEntry renders one "{TYPE source|var}" element.
+func formatEntry(k Key, st Stats, tab *loc.Table, opt WriterOptions) string {
 	var b strings.Builder
 	b.WriteByte('{')
 	b.WriteString(k.Type.String())

@@ -90,6 +90,90 @@ func FuzzFastUpdate(f *testing.F) {
 	})
 }
 
+// FuzzSetMergeEquivalence pins the parallel tree merge (MergeShards) and the
+// streaming union encoder (EncodeUnion) byte-identical — via the canonical
+// encoding — to the old serial fold, for arbitrary shard populations:
+// empty and singleton shards, keys hitting Reduction/MinDist/MaxDist edge
+// cases, and keys shared across shards in any combination.
+func FuzzSetMergeEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{7, 1, 2, 3, 4, 5, 6, 0, 6, 5, 4, 3, 2, 1})
+	f.Add([]byte{3, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 2, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nShards := 1
+		if len(data) > 0 {
+			nShards = int(data[0]%8) + 1 // 1..8 shards, some left empty
+			data = data[1:]
+		}
+		// Two independent builds of the same shard population: the tree
+		// merge consumes its inputs, the serial reference must not share
+		// storage with it.
+		build := func() []*Set {
+			shards := make([]*Set, nShards)
+			for i := range shards {
+				shards[i] = NewSet()
+			}
+			d := data
+			for len(d) >= 7 {
+				op := d[:7]
+				d = d[7:]
+				k := Key{
+					Type:       Type(op[1] % 4),
+					Sink:       loc.SourceLoc(op[2] % 16),
+					Src:        loc.SourceLoc(op[3] % 16),
+					Var:        loc.VarID(op[4] % 8),
+					SinkThread: int16(op[4]>>6) - 1, // includes the -1 "no thread"
+					SrcThread:  int16(op[4] >> 7),
+				}
+				carried := op[5]&1 != 0
+				reduction := op[5]&2 != 0
+				reversed := op[5]&4 != 0
+				dist := uint32(op[5] >> 3)
+				if op[6]&1 != 0 {
+					dist = ^uint32(0) >> uint32(op[6]%31) // large distances
+				}
+				shards[int(op[0])%nShards].AddDist(k, carried, reduction, reversed, dist)
+			}
+			return shards
+		}
+
+		tab := loc.NewTable()
+		encode := func(s *Set) []byte {
+			var buf bytes.Buffer
+			if err := Encode(&buf, s, tab, nil); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			return buf.Bytes()
+		}
+
+		ref := build()
+		serial := NewSet()
+		for _, sh := range ref {
+			serial.Merge(sh)
+		}
+		want := encode(serial)
+
+		// Streaming union over the untouched reference shards.
+		var union bytes.Buffer
+		if err := EncodeUnion(&union, tab, nil, ref...); err != nil {
+			t.Fatalf("EncodeUnion: %v", err)
+		}
+		if !bytes.Equal(union.Bytes(), want) {
+			t.Fatalf("EncodeUnion diverges from serial fold:\n union %x\nserial %x", union.Bytes(), want)
+		}
+
+		// Parallel tree reduction over a second, identical build.
+		tree := MergeShards(build())
+		if got := encode(tree); !bytes.Equal(got, want) {
+			t.Fatalf("MergeShards diverges from serial fold:\n  tree %x\nserial %x", got, want)
+		}
+		if tree.Instances() != serial.Instances() {
+			t.Fatalf("instances: tree %d, serial %d", tree.Instances(), serial.Instances())
+		}
+	})
+}
+
 // FuzzDecode hardens the binary codec: arbitrary bytes must never panic or
 // over-allocate.
 func FuzzDecode(f *testing.F) {

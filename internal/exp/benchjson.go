@@ -55,6 +55,25 @@ var benchMeta = map[string]struct{ Workload, Pattern string }{
 	"threaded/vm":          {"producer-threaded", "threaded+locks"},
 	"threaded-sink/interp": {"producer-threaded", "threaded+locks"},
 	"threaded-sink/vm":     {"producer-threaded", "threaded+locks"},
+
+	// BenchmarkMerge's workers × distinct-deps × overlap matrix: "serial" is
+	// the old one-worker-at-a-time fold, "tree" the parallel tree reduction
+	// on the merge stage now; events/s counts merged source entries (see
+	// bench_test.go).
+	"w4-d64k-ov50/serial":  {"merge-stage", "4-shard fold, 50% overlap"},
+	"w4-d64k-ov50/tree":    {"merge-stage", "4-shard fold, 50% overlap"},
+	"w8-d64k-ov50/serial":  {"merge-stage", "8-shard fold, 50% overlap"},
+	"w8-d64k-ov50/tree":    {"merge-stage", "8-shard fold, 50% overlap"},
+	"w16-d64k-ov50/serial": {"merge-stage", "16-shard fold, 50% overlap"},
+	"w16-d64k-ov50/tree":   {"merge-stage", "16-shard fold, 50% overlap"},
+	"w8-d16k-ov50/serial":  {"merge-stage", "small profile, 50% overlap"},
+	"w8-d16k-ov50/tree":    {"merge-stage", "small profile, 50% overlap"},
+	"w8-d256k-ov50/serial": {"merge-stage", "large profile, 50% overlap"},
+	"w8-d256k-ov50/tree":   {"merge-stage", "large profile, 50% overlap"},
+	"w8-d64k-ov0/serial":   {"merge-stage", "disjoint shards"},
+	"w8-d64k-ov0/tree":     {"merge-stage", "disjoint shards"},
+	"w8-d64k-ov90/serial":  {"merge-stage", "near-duplicate shards"},
+	"w8-d64k-ov90/tree":    {"merge-stage", "near-duplicate shards"},
 }
 
 // BenchRun is one labelled benchmark invocation (e.g. "baseline" before a

@@ -400,13 +400,22 @@ func (s *Server) runSession(sess *session) error {
 		return fmt.Errorf("session pipeline: %w", err)
 	}
 	flushed := false
+	var res *core.Result
 	flush := func() *core.Result {
 		flushed = true
-		return prof.Flush()
+		res = prof.Flush()
+		return res
 	}
 	defer func() {
 		if !flushed {
 			flush() // join pipeline workers even on eviction
+		}
+		// The daemon lives through thousands of sessions: hand the merged
+		// set's slab pages back to the shared pool so the next session's
+		// workers fill recycled pages instead of re-growing from zero. The
+		// response bytes (if any) were already copied out of the set.
+		if res != nil && res.Deps != nil {
+			res.Deps.Release()
 		}
 	}()
 
@@ -450,7 +459,7 @@ func (s *Server) runSession(sess *session) error {
 	}
 
 	sess.state.Store(stateProfiling)
-	res := flush()
+	res = flush()
 
 	sess.state.Store(stateResponding)
 	tab := loc.NewTable()

@@ -202,8 +202,15 @@ func (g *Signature) Bytes() uint64 { return 2 * g.m * 24 }
 func (g *Signature) ModeledBytes() uint64 { return g.m * 4 }
 
 // Occupancy returns the fraction of non-empty write slots; used to validate
-// the paper's Eq. (2) collision-probability prediction.
+// the paper's Eq. (2) collision-probability prediction. With accuracy
+// tracking enabled the incrementally maintained slot count answers in O(1);
+// the untracked path scans the slot array, which the end-of-run occupancy
+// publication would otherwise pay O(m) per worker inside the merge stage.
+// The accuracy suite pins the two paths equal.
 func (g *Signature) Occupancy() float64 {
+	if g.trk != nil {
+		return float64(g.trk.occupied) / float64(g.m)
+	}
 	used := 0
 	for i := range g.writes {
 		if !g.writes[i].Empty() {
