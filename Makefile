@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt-check fuzz bench bench-producer bench-merge bench-gate
+.PHONY: all build vet test race check fmt-check fuzz bench bench-producer bench-merge bench-store bench-gate
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # merge over the dependence slabs, so that is where the detector earns its
 # keep.
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./internal/dep/ ./internal/queue/ ./internal/server/ ./internal/stride/ ./internal/vm/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/dep/ ./internal/hashtab/ ./internal/queue/ ./internal/server/ ./internal/shadow/ ./internal/stride/ ./internal/vm/
 
 # Formatting gate: fail with the offending diff if any file is not gofmt'd.
 fmt-check:
@@ -60,6 +60,13 @@ bench-merge:
 	$(GO) test -run=^$$ '-bench=^BenchmarkMerge$$/' -benchtime=1s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-label merge benchjson
 
+# Store-layer throughput: the same dense stream through a serial pipeline
+# under every access-history backend, recorded under the "store" label.
+# Re-record with this target after an intentional store/backend change.
+bench-store:
+	$(GO) test -run=^$$ '-bench=^BenchmarkStore$$/' -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/ddexp -bench-label store benchjson
+
 BENCH_BASELINE ?= hotpath
 bench-gate:
 	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=3 . \
@@ -68,10 +75,14 @@ bench-gate:
 		| $(GO) run ./cmd/ddexp -bench-compare producer benchjson
 	$(GO) test -run=^$$ '-bench=^BenchmarkMerge$$/.*/tree' -benchtime=1s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-compare merge benchjson
+	$(GO) test -run=^$$ '-bench=^BenchmarkStore$$/' -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/ddexp -bench-compare store benchjson
 
-# Short fuzz pass over the hardened decoders (trace, framing, server) and
-# the dependence-set fast-update API the instance cache relies on.
+# Short fuzz pass over the hardened decoders (trace, framing, server), the
+# dependence-set fast-update API the instance cache relies on, and the
+# backend spec parser every -backend flag and DDT1 handshake goes through.
 fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzBackendSpec -fuzztime=10s ./internal/sig/
 	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzRangeFrame -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/

@@ -443,7 +443,7 @@ func BenchmarkHotPath(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) {
 		run(b, stream, func() core.Profiler {
-			return core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewSignature(1 << 20) }, Meta: meta, Metrics: pipe})
+			return core.NewSerial(core.Config{SlotsPerWorker: 1 << 20, Meta: meta, Metrics: pipe})
 		})
 	})
 	b.Run("parallel4", par4(stream, meta, false))
@@ -480,6 +480,40 @@ func BenchmarkHotPath(b *testing.B) {
 				events += info.Accesses
 			}
 			b.ReportMetric(float64(events)/time.Since(start).Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkStore drives the identical dense hot-loop stream through a
+// serial pipeline under each registered access-history backend and reports
+// events/s, so backend implementations are directly comparable at the store
+// layer. The stream is the dense hotPathStream on purpose: sparse random
+// streams measure shadow's page-fill pathology, not store dispatch. `make
+// bench-store` records the matrix under the "store" label in
+// BENCH_pipeline.json; `make bench-gate` fails if the default signature
+// backend drops more than 10% below the committed baseline.
+func BenchmarkStore(b *testing.B) {
+	stream, meta := hotPathStream(1 << 16)
+	for _, backend := range []string{
+		"signature:slots=256k",
+		"perfect",
+		"shadow",
+		"hashtab",
+		"hybrid:slots=256k,exact=4096",
+		"hybrid:exact=0",
+	} {
+		name := strings.NewReplacer(":", "_", ",", "_", "=", "-").Replace(backend)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			prof := core.NewSerial(core.Config{Backend: backend, Meta: meta})
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prof.Access(stream[i%len(stream)])
+			}
+			prof.Flush()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "events/s")
 		})
 	}
 }

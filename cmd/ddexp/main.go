@@ -249,9 +249,14 @@ func main() {
 			fmt.Println(res.Heatmap)
 			return nil
 		},
-		"eq2":        func(o exp.Options) error { return render(exp.Eq2(o)) },
-		"merge":      func(o exp.Options) error { return render(exp.MergeAblation(o)) },
-		"stores":     func(o exp.Options) error { return render(exp.StoreAblation(o)) },
+		"eq2":   func(o exp.Options) error { return render(exp.Eq2(o)) },
+		"merge": func(o exp.Options) error { return render(exp.MergeAblation(o)) },
+		"stores": func(o exp.Options) error {
+			if err := render(exp.StoreAblation(o)); err != nil {
+				return err
+			}
+			return render(exp.StoreAccuracy(o))
+		},
 		"balance":    func(o exp.Options) error { return render(exp.Balance(o)) },
 		"sweep":      func(o exp.Options) error { return render(exp.Sweep(o, "rotate")) },
 		"throughput": func(o exp.Options) error { return render(exp.Throughput(o)) },

@@ -37,7 +37,7 @@ func run() int {
 		mode    = flag.String("mode", "serial", "profiler mode: serial | parallel | lockbased | mt")
 		workers = flag.Int("workers", 8, "profiling worker threads (parallel modes)")
 		slots   = flag.Int("slots", 1<<21, "total signature slots")
-		exact   = flag.Bool("exact", false, "use an exact store (perfect signature) instead of a real signature")
+		backend = flag.String("backend", "", "store backend spec: signature | perfect | shadow | hashtab | hybrid[:key=val,...] (default signature sized by -slots)")
 		scale   = flag.Float64("scale", 1, "workload problem-size multiplier")
 		threads = flag.Int("threads", 4, "target threads for -mode mt (pthread variants)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
@@ -122,10 +122,10 @@ func run() int {
 	}
 
 	if *remote != "" {
-		return runRemote(prog, isMT || *mode == "mt", w, *remote, *workers, *exact, *useTW, *summary, *format)
+		return runRemote(prog, isMT || *mode == "mt", w, *remote, *workers, *backend, *useTW, *summary, *format)
 	}
 
-	cfg := ddprof.Config{Workers: *workers, Slots: *slots, Exact: *exact, Interp: *useTW}
+	cfg := ddprof.Config{Workers: *workers, Slots: *slots, Backend: *backend, Interp: *useTW}
 	switch *mode {
 	case "serial":
 		cfg.Mode = ddprof.ModeSerial
@@ -178,7 +178,7 @@ func run() int {
 
 // runRemote executes the target locally while streaming its trace to a
 // ddprofd daemon, then renders the dependence set the daemon returned.
-func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers int, exact, useTW, summary bool, format string) int {
+func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers int, backend string, useTW, summary bool, format string) int {
 	conn, err := server.Dial(addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddprof:", err)
@@ -187,7 +187,7 @@ func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers 
 	defer conn.Close()
 	rr, err := server.ProfileRemote(conn, prog, server.ClientOptions{
 		Workers: workers,
-		Exact:   exact,
+		Backend: backend,
 		MT:      mt,
 		Interp:  useTW,
 	})

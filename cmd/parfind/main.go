@@ -19,9 +19,10 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("workload", "CG", "workload name")
-		scale = flag.Float64("scale", 1, "workload problem-size multiplier")
-		slots = flag.Int("slots", 1<<21, "total signature slots (0 = exact store)")
+		name    = flag.String("workload", "CG", "workload name")
+		scale   = flag.Float64("scale", 1, "workload problem-size multiplier")
+		slots   = flag.Int("slots", 1<<21, "total signature slots")
+		backend = flag.String("backend", "", "store backend spec: signature | perfect | shadow | hashtab | hybrid[:key=val,...]")
 	)
 	flag.Parse()
 
@@ -31,11 +32,7 @@ func main() {
 		os.Exit(2)
 	}
 	prog := w.Build(workloads.Config{Scale: *scale})
-	cfg := ddprof.Config{Mode: ddprof.ModeParallel, Slots: *slots}
-	if *slots == 0 {
-		cfg.Exact = true
-		cfg.Slots = 1
-	}
+	cfg := ddprof.Config{Mode: ddprof.ModeParallel, Slots: *slots, Backend: *backend}
 	res, err := ddprof.Profile(prog, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parfind:", err)

@@ -41,7 +41,7 @@ func buildVariant(v int) *ddprof.Program {
 func TestConcurrentProfileIsolation(t *testing.T) {
 	const variants = 4
 	cfg := func(mode ddprof.Mode) ddprof.Config {
-		return ddprof.Config{Mode: mode, Workers: 2, Exact: true}
+		return ddprof.Config{Mode: mode, Workers: 2, Backend: "perfect"}
 	}
 
 	// Reference results, profiled one at a time.

@@ -40,7 +40,6 @@ import (
 	"ddprof/internal/dep"
 	"ddprof/internal/interp"
 	"ddprof/internal/minilang"
-	"ddprof/internal/sig"
 	"ddprof/internal/trace"
 	"ddprof/internal/vm"
 )
@@ -132,12 +131,16 @@ type Config struct {
 	// default 8).
 	Workers int
 	// Slots is the total signature slot budget, split evenly over workers.
-	// 0 selects 2^21 total. Use Exact to bypass signatures entirely.
+	// 0 selects 2^21 total. Backend specs with explicit slot parameters
+	// override it.
 	Slots int
-	// Exact replaces signatures with an exact per-address table (the
-	// paper's "perfect signature") — no false positives or negatives, at
-	// unbounded memory.
-	Exact bool
+	// Backend selects the access-history store by spec string, resolved
+	// through the sig backend registry: "signature" (the default when
+	// empty), "perfect", "shadow", "hashtab", or
+	// "hybrid:slots=1m,exact=4096". Exact backends trade unbounded memory
+	// for zero false positives; the hybrid keeps heavy-hitter addresses
+	// exact and the long tail in signatures.
+	Backend string
 	// Redistribute checks heavy-hitter load balance every N chunks
 	// (paper §IV-A: every 50,000 chunks, the default when 0); -1 disables
 	// redistribution entirely.
@@ -203,11 +206,9 @@ func Profile(p *Program, cfg Config) (*Result, error) {
 	ccfg := core.Config{
 		Workers:           workers,
 		SlotsPerWorker:    slots / workers,
+		Backend:           cfg.Backend,
 		Meta:              p.Meta,
 		RedistributeEvery: redistribute,
-	}
-	if cfg.Exact {
-		ccfg.NewStore = func() sig.Store { return sig.NewPerfectSignature() }
 	}
 	iopt := interp.Options{}
 	switch cfg.Mode {
@@ -333,11 +334,15 @@ func ProfileTrace(r io.Reader, cfg Config) (*dep.Set, error) {
 	if slots <= 0 {
 		slots = 1 << 21
 	}
-	ccfg := core.Config{SlotsPerWorker: slots, RaceCheck: cfg.Mode == ModeMT}
-	if cfg.Exact {
-		ccfg.NewStore = func() sig.Store { return sig.NewPerfectSignature() }
+	ccfg := core.Config{
+		SlotsPerWorker: slots,
+		Backend:        cfg.Backend,
+		RaceCheck:      cfg.Mode == ModeMT,
 	}
-	prof := core.NewSerial(ccfg)
+	prof, err := core.New(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("ddprof: %w", err)
+	}
 	if _, err := trace.Replay(r, prof.Access); err != nil {
 		return nil, err
 	}

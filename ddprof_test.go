@@ -46,7 +46,7 @@ func TestProfileModes(t *testing.T) {
 }
 
 func TestProfileExactMatchesSignature(t *testing.T) {
-	exact, err := ddprof.Profile(buildDemo(), ddprof.Config{Exact: true})
+	exact, err := ddprof.Profile(buildDemo(), ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestProfileExactMatchesSignature(t *testing.T) {
 }
 
 func TestWriteDepsFormat(t *testing.T) {
-	res, err := ddprof.Profile(buildDemo(), ddprof.Config{Exact: true})
+	res, err := ddprof.Profile(buildDemo(), ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestProfileUnion(t *testing.T) {
 			return p
 		}
 	}
-	cfg := ddprof.Config{Exact: true}
+	cfg := ddprof.Config{Backend: "perfect"}
 
 	clean, err := ddprof.Profile(build(0)(), cfg)
 	if err != nil {
@@ -203,7 +203,7 @@ func TestProfileUnion(t *testing.T) {
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
-	res, err := ddprof.Profile(buildDemo(), ddprof.Config{Exact: true})
+	res, err := ddprof.Profile(buildDemo(), ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,11 +253,11 @@ func TestRecordAndProfileTrace(t *testing.T) {
 	if n == 0 {
 		t.Fatal("no events recorded")
 	}
-	live, err := ddprof.Profile(buildDemo(), ddprof.Config{Exact: true})
+	live, err := ddprof.Profile(buildDemo(), ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	set, err := ddprof.ProfileTrace(strings.NewReader(buf.String()), ddprof.Config{Exact: true})
+	set, err := ddprof.ProfileTrace(strings.NewReader(buf.String()), ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ func ExampleProfile() {
 				l.Set("a", ddprof.V("i"), ddprof.Mul(ddprof.V("i"), ddprof.V("i")))
 			})
 	})
-	res, err := ddprof.Profile(p, ddprof.Config{Mode: ddprof.ModeSerial, Exact: true})
+	res, err := ddprof.Profile(p, ddprof.Config{Mode: ddprof.ModeSerial, Backend: "perfect"})
 	if err != nil {
 		panic(err)
 	}
@@ -37,7 +37,7 @@ func ExampleResult_WriteDeps() {
 		b.Decl("x", ddprof.Ci(1))                            // line 1
 		b.Decl("y", ddprof.Add(ddprof.V("x"), ddprof.Ci(1))) // line 2
 	})
-	res, err := ddprof.Profile(p, ddprof.Config{Exact: true})
+	res, err := ddprof.Profile(p, ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		panic(err)
 	}
@@ -66,7 +66,7 @@ func ExampleProfileUnion() {
 	}
 	union, err := ddprof.ProfileUnion(
 		[]func() *ddprof.Program{build(0), build(1)},
-		ddprof.Config{Exact: true})
+		ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		panic(err)
 	}

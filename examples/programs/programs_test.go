@@ -35,7 +35,7 @@ func TestSamplesParseAndProfile(t *testing.T) {
 			if strings.Contains(string(src), "spawn") {
 				mode = ddprof.ModeMT
 			}
-			res, err := ddprof.Profile(p, ddprof.Config{Mode: mode, Workers: 4, Exact: true})
+			res, err := ddprof.Profile(p, ddprof.Config{Mode: mode, Workers: 4, Backend: "perfect"})
 			if err != nil {
 				t.Fatalf("profile: %v", err)
 			}
@@ -69,7 +69,7 @@ func TestStencilDoacross(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ddprof.Profile(p, ddprof.Config{Exact: true})
+	res, err := ddprof.Profile(p, ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		t.Fatal(err)
 	}

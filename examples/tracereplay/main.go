@@ -25,7 +25,7 @@ func main() {
 		n, prog.Name, buf.Len(), float64(buf.Len())/float64(n))
 
 	// Ground truth from an exact store.
-	truth, err := ddprof.ProfileTrace(bytes.NewReader(buf.Bytes()), ddprof.Config{Exact: true})
+	truth, err := ddprof.ProfileTrace(bytes.NewReader(buf.Bytes()), ddprof.Config{Backend: "perfect"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,15 +9,14 @@ import (
 	"ddprof/internal/interp"
 	"ddprof/internal/loc"
 	. "ddprof/internal/minilang"
-	"ddprof/internal/sig"
 )
 
 // profileProgram runs p under a perfect-signature serial profiler.
 func profileProgram(t *testing.T, p *Program) (*interp.RunInfo, *core.Result) {
 	t.Helper()
 	prof := core.NewSerial(core.Config{
-		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-		Meta:     p.Meta,
+		Backend: "perfect",
+		Meta:    p.Meta,
 	})
 	info, err := interp.Run(p, prof, interp.Options{})
 	if err != nil {
@@ -135,7 +134,7 @@ func TestCommunicationEndToEnd(t *testing.T) {
 			})
 		})
 	})
-	prof := core.NewMT(core.Config{Workers: 2, NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	prof := core.NewMT(core.Config{Workers: 2, Backend: "perfect"})
 	if _, err := interp.Run(p, prof, interp.Options{Timestamps: true}); err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,6 @@ import (
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
 	"ddprof/internal/prog"
-	"ddprof/internal/sig"
 )
 
 // equivStream is one workload of the fast-vs-slow equivalence suite: a
@@ -179,7 +178,7 @@ func TestFastSlowEquivalence(t *testing.T) {
 		t.Run(s.name, func(t *testing.T) {
 			mk := func(kind string, noFast bool) Profiler {
 				cfg := Config{
-					NewStore:   func() sig.Store { return sig.NewPerfectSignature() },
+					Backend:    "perfect",
 					Meta:       s.meta,
 					NoFastPath: noFast,
 				}
@@ -221,14 +220,14 @@ func TestSerialParallelLoopDepsEquivalence(t *testing.T) {
 		s := s
 		t.Run(s.name, func(t *testing.T) {
 			serial := feed(NewSerial(Config{
-				NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-				Meta:     s.meta,
+				Backend: "perfect",
+				Meta:    s.meta,
 			}), s.evs)
 			for _, workers := range []int{2, 3, 4} {
 				par := feed(NewParallel(Config{
 					Workers:  workers,
 					QueueCap: 4,
-					NewStore: func() sig.Store { return sig.NewPerfectSignature() },
+					Backend:  "perfect",
 					Meta:     s.meta,
 				}), s.evs)
 				requireSameProfile(t, fmt.Sprintf("%s/%dw", s.name, workers), serial, par)
@@ -258,9 +257,9 @@ func TestLoopDepsNoDoubleCountAcrossWorkers(t *testing.T) {
 
 	for _, workers := range []int{1, 2, 4, 8} {
 		res := feed(NewParallel(Config{
-			Workers:  workers,
-			NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-			Meta:     m,
+			Workers: workers,
+			Backend: "perfect",
+			Meta:    m,
 		}), evs)
 		ld := res.Loops[l]
 		if ld == nil {
@@ -279,8 +278,8 @@ func TestLoopDepsNoDoubleCountAcrossWorkers(t *testing.T) {
 // migration control pushes must land in ControlChunks, never in Chunks.
 func TestControlChunksNotCountedAsData(t *testing.T) {
 	p := NewParallel(Config{
-		Workers:  2,
-		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
+		Workers: 2,
+		Backend: "perfect",
 	})
 	p.Access(event.Access{Addr: 0x100, Kind: event.Write, Loc: loc.Pack(1, 1)})
 	p.Access(event.Access{Addr: 0x108, Kind: event.Write, Loc: loc.Pack(1, 2)})

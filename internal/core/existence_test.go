@@ -6,7 +6,6 @@ import (
 	"ddprof/internal/dep"
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
-	"ddprof/internal/sig"
 )
 
 func TestExistenceBasicPairs(t *testing.T) {
@@ -85,7 +84,7 @@ func TestRoundRobinBalancesSkewedStreams(t *testing.T) {
 		evs = append(evs, event.Access{Addr: a, Kind: k, Loc: loc.Pack(1, 1+i%20)})
 	}
 
-	p := NewParallel(Config{Workers: 4, NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	p := NewParallel(Config{Workers: 4, Backend: "perfect"})
 	for _, a := range evs {
 		p.Access(a)
 	}

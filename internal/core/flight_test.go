@@ -14,7 +14,7 @@ import (
 )
 
 func TestSampleEveryValidation(t *testing.T) {
-	if _, err := New(Config{Mode: ModeParallel, SampleEvery: -1, NewStore: perfectStore}); err == nil {
+	if _, err := New(Config{Mode: ModeParallel, SampleEvery: -1, Backend: "perfect"}); err == nil {
 		t.Fatal("negative SampleEvery accepted")
 	}
 	cfg, err := Config{}.normalize(ModeParallel)
@@ -31,7 +31,7 @@ func TestParallelStageHistograms(t *testing.T) {
 	pipe := reg.Pipeline("t")
 	p := NewParallel(Config{
 		Workers:     2,
-		NewStore:    perfectStore,
+		Backend:     "perfect",
 		Metrics:     pipe,
 		SampleEvery: 1, // time every chunk so a small stream populates all stages
 	})
@@ -162,7 +162,7 @@ func TestTrackAccuracyConflicts(t *testing.T) {
 func TestTrackAccuracyExactStoreUnaffected(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	pipe := reg.Pipeline("t")
-	s := NewSerial(Config{NewStore: perfectStore, TrackAccuracy: true, Metrics: pipe})
+	s := NewSerial(Config{Backend: "perfect", TrackAccuracy: true, Metrics: pipe})
 	s.Access(event.Access{Addr: 0x1000, Kind: event.Write, Loc: loc.Pack(1, 1)})
 	s.Flush()
 	if pipe.SigFPRMeasuredPPM[0].Load() != 0 {

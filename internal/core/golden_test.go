@@ -14,7 +14,6 @@ import (
 	"ddprof/internal/interp"
 	"ddprof/internal/loc"
 	"ddprof/internal/prog"
-	"ddprof/internal/sig"
 	"ddprof/internal/vm"
 	"ddprof/internal/workloads"
 )
@@ -164,11 +163,10 @@ func goldenModes() []struct {
 	name string
 	run  func(meta *prog.Meta, evs []event.Access) string
 } {
-	perfect := func() sig.Store { return sig.NewPerfectSignature() }
 	typed := func(cfg Config, mk func(Config) Profiler, withChunks, withMig bool) func(*prog.Meta, []event.Access) string {
 		return func(meta *prog.Meta, evs []event.Access) string {
 			cfg := cfg
-			cfg.NewStore = perfect
+			cfg.Backend = "perfect"
 			cfg.Meta = meta
 			return digestResult(feed(mk(cfg), evs), withChunks, withMig)
 		}
@@ -186,7 +184,7 @@ func goldenModes() []struct {
 	typedPar := func(cfg Config, withMig bool) func(*prog.Meta, []event.Access) string {
 		return func(meta *prog.Meta, evs []event.Access) string {
 			off := cfg
-			off.NewStore = perfect
+			off.Backend = "perfect"
 			off.Meta = meta
 			off.NoStrideCompression = true
 			resOff := feed(mkPar(off), evs)

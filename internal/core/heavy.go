@@ -1,88 +1,11 @@
 package core
 
-import "sort"
+import "ddprof/internal/sig"
 
-// heavySketch tracks approximately the most frequently accessed addresses
-// (paper §IV-A: "we also monitor how many times an address is accessed
-// dynamically ... to ensure that the top ten most heavily accessed addresses
-// are always evenly distributed among worker threads").
-//
-// The paper keeps exact counts in a map; we use the SpaceSaving algorithm
-// with a small capacity instead, which bounds the producer-side cost per
-// access regardless of how many distinct addresses the target touches, while
-// still identifying heavy hitters whose frequency exceeds 1/capacity of the
-// stream — far coarser than the top-10 needs. Entries live in flat slices
-// with a map only as the address index: the eviction scan for the minimum
-// count walks a contiguous uint64 slice (~capacity loads) instead of
-// iterating map buckets, which profiling showed dominating the producer
-// thread on streams whose sampled addresses mostly miss the sketch.
-type heavySketch struct {
-	idx    map[uint64]int // address -> slot in addrs/counts
-	addrs  []uint64
-	counts []uint64
-	cap    int
-}
+// heavySketch is the producer's Misra–Gries/SpaceSaving heavy-hitter sketch
+// (§IV-A load balancing). The implementation lives in sig.HeavySketch so the
+// hybrid store's worker-local promotion (internal/shadow) shares it; the
+// alias keeps the pipeline code reading naturally.
+type heavySketch = sig.HeavySketch
 
-func newHeavySketch(capacity int) *heavySketch {
-	if capacity < 16 {
-		capacity = 16
-	}
-	return &heavySketch{
-		idx:    make(map[uint64]int, capacity+1),
-		addrs:  make([]uint64, 0, capacity),
-		counts: make([]uint64, 0, capacity),
-		cap:    capacity,
-	}
-}
-
-// Offer counts one access to addr.
-func (h *heavySketch) Offer(addr uint64) {
-	if i, ok := h.idx[addr]; ok {
-		h.counts[i]++
-		return
-	}
-	if len(h.addrs) < h.cap {
-		h.idx[addr] = len(h.addrs)
-		h.addrs = append(h.addrs, addr)
-		h.counts = append(h.counts, 1)
-		return
-	}
-	// SpaceSaving: evict the minimum and inherit its count.
-	min := 0
-	for i := 1; i < len(h.counts); i++ {
-		if h.counts[i] < h.counts[min] {
-			min = i
-		}
-	}
-	delete(h.idx, h.addrs[min])
-	h.idx[addr] = min
-	h.addrs[min] = addr
-	h.counts[min]++
-}
-
-// Len reports the number of tracked addresses.
-func (h *heavySketch) Len() int { return len(h.addrs) }
-
-// Top returns up to n addresses ordered by descending estimated count.
-// Ties break by address for determinism.
-func (h *heavySketch) Top(n int) []uint64 {
-	ord := make([]int, len(h.addrs))
-	for i := range ord {
-		ord[i] = i
-	}
-	sort.Slice(ord, func(a, b int) bool {
-		i, j := ord[a], ord[b]
-		if h.counts[i] != h.counts[j] {
-			return h.counts[i] > h.counts[j]
-		}
-		return h.addrs[i] < h.addrs[j]
-	})
-	if n > len(ord) {
-		n = len(ord)
-	}
-	out := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		out[i] = h.addrs[ord[i]]
-	}
-	return out
-}
+func newHeavySketch(capacity int) *heavySketch { return sig.NewHeavySketch(capacity) }

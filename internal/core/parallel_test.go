@@ -8,7 +8,6 @@ import (
 	"ddprof/internal/dep"
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
-	"ddprof/internal/sig"
 )
 
 // synthStream builds a deterministic pseudo-random access stream over n
@@ -60,7 +59,7 @@ func depsEqual(t *testing.T, want, got *dep.Set, label string) {
 }
 
 func runSerial(evs []event.Access) *Result {
-	s := NewSerial(Config{NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	s := NewSerial(Config{Backend: "perfect"})
 	for _, a := range evs {
 		s.Access(a)
 	}
@@ -76,8 +75,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 
 	for _, workers := range []int{1, 2, 4, 8} {
 		p := NewParallel(Config{
-			Workers:  workers,
-			NewStore: func() sig.Store { return sig.NewPerfectSignature() },
+			Workers: workers,
+			Backend: "perfect",
 		})
 		for _, a := range evs {
 			p.Access(a)
@@ -99,7 +98,7 @@ func TestLockBasedMatchesLockFree(t *testing.T) {
 	p := NewParallel(Config{
 		Workers:   4,
 		LockBased: true,
-		NewStore:  func() sig.Store { return sig.NewPerfectSignature() },
+		Backend:   "perfect",
 	})
 	for _, a := range evs {
 		p.Access(a)
@@ -116,7 +115,7 @@ func TestRedistributionPreservesResults(t *testing.T) {
 	want := runSerial(evs)
 	p := NewParallel(Config{
 		Workers:           4,
-		NewStore:          func() sig.Store { return sig.NewPerfectSignature() },
+		Backend:           "perfect",
 		RedistributeEvery: 8, // check aggressively to force migrations
 		QueueCap:          8,
 	})
@@ -136,8 +135,8 @@ func TestRedistributionPreservesResults(t *testing.T) {
 func TestRedistributionDisabledByDefault(t *testing.T) {
 	evs := synthStream(50000, 100, 4)
 	p := NewParallel(Config{
-		Workers:  2,
-		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
+		Workers: 2,
+		Backend: "perfect",
 	})
 	for _, a := range evs {
 		p.Access(a)
@@ -174,7 +173,7 @@ func TestMTMatchesSerialForSequentialPushes(t *testing.T) {
 		evs[i].TS = uint64(i + 1)
 	}
 	want := runSerial(evs)
-	m := NewMT(Config{Workers: 4, NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	m := NewMT(Config{Workers: 4, Backend: "perfect"})
 	for _, a := range evs {
 		m.Access(a)
 	}
@@ -196,7 +195,7 @@ func TestMTConcurrentProducers(t *testing.T) {
 	// 4 target threads hammer disjoint addresses plus one shared (locked)
 	// address; the pipeline must not lose or duplicate per-thread accesses.
 	const perThread = 20000
-	m := NewMT(Config{Workers: 4, NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	m := NewMT(Config{Workers: 4, Backend: "perfect"})
 	var ts struct {
 		sync.Mutex
 		n uint64
@@ -265,7 +264,7 @@ func TestHeavySketch(t *testing.T) {
 }
 
 func TestFlushTwicePanics(t *testing.T) {
-	p := NewParallel(Config{Workers: 1, NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	p := NewParallel(Config{Workers: 1, Backend: "perfect"})
 	p.Flush()
 	defer func() {
 		if recover() == nil {

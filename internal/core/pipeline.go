@@ -139,15 +139,16 @@ func (c Config) normalize(mode Mode) (Config, error) {
 	return c, nil
 }
 
-// makeStores builds one store per worker, validating the factory output. The
-// stores are built here (not lazily) so a broken NewStore fails construction
-// with a descriptive error instead of a nil dereference on the hot path.
+// makeStores builds one store per worker through the backend registry. The
+// stores are built here (not lazily) so a bad Config.Backend spec fails
+// construction with a descriptive error instead of a nil dereference on the
+// hot path.
 func makeStores(cfg *Config, n int) ([]sig.Store, error) {
 	out := make([]sig.Store, n)
 	for i := range out {
-		st := cfg.store()
-		if st == nil {
-			return nil, errors.New("core: Config.NewStore returned a nil store")
+		st, err := cfg.store()
+		if err != nil {
+			return nil, fmt.Errorf("core: Config.Backend: %w", err)
 		}
 		out[i] = st
 	}
@@ -527,6 +528,14 @@ func (w *worker) process(evs []event.Access, rngs []event.Range) (done bool) {
 			if _, ok := w.held[ev.Addr]; !ok {
 				w.held[ev.Addr] = nil
 			}
+		case event.Promote:
+			// Heavy-hitter hint from the producer's sketch: stores with an
+			// exact tier adopt the address, everything else ignores it.
+			if w.eng != nil {
+				if p, ok := w.eng.Store().(sig.Promoter); ok {
+					p.Promote(ev.Addr)
+				}
+			}
 		default:
 			if len(w.held) != 0 {
 				if buf, ok := w.held[ev.Addr]; ok {
@@ -642,7 +651,7 @@ func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *R
 				p.m.ObserveQueueDepth(i, d)
 			}
 		}
-		publishOccupancy(p.m, stores...)
+		publishStoreTelemetry(p.m, stores...)
 	}
 	root := mergeTree(nodes)
 	res.Deps = root.deps
@@ -822,8 +831,14 @@ type producer struct {
 	instr []instrEntry
 	own   []ownerState
 
-	noFast              bool
-	redistributeEvery   int
+	noFast            bool
+	redistributeEvery int
+	// seedPromote is set when the worker stores have an exact heavy-hitter
+	// tier (sig.Promoter): the producer then keeps its sketch warm and seeds
+	// the owners with Promote events every checkEvery chunks, sharing the
+	// rebalance cadence when redistribution is on.
+	seedPromote         bool
+	checkEvery          int
 	chunksSinceCheck    int
 	allocatedChunks     uint64
 	stats               RunStats
@@ -858,6 +873,17 @@ func (pr *producer) init(pl *pipeline, cfg *Config, rr bool) {
 	pr.redirect = make(map[uint64]int)
 	if !rr {
 		pr.heavy = newHeavySketch(64)
+		// Promoter stores get heavy-hitter seeding even without
+		// redistribution; with it, both ride the same cadence.
+		if w0 := pl.workers[0]; w0.eng != nil {
+			if _, ok := w0.eng.Store().(sig.Promoter); ok {
+				pr.seedPromote = true
+			}
+		}
+		pr.checkEvery = pr.redistributeEvery
+		if pr.checkEvery == 0 && pr.seedPromote {
+			pr.checkEvery = promoteSeedEvery
+		}
 	}
 	slots := cfg.Workers
 	if rr {
@@ -888,10 +914,10 @@ func (pr *producer) access(a event.Access) {
 		pr.stats.Accesses++
 		// Sample the access statistics: every 16th access keeps producer
 		// overhead bounded while heavily accessed addresses still dominate
-		// the sketch. The sketch is only ever consumed by rebalance(), so
-		// with redistribution disabled (the default) sampling is skipped
+		// the sketch. The sketch is consumed by rebalance() and by Promote
+		// seeding; when neither is on (the default) sampling is skipped
 		// entirely.
-		if pr.redistributeEvery > 0 {
+		if pr.checkEvery > 0 {
 			if pr.sample++; pr.sample&15 == 0 {
 				pr.heavy.Offer(a.Addr)
 			}
@@ -958,12 +984,39 @@ func (pr *producer) access(a event.Access) {
 	}
 	if c.Full() {
 		pr.pushOpen(w)
-		if pr.redistributeEvery > 0 && !pr.rr {
+		if pr.checkEvery > 0 && !pr.rr {
 			pr.chunksSinceCheck++
-			if pr.chunksSinceCheck >= pr.redistributeEvery {
+			if pr.chunksSinceCheck >= pr.checkEvery {
 				pr.chunksSinceCheck = 0
-				pr.rebalance()
+				if pr.seedPromote {
+					pr.seedPromotions()
+				}
+				if pr.redistributeEvery > 0 {
+					pr.rebalance()
+				}
 			}
+		}
+	}
+}
+
+// promoteSeedEvery is the chunk cadence of heavy-hitter Promote seeding when
+// redistribution is off (with it on, seeding shares RedistributeEvery).
+const promoteSeedEvery = 1024
+
+// seedPromotions pushes the sketch's current top heavy hitters to their
+// owners as Promote control events, riding the open chunks: a hybrid store
+// adopts the address into its exact tier, any other store ignores the hint.
+// Unlike rebalance this moves no state through mailboxes — the receiving
+// store carries its own tail history across — so seeding is safe at any
+// point in the stream.
+func (pr *producer) seedPromotions() {
+	for _, addr := range pr.heavy.Top(10) {
+		w := pr.owner(addr)
+		c := pr.open[w]
+		c.Append(event.Access{Addr: addr, Kind: event.Promote})
+		pr.lastIdx[w] = c.Len() - 1
+		if c.Full() {
+			pr.pushOpen(w)
 		}
 	}
 }

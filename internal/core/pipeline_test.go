@@ -8,11 +8,8 @@ import (
 	"ddprof/internal/dep"
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
-	"ddprof/internal/sig"
 	"ddprof/internal/telemetry"
 )
-
-func perfectStore() sig.Store { return sig.NewPerfectSignature() }
 
 // TestConfigValidation exercises the centralized Config checks: every
 // constructor path funnels through normalize/makeStores, so a bad
@@ -27,7 +24,7 @@ func TestConfigValidation(t *testing.T) {
 		{"negative queue cap", Config{Mode: ModeMT, QueueCap: -3}, "QueueCap"},
 		{"negative slots", Config{Mode: ModeSerial, SlotsPerWorker: -5}, "SlotsPerWorker"},
 		{"negative redistribute", Config{Mode: ModeParallel, RedistributeEvery: -1}, "RedistributeEvery"},
-		{"nil store factory result", Config{Mode: ModeParallel, Workers: 1, NewStore: func() sig.Store { return nil }}, "nil store"},
+		{"bad backend spec", Config{Mode: ModeParallel, Workers: 1, Backend: "no-such-backend"}, "Config.Backend"},
 		{"existence through New", Config{Mode: ModeExistence}, "NewExistence"},
 		{"unknown mode", Config{Mode: Mode(42)}, "unknown Mode"},
 	}
@@ -59,7 +56,7 @@ func TestConfigValidation(t *testing.T) {
 func TestNewDispatch(t *testing.T) {
 	for _, mode := range []Mode{ModeSerial, ModeParallel, ModeMT} {
 		t.Run(mode.String(), func(t *testing.T) {
-			p, err := New(Config{Mode: mode, Workers: 2, NewStore: perfectStore})
+			p, err := New(Config{Mode: mode, Workers: 2, Backend: "perfect"})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,13 +89,13 @@ func TestDoubleFlushPanicsEveryMode(t *testing.T) {
 		}()
 		f()
 	}
-	s := NewSerial(Config{NewStore: perfectStore})
+	s := NewSerial(Config{Backend: "perfect"})
 	s.Flush()
 	expectPanic("serial", func() { s.Flush() })
-	p := NewParallel(Config{Workers: 2, NewStore: perfectStore})
+	p := NewParallel(Config{Workers: 2, Backend: "perfect"})
 	p.Flush()
 	expectPanic("parallel", func() { p.Flush() })
-	m := NewMT(Config{Workers: 2, NewStore: perfectStore})
+	m := NewMT(Config{Workers: 2, Backend: "perfect"})
 	m.Flush()
 	expectPanic("mt", func() { m.Flush() })
 	e := NewExistence(Config{Workers: 2})
@@ -156,7 +153,7 @@ func TestMTDupCollapse(t *testing.T) {
 	}
 	want := runSerial(evs)
 
-	m := NewMT(Config{Workers: 2, NewStore: perfectStore})
+	m := NewMT(Config{Workers: 2, Backend: "perfect"})
 	for _, a := range evs {
 		m.Access(a)
 	}
@@ -171,7 +168,7 @@ func TestMTDupCollapse(t *testing.T) {
 
 	// With distinct timestamps (real MT streams) nothing may collapse:
 	// the equality covers TS, so distinct accesses stay distinct.
-	m2 := NewMT(Config{Workers: 2, NewStore: perfectStore})
+	m2 := NewMT(Config{Workers: 2, Backend: "perfect"})
 	var ts uint64
 	for _, a := range evs {
 		ts++
@@ -192,7 +189,7 @@ func TestMTRedistributionPreservesResults(t *testing.T) {
 	want := runSerial(evs)
 	m := NewMT(Config{
 		Workers:           4,
-		NewStore:          perfectStore,
+		Backend:           "perfect",
 		RedistributeEvery: 8, // kick every 8×ChunkSize accesses
 	})
 	for _, a := range evs {
@@ -219,7 +216,7 @@ func TestMTRedistributionConcurrentProducers(t *testing.T) {
 	const perThread = 20000
 	m := NewMT(Config{
 		Workers:           4,
-		NewStore:          perfectStore,
+		Backend:           "perfect",
 		RedistributeEvery: 1, // rebalance as often as possible
 	})
 	var ts struct {

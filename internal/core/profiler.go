@@ -7,6 +7,11 @@ import (
 	"ddprof/internal/telemetry"
 
 	"ddprof/internal/event"
+
+	// Every built-in store backend registers with the sig registry here, so
+	// any Config.Backend spec resolves in any binary or daemon session.
+	_ "ddprof/internal/hashtab"
+	_ "ddprof/internal/shadow"
 )
 
 // Profiler is the uniform surface of all profiler variants. Access is the
@@ -88,10 +93,12 @@ type Config struct {
 	// reference configuration is 6.25e6 slots per worker × 16 workers =
 	// 1e8 slots total (§VI-B2).
 	SlotsPerWorker int
-	// NewStore overrides the store factory; by default each worker gets a
-	// sig.Signature with SlotsPerWorker slots. Experiments inject
-	// PerfectSignature, shadow memory or the hash table here.
-	NewStore func() sig.Store
+	// Backend selects the access-history store by spec string, resolved
+	// through the sig backend registry: "signature", "perfect", "shadow",
+	// "hashtab", "hybrid:slots=1m,exact=4096", ... Empty selects the default
+	// signature backend; SlotsPerWorker sizes slot parameters the spec
+	// leaves out. A bad spec fails construction with a descriptive error.
+	Backend string
 	// Meta enables loop-carried classification when non-nil.
 	Meta *prog.Meta
 	// LockBased selects mutex-protected queues instead of lock-free ones
@@ -139,26 +146,21 @@ type Config struct {
 	TrackAccuracy bool
 }
 
-// store builds one worker store.
-func (c *Config) store() sig.Store {
-	var st sig.Store
-	if c.NewStore != nil {
-		st = c.NewStore()
-	} else {
-		slots := c.SlotsPerWorker
-		if slots <= 0 {
-			slots = 1 << 20
-		}
-		st = sig.NewSignature(slots)
+// store builds one worker store from the Backend spec.
+func (c *Config) store() (sig.Store, error) {
+	st, err := sig.OpenStore(c.Backend, c.SlotsPerWorker)
+	if err != nil {
+		return nil, err
 	}
 	if c.TrackAccuracy {
-		// Only the approximate signature has an accuracy question to answer;
-		// exact stores (PerfectSignature, shadow, hashtab) pass through.
-		if g, ok := st.(*sig.Signature); ok {
-			g.EnableTracking()
+		// Only stores with an approximate component have an accuracy question
+		// to answer (the signature, the hybrid via its tail); exact stores
+		// pass through.
+		if t, ok := st.(sig.Tracker); ok {
+			t.EnableTracking()
 		}
 	}
-	return st
+	return st, nil
 }
 
 // Serial is the single-threaded profiler of §III: the target program and
@@ -190,9 +192,11 @@ func newSerial(cfg Config) (*Serial, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.NewStore == nil && cfg.SlotsPerWorker > 0 && cfg.Workers > 1 {
-		total := cfg.SlotsPerWorker * cfg.Workers
-		cfg.NewStore = func() sig.Store { return sig.NewSignature(total) }
+	if cfg.SlotsPerWorker > 0 && cfg.Workers > 1 {
+		// The whole per-worker slot budget backs the single serial store. A
+		// spec with an explicit slots parameter is unaffected: explicit
+		// parameters win over the SlotsPerWorker default.
+		cfg.SlotsPerWorker *= cfg.Workers
 	}
 	stores, err := makeStores(&cfg, 1)
 	if err != nil {
@@ -255,17 +259,37 @@ func (s *Serial) Flush() *Result {
 	return s.pl.merge(s.stats, 0, false)
 }
 
-// publishOccupancy records the mean write-slot occupancy of stores that can
-// report one (sig.Signature does) as a permille gauge.
-func publishOccupancy(m *telemetry.Pipeline, stores ...sig.Store) {
+// publishStoreTelemetry records the flush-time store gauges: the mean
+// write-slot occupancy of stores that can report one (the signature, the
+// hybrid's tail), the summed actual footprint of every store regardless of
+// backend (satisfying /metrics for shadow page accounting as much as for
+// slot arrays), and — for two-tier stores — the per-tier split plus the
+// exact-resident census.
+func publishStoreTelemetry(m *telemetry.Pipeline, stores ...sig.Store) {
 	sum, n := 0.0, 0
+	var bytes, exactBytes, tailBytes uint64
+	resident, tiered := 0, false
 	for _, st := range stores {
 		if o, ok := st.(interface{ Occupancy() float64 }); ok {
 			sum += o.Occupancy()
 			n++
 		}
+		bytes += st.Bytes()
+		if t, ok := st.(sig.Tiered); ok {
+			e, tl := t.TierBytes()
+			exactBytes += e
+			tailBytes += tl
+			resident += t.ExactResident()
+			tiered = true
+		}
 	}
 	if n > 0 {
 		m.SigOccupancyPermille.Set(int64(sum / float64(n) * 1000))
+	}
+	m.StoreBytes.Set(int64(bytes))
+	if tiered {
+		m.StoreExactBytes.Set(int64(exactBytes))
+		m.StoreTailBytes.Set(int64(tailBytes))
+		m.StoreExactResident.Set(int64(resident))
 	}
 }

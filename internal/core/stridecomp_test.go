@@ -32,7 +32,7 @@ func TestStrideCompressionEquivalence(t *testing.T) {
 
 	mk := func(kind string, meta *prog.Meta, noComp bool) Profiler {
 		cfg := Config{
-			NewStore:            perfectStore,
+			Backend:             "perfect",
 			Meta:                meta,
 			NoStrideCompression: noComp,
 		}
@@ -132,9 +132,9 @@ func TestProducerCompressionExactness(t *testing.T) {
 		)
 	}
 
-	serial := feed(NewSerial(Config{NewStore: perfectStore, Meta: m}), evs)
+	serial := feed(NewSerial(Config{Backend: "perfect", Meta: m}), evs)
 	for _, workers := range []int{1, 2, 4, 8, 3} {
-		cfg := Config{Workers: workers, QueueCap: 4, NewStore: perfectStore, Meta: m}
+		cfg := Config{Workers: workers, QueueCap: 4, Backend: "perfect", Meta: m}
 		par := feed(NewParallel(cfg), evs)
 		requireSameProfile(t, fmt.Sprintf("%dw", workers), serial, par)
 		if workers == 4 && par.Stats.Ranges == 0 {
@@ -186,10 +186,10 @@ func TestAccessRangeEquivalence(t *testing.T) {
 		return evs
 	}
 
-	want := feed(NewSerial(Config{NewStore: perfectStore, Meta: m}), expand())
+	want := feed(NewSerial(Config{Backend: "perfect", Meta: m}), expand())
 
 	t.Run("serial", func(t *testing.T) {
-		s := NewSerial(Config{NewStore: perfectStore, Meta: m})
+		s := NewSerial(Config{Backend: "perfect", Meta: m})
 		for _, r := range ranges {
 			s.AccessRange(r)
 		}
@@ -198,7 +198,7 @@ func TestAccessRangeEquivalence(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 8, 3} {
 		workers := workers
 		t.Run(fmt.Sprintf("parallel-%dw", workers), func(t *testing.T) {
-			p := NewParallel(Config{Workers: workers, QueueCap: 8, NewStore: perfectStore, Meta: m})
+			p := NewParallel(Config{Workers: workers, QueueCap: 8, Backend: "perfect", Meta: m})
 			for _, r := range ranges {
 				p.AccessRange(r)
 			}
@@ -210,7 +210,7 @@ func TestAccessRangeEquivalence(t *testing.T) {
 		})
 	}
 	t.Run("parallel-nocomp-expands", func(t *testing.T) {
-		p := NewParallel(Config{Workers: 4, NewStore: perfectStore, Meta: m, NoStrideCompression: true})
+		p := NewParallel(Config{Workers: 4, Backend: "perfect", Meta: m, NoStrideCompression: true})
 		for _, r := range ranges {
 			p.AccessRange(r)
 		}

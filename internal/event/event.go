@@ -45,6 +45,12 @@ const (
 	// per-address processing order is exactly what the producer verified
 	// when it built the range.
 	RangeRef
+	// Promote hints to the owning worker that Addr is a heavy hitter worth
+	// exact treatment: stores with an exact tier (sig.Promoter, the hybrid
+	// backend) adopt the address, every other store ignores the event. Only
+	// the producer's rebalance cadence emits it (seeded from the Misra–Gries
+	// sketch); like the other control kinds it never crosses the wire.
+	Promote
 )
 
 func (k Kind) String() string {
@@ -65,6 +71,8 @@ func (k Kind) String() string {
 		return "hold"
 	case RangeRef:
 		return "range"
+	case Promote:
+		return "promote"
 	}
 	return "invalid"
 }

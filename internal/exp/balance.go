@@ -6,7 +6,6 @@ import (
 	"ddprof/internal/core"
 	"ddprof/internal/interp"
 	"ddprof/internal/report"
-	"ddprof/internal/sig"
 	"ddprof/internal/workloads"
 )
 
@@ -50,7 +49,7 @@ func Balance(opt Options) (*report.Table, []BalanceRow, error) {
 			p := w.Build(opt.wcfg())
 			prof := core.NewParallel(core.Config{
 				Workers:           workers,
-				NewStore:          func() sig.Store { return sig.NewPerfectSignature() },
+				Backend:           "perfect",
 				RedistributeEvery: redistribute,
 				Metrics:           Telemetry,
 			})

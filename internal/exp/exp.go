@@ -13,7 +13,6 @@ import (
 	"ddprof/internal/event"
 	"ddprof/internal/interp"
 	"ddprof/internal/minilang"
-	"ddprof/internal/sig"
 	"ddprof/internal/telemetry"
 	"ddprof/internal/vm"
 	"ddprof/internal/workloads"
@@ -158,22 +157,24 @@ func timeRun(reps int, fn func() error) (time.Duration, error) {
 	return total / time.Duration(reps), nil
 }
 
+// backendSerial builds a serial profiler over any backend spec.
+func backendSerial(p *minilang.Program, backend string, slots int) *core.Serial {
+	return core.NewSerial(core.Config{
+		Backend:        backend,
+		SlotsPerWorker: slots,
+		Meta:           p.Meta,
+		Metrics:        Telemetry,
+	})
+}
+
 // perfectSerial builds a serial profiler with an exact store.
 func perfectSerial(p *minilang.Program) *core.Serial {
-	return core.NewSerial(core.Config{
-		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-		Meta:     p.Meta,
-		Metrics:  Telemetry,
-	})
+	return backendSerial(p, "perfect", 0)
 }
 
 // sigSerial builds a serial profiler with a real signature.
 func sigSerial(p *minilang.Program, slots int) *core.Serial {
-	return core.NewSerial(core.Config{
-		NewStore: func() sig.Store { return sig.NewSignature(slots) },
-		Meta:     p.Meta,
-		Metrics:  Telemetry,
-	})
+	return backendSerial(p, "signature", slots)
 }
 
 // slowdown formats a profiling/native time ratio.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -216,10 +217,10 @@ func TestStoreAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
+	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	if rows[0].Store != "signature" {
+	if !strings.HasPrefix(rows[0].Store, "signature") {
 		t.Fatal("first row must be the signature baseline")
 	}
 	for _, r := range rows[1:] {
@@ -228,6 +229,47 @@ func TestStoreAblation(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreAccuracy is the measured-FPR-vs-ground-truth ablation: exact
+// backends must measure clean, every backend's FPR must stay at or under
+// the Eq. (2) collision bound, and the hybrid's exact heavy-hitter tier
+// must never measure worse than the plain signature at the same slot
+// count.
+func TestStoreAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays two workload captures per backend")
+	}
+	o := small()
+	_, rows, err := StoreAccuracy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sigFPR := map[string]float64{}
+	for _, r := range rows {
+		if r.Slots == 0 {
+			if r.Measured.FPR != 0 || r.Measured.FNR != 0 {
+				t.Errorf("%s/%s: exact backend measured FPR=%.2f FNR=%.2f", r.Program, r.Backend, r.Measured.FPR, r.Measured.FNR)
+			}
+			continue
+		}
+		if r.Measured.FPR > r.Predicted+1e-9 {
+			t.Errorf("%s/%s: measured FPR %.2f%% above Eq2 bound %.2f%%", r.Program, r.Backend, r.Measured.FPR, r.Predicted)
+		}
+		key := func(backend string) string { return r.Program + "/" + backend + "/" + itoa(r.Slots) }
+		if strings.HasPrefix(r.Backend, "signature") {
+			sigFPR[key("m")] = r.Measured.FPR
+		} else if strings.HasPrefix(r.Backend, "hybrid") {
+			if base, ok := sigFPR[key("m")]; ok && r.Measured.FPR > base+1e-9 {
+				t.Errorf("%s m=%d: hybrid FPR %.2f%% worse than signature %.2f%%", r.Program, r.Slots, r.Measured.FPR, base)
+			}
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
 
 func TestOnlyFilter(t *testing.T) {
 	o := small()

@@ -9,7 +9,6 @@ import (
 	"testing"
 
 	"ddprof/internal/core"
-	"ddprof/internal/sig"
 	"ddprof/internal/telemetry"
 	"ddprof/internal/workloads"
 )
@@ -35,10 +34,10 @@ func TestRotateMeasuredFPRMatchesEq2(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	pipe := reg.Pipeline("t")
 	prof := core.NewSerial(core.Config{
-		NewStore:      func() sig.Store { return sig.NewSignature(slots) },
-		Meta:          p.Meta,
-		Metrics:       pipe,
-		TrackAccuracy: true,
+		SlotsPerWorker: slots,
+		Meta:           p.Meta,
+		Metrics:        pipe,
+		TrackAccuracy:  true,
 	})
 	replay(cap, prof)
 

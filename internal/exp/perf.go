@@ -5,11 +5,9 @@ import (
 	"time"
 
 	"ddprof/internal/core"
-	"ddprof/internal/hashtab"
 	"ddprof/internal/interp"
 	"ddprof/internal/minilang"
 	"ddprof/internal/report"
-	"ddprof/internal/shadow"
 	"ddprof/internal/sig"
 	"ddprof/internal/workloads"
 )
@@ -314,21 +312,24 @@ func StoreAblation(opt Options) (*report.Table, []StoreRow, error) {
 	// bounded configuration at the paper's scale (6.3e6 addresses would
 	// need a gigabyte-scale directory to stay chain-free).
 	buckets := cap.Addresses() / 16
-	type cand struct {
-		name string
-		mk   func() sig.Store
-	}
-	cands := []cand{
-		{"signature", func() sig.Store { return sig.NewSignature(opt.Slots[len(opt.Slots)-1]) }},
-		{"hash table", func() sig.Store { return hashtab.New(buckets) }},
-		{"shadow memory", func() sig.Store { return shadow.New() }},
-		{"perfect (map)", func() sig.Store { return sig.NewPerfectSignature() }},
+	slots := opt.Slots[len(opt.Slots)-1]
+	// Every candidate is a registry spec, so the ablation exercises exactly
+	// the construction path the daemon and CLI use.
+	specs := []string{
+		fmt.Sprintf("signature:slots=%d", slots),
+		fmt.Sprintf("hashtab:buckets=%d", buckets),
+		"shadow",
+		"perfect",
+		fmt.Sprintf("hybrid:slots=%d,exact=4096", slots),
 	}
 	var rows []StoreRow
-	for _, c := range cands {
+	for _, spec := range specs {
 		var bytes uint64
 		d, err := timeRun(opt.Reps, func() error {
-			st := c.mk()
+			st, err := sig.OpenStore(spec, 0)
+			if err != nil {
+				return err
+			}
 			eng := core.NewEngine(st, nil, false)
 			for _, a := range cap.Events() {
 				eng.Process(a)
@@ -339,7 +340,7 @@ func StoreAblation(opt Options) (*report.Table, []StoreRow, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		rows = append(rows, StoreRow{Store: c.name, Elapsed: d, Bytes: bytes})
+		rows = append(rows, StoreRow{Store: spec, Elapsed: d, Bytes: bytes})
 	}
 	base := rows[0].Elapsed
 	for i := range rows {

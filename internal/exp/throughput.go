@@ -7,7 +7,6 @@ import (
 	"ddprof/internal/event"
 	"ddprof/internal/prog"
 	"ddprof/internal/report"
-	"ddprof/internal/sig"
 	"ddprof/internal/workloads"
 )
 
@@ -61,10 +60,10 @@ func Throughput(opt Options) (*report.Table, []ThroughputRow, error) {
 	pipes := []pipeline{
 		{"serial", func(meta *prog.Meta, noFast bool) core.Profiler {
 			return core.NewSerial(core.Config{
-				NewStore:   func() sig.Store { return sig.NewSignature(opt.SlotsPerWorker) },
-				Meta:       meta,
-				NoFastPath: noFast,
-				Metrics:    Telemetry,
+				SlotsPerWorker: opt.SlotsPerWorker,
+				Meta:           meta,
+				NoFastPath:     noFast,
+				Metrics:        Telemetry,
 			})
 		}},
 		{"parallel-8T", func(meta *prog.Meta, noFast bool) core.Profiler {

@@ -6,7 +6,6 @@ import (
 
 	"ddprof/internal/core"
 	"ddprof/internal/dep"
-	"ddprof/internal/sig"
 	"ddprof/internal/workloads"
 )
 
@@ -28,7 +27,7 @@ func TestHotPathByteIdenticalOnSuite(t *testing.T) {
 			mks := map[string]func(noFast bool) core.Profiler{
 				"serial": func(noFast bool) core.Profiler {
 					return core.NewSerial(core.Config{
-						NewStore:   func() sig.Store { return sig.NewPerfectSignature() },
+						Backend:    "perfect",
 						Meta:       p.Meta,
 						NoFastPath: noFast,
 					})
@@ -36,7 +35,7 @@ func TestHotPathByteIdenticalOnSuite(t *testing.T) {
 				"parallel": func(noFast bool) core.Profiler {
 					return core.NewParallel(core.Config{
 						Workers:    4,
-						NewStore:   func() sig.Store { return sig.NewPerfectSignature() },
+						Backend:    "perfect",
 						Meta:       p.Meta,
 						NoFastPath: noFast,
 					})
@@ -44,7 +43,7 @@ func TestHotPathByteIdenticalOnSuite(t *testing.T) {
 				"mt": func(noFast bool) core.Profiler {
 					return core.NewMT(core.Config{
 						Workers:    4,
-						NewStore:   func() sig.Store { return sig.NewPerfectSignature() },
+						Backend:    "perfect",
 						Meta:       p.Meta,
 						NoFastPath: noFast,
 					})

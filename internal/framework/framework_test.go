@@ -10,7 +10,6 @@ import (
 	"ddprof/internal/interp"
 	"ddprof/internal/loc"
 	ml "ddprof/internal/minilang"
-	"ddprof/internal/sig"
 )
 
 // bundle profiles a small program and wraps it.
@@ -18,8 +17,8 @@ func bundle(t *testing.T) *Data {
 	t.Helper()
 	p := testProgram()
 	prof := core.NewSerial(core.Config{
-		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-		Meta:     p.Meta,
+		Backend: "perfect",
+		Meta:    p.Meta,
 	})
 	info, err := interp.Run(p, prof, interp.Options{})
 	if err != nil {

@@ -10,7 +10,6 @@ import (
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
 	. "ddprof/internal/minilang"
-	"ddprof/internal/sig"
 )
 
 // runNative executes without a hook and returns the final scalars.
@@ -27,8 +26,8 @@ func runNative(t *testing.T, p *Program) *RunInfo {
 func runProfiled(t *testing.T, p *Program) (*RunInfo, *core.Result) {
 	t.Helper()
 	prof := core.NewSerial(core.Config{
-		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-		Meta:     p.Meta,
+		Backend: "perfect",
+		Meta:    p.Meta,
 	})
 	info, err := Run(p, prof, Options{})
 	if err != nil {
@@ -196,7 +195,7 @@ func TestProfiledOutputFormat(t *testing.T) {
 			l.Assign("x", Add(V("x"), Ci(1)))
 		})
 	})
-	prof := core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewPerfectSignature() }, Meta: p.Meta})
+	prof := core.NewSerial(core.Config{Backend: "perfect", Meta: p.Meta})
 	info, err := Run(p, prof, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -246,7 +245,7 @@ func TestSpawnThreadsComputeAndTagIDs(t *testing.T) {
 		})
 		b.Decl("check", Idx("out", Ci(63)))
 	})
-	mt := core.NewMT(core.Config{Workers: 2, NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	mt := core.NewMT(core.Config{Workers: 2, Backend: "perfect"})
 	info, err := Run(p, mt, Options{Timestamps: true})
 	if err != nil {
 		t.Fatal(err)
@@ -519,7 +518,7 @@ func main() {
 		t.Errorf("collatz steps = %v, want 111", got)
 	}
 	// Loop metadata flows through: the fill loop is OMP and parallelizable.
-	prof := core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewPerfectSignature() }, Meta: p.Meta})
+	prof := core.NewSerial(core.Config{Backend: "perfect", Meta: p.Meta})
 	p2, _ := ParseProgram("exec.ml", src)
 	info2, err := Run(p2, prof, Options{})
 	if err != nil {

@@ -22,8 +22,10 @@ type ClientOptions struct {
 	// Workers is the per-session pipeline worker hint; 0 asks for the
 	// server's default.
 	Workers int
-	// Exact requests an exact per-address store instead of signatures.
-	Exact bool
+	// Backend requests a store spec for the session ("perfect",
+	// "hybrid:exact=4096", ...), resolved against the daemon's backend
+	// registry and memory budget; empty accepts the daemon's default.
+	Backend string
 	// MT records timestamps and requests race checking — set when the
 	// target program is multi-threaded.
 	MT bool
@@ -139,14 +141,11 @@ func clientHandshake(p *minilang.Program, opt ClientOptions) *handshake {
 	if opt.MT {
 		flags |= flagRaceCheck
 	}
-	if opt.Exact {
-		flags |= flagExact
-	}
 	names := make([]string, p.Tab.NumVars())
 	for i := range names {
 		names[i] = p.Tab.VarName(loc.VarID(i))
 	}
-	return &handshake{Flags: flags, Workers: opt.Workers, VarNames: names, Meta: p.Meta}
+	return &handshake{Flags: flags, Backend: opt.Backend, Workers: opt.Workers, VarNames: names, Meta: p.Meta}
 }
 
 // streamTrace executes p, streaming its framed DDT1 trace to w, and

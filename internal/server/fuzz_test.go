@@ -14,7 +14,7 @@ import (
 // FuzzHandshake: arbitrary preamble bytes must decode or error, never panic.
 func FuzzHandshake(f *testing.F) {
 	var good bytes.Buffer
-	writeHandshake(&good, clientHandshake(testProgram("seed", 32), ClientOptions{Workers: 2, Exact: true}))
+	writeHandshake(&good, clientHandshake(testProgram("seed", 32), ClientOptions{Workers: 2, Backend: "perfect"}))
 	f.Add(good.Bytes())
 	f.Add([]byte("DDRP\x01\x00\x00\x00\x00"))
 	f.Add([]byte("DDRP\x01\x00\x00\x02\x01a\x01b\x01"))
@@ -33,7 +33,7 @@ func FuzzHandshake(f *testing.F) {
 func FuzzSession(f *testing.F) {
 	var good bytes.Buffer
 	p := testProgram("seed", 32)
-	writeHandshake(&good, clientHandshake(p, ClientOptions{Exact: true}))
+	writeHandshake(&good, clientHandshake(p, ClientOptions{Backend: "perfect"}))
 	streamTrace(&good, p, ClientOptions{})
 	f.Add(good.Bytes())
 	// Handshake, then a frame claiming more bytes than follow.

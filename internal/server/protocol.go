@@ -11,7 +11,11 @@
 //
 //	client → server:
 //	  magic   "DDRP" (4 bytes), version (1 byte, currently 1)
-//	  flags   (1 byte): bit 0 race-check, bit 1 exact store
+//	  flags   (1 byte): bit 0 race-check, bit 1 exact store (legacy; the
+//	          spec "perfect"), bit 2 backend spec follows
+//	  backend (only when flags bit 2 is set: a length-prefixed store spec
+//	          string, e.g. "hybrid:slots=1m,exact=4096", resolved against
+//	          the server's sig backend registry)
 //	  workers (uvarint): per-session pipeline worker hint, 0 = server default
 //	  vars    (uvarint n, then n × length-prefixed names, in VarID order)
 //	  meta    (1 byte present flag; when 1, the loop table and loop-context
@@ -45,9 +49,10 @@ const (
 	protoVersion = 1
 
 	// Handshake flag bits.
-	flagRaceCheck = 1 << 0
-	flagExact     = 1 << 1
-	flagsKnown    = flagRaceCheck | flagExact
+	flagRaceCheck   = 1 << 0
+	flagExact       = 1 << 1 // legacy shorthand for the "perfect" backend
+	flagBackendSpec = 1 << 2 // a length-prefixed store spec string follows
+	flagsKnown      = flagRaceCheck | flagExact | flagBackendSpec
 
 	statusOK  = 0
 	statusErr = 1
@@ -55,6 +60,7 @@ const (
 	// Hard decode limits; a peer exceeding one is corrupt or hostile.
 	maxVars        = 1 << 20
 	maxNameLen     = 1 << 12
+	maxBackendSpec = 256
 	maxLoops       = 1 << 16
 	maxCtxs        = 1 << 16
 	maxCtxDepth    = 64
@@ -64,6 +70,7 @@ const (
 // handshake is the decoded session preamble.
 type handshake struct {
 	Flags    byte
+	Backend  string // store spec; "" = none requested (flags may still carry flagExact)
 	Workers  int
 	VarNames []string
 	Meta     *prog.Meta // nil when the client sent no loop metadata
@@ -121,8 +128,17 @@ func writeHandshake(w io.Writer, h *handshake) error {
 	if _, err := io.WriteString(w, protoMagic); err != nil {
 		return err
 	}
-	if _, err := w.Write([]byte{protoVersion, h.Flags}); err != nil {
+	flags := h.Flags
+	if h.Backend != "" {
+		flags |= flagBackendSpec
+	}
+	if _, err := w.Write([]byte{protoVersion, flags}); err != nil {
 		return err
+	}
+	if h.Backend != "" {
+		if err := putString(w, h.Backend); err != nil {
+			return err
+		}
 	}
 	if err := putUvarint(w, uint64(h.Workers)); err != nil {
 		return err
@@ -165,6 +181,14 @@ func readHandshake(br *bufio.Reader) (*handshake, error) {
 		return nil, fmt.Errorf("server: unknown handshake flags %#x", fl)
 	}
 	h := &handshake{Flags: fl}
+	if fl&flagBackendSpec != 0 {
+		if h.Backend, err = getString(br, maxBackendSpec); err != nil {
+			return nil, fmt.Errorf("server: reading backend spec: %w", err)
+		}
+		if h.Backend == "" {
+			return nil, fmt.Errorf("server: empty backend spec")
+		}
+	}
 	wk, err := getUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("server: reading worker hint: %w", err)

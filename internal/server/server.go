@@ -41,6 +41,17 @@ type Config struct {
 	// SessionSlots is the total signature slot budget per session, split
 	// over that session's workers. Default 2^20.
 	SessionSlots int
+	// DefaultBackend is the store spec of sessions that request none
+	// (resolved against the sig backend registry); empty selects the
+	// default signature sized from SessionSlots. A handshake backend spec
+	// overrides it; the legacy exact flag maps to "perfect".
+	DefaultBackend string
+	// MaxStoreBytes, when positive, is the daemon's per-session store
+	// admission budget: a session whose backend's estimated footprint
+	// (per-store bound × stores) exceeds it — or whose backend is
+	// unbounded, like "perfect" or "shadow" — is refused at handshake.
+	// 0 admits everything.
+	MaxStoreBytes uint64
 	// QueueCap is the per-worker queue capacity in chunks; small values make
 	// pipeline backpressure reach the socket sooner. Default 32.
 	QueueCap int
@@ -295,6 +306,33 @@ func (s *Server) unregister(sess *session) {
 	s.mu.Unlock()
 }
 
+// resolveBackend picks a session's store spec — handshake spec first, then
+// the legacy exact flag ("perfect"), then the daemon default — and enforces
+// the daemon's store admission budget over the session's store count.
+func (c Config) resolveBackend(h *handshake, stores, slotsPerStore int) (string, error) {
+	spec := h.Backend
+	if spec == "" && h.Flags&flagExact != 0 {
+		spec = "perfect"
+	}
+	if spec == "" {
+		spec = c.DefaultBackend
+	}
+	bytes, bounded, err := sig.EstimateStoreBytes(spec, slotsPerStore)
+	if err != nil {
+		return "", err
+	}
+	if c.MaxStoreBytes > 0 {
+		if !bounded {
+			return "", fmt.Errorf("backend %q has no memory bound; daemon store budget is %d bytes", spec, c.MaxStoreBytes)
+		}
+		if total := bytes * uint64(stores); total > c.MaxStoreBytes {
+			return "", fmt.Errorf("backend %q needs %d bytes over %d stores; daemon store budget is %d bytes",
+				spec, total, stores, c.MaxStoreBytes)
+		}
+	}
+	return spec, nil
+}
+
 // acquireWorkers borrows up to want workers from the global budget; a return
 // of 0 means "run serial, borrow nothing".
 func (s *Server) acquireWorkers(hint int) int {
@@ -381,9 +419,6 @@ func (s *Server) runSession(sess *session) error {
 		QueueCap:      s.cfg.QueueCap,
 		TrackAccuracy: s.cfg.TrackAccuracy,
 	}
-	if h.Flags&flagExact != 0 {
-		ccfg.NewStore = func() sig.Store { return sig.NewPerfectSignature() }
-	}
 	if workers >= 2 {
 		ccfg.Mode = core.ModeParallel
 		ccfg.Workers = workers
@@ -392,6 +427,10 @@ func (s *Server) runSession(sess *session) error {
 	} else {
 		ccfg.Mode = core.ModeSerial
 		ccfg.SlotsPerWorker = s.cfg.SessionSlots
+	}
+	ccfg.Backend, err = s.cfg.resolveBackend(h, max(workers, 1), ccfg.SlotsPerWorker)
+	if err != nil {
+		return fmt.Errorf("session store: %w", err)
 	}
 	prof, err := core.New(ccfg)
 	if err != nil {

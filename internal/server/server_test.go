@@ -19,7 +19,6 @@ import (
 	"ddprof/internal/interp"
 	"ddprof/internal/loc"
 	"ddprof/internal/minilang"
-	"ddprof/internal/sig"
 	"ddprof/internal/telemetry"
 )
 
@@ -53,8 +52,8 @@ func testProgram(name string, n int) *minilang.Program {
 func localProfileBytes(t *testing.T, p *minilang.Program) []byte {
 	t.Helper()
 	prof := core.NewSerial(core.Config{
-		NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-		Meta:     p.Meta,
+		Backend: "perfect",
+		Meta:    p.Meta,
 	})
 	if _, err := interp.Run(p, prof, interp.Options{}); err != nil {
 		t.Fatal(err)
@@ -146,7 +145,7 @@ func TestE2EConcurrentSessions(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			rr, err := ProfileRemote(conn, p, ClientOptions{Workers: 2, Exact: true})
+			rr, err := ProfileRemote(conn, p, ClientOptions{Workers: 2, Backend: "perfect"})
 			if err != nil {
 				errs <- fmt.Errorf("client %d: %w", i, err)
 				return
@@ -294,7 +293,7 @@ func TestMTRemoteSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	rr, err := ProfileRemote(conn, p, ClientOptions{Exact: true, MT: true})
+	rr, err := ProfileRemote(conn, p, ClientOptions{Backend: "perfect", MT: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +368,7 @@ func TestShutdownDrain(t *testing.T) {
 
 	// The in-flight session still completes.
 	p := testProgram("drain", 100)
-	if err := writeHandshake(bw, clientHandshake(p, ClientOptions{Exact: true})); err != nil {
+	if err := writeHandshake(bw, clientHandshake(p, ClientOptions{Backend: "perfect"})); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := streamTrace(bw, p, ClientOptions{}); err != nil {
@@ -406,7 +405,7 @@ func waitFor(t *testing.T, cond func() bool) {
 // metadata tables.
 func TestHandshakeRoundTrip(t *testing.T) {
 	p := testProgram("codec", 64)
-	in := clientHandshake(p, ClientOptions{Workers: 3, Exact: true, MT: true})
+	in := clientHandshake(p, ClientOptions{Workers: 3, Backend: "perfect", MT: true})
 	var buf bytes.Buffer
 	if err := writeHandshake(&buf, in); err != nil {
 		t.Fatal(err)
@@ -415,8 +414,11 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Flags != in.Flags || out.Workers != in.Workers {
+	if out.Flags&flagRaceCheck != in.Flags&flagRaceCheck || out.Workers != in.Workers {
 		t.Fatalf("flags/workers: got %#x/%d, want %#x/%d", out.Flags, out.Workers, in.Flags, in.Workers)
+	}
+	if out.Backend != in.Backend {
+		t.Fatalf("backend spec: got %q, want %q", out.Backend, in.Backend)
 	}
 	if len(out.VarNames) != len(in.VarNames) {
 		t.Fatalf("var names: %d vs %d", len(out.VarNames), len(in.VarNames))

@@ -1,4 +1,4 @@
-package core
+package sig
 
 import (
 	"math/rand"
@@ -6,7 +6,7 @@ import (
 )
 
 func TestHeavySketchOfferAndLen(t *testing.T) {
-	h := newHeavySketch(16)
+	h := NewHeavySketch(16)
 	if h.Len() != 0 {
 		t.Fatalf("fresh sketch Len = %d, want 0", h.Len())
 	}
@@ -26,7 +26,7 @@ func TestHeavySketchOfferAndLen(t *testing.T) {
 }
 
 func TestHeavySketchTopOrdering(t *testing.T) {
-	h := newHeavySketch(16)
+	h := NewHeavySketch(16)
 	// addr 0x10 x5, 0x20 x3, 0x30 x1.
 	for i := 0; i < 5; i++ {
 		h.Offer(0x10)
@@ -47,7 +47,7 @@ func TestHeavySketchTopOrdering(t *testing.T) {
 		t.Fatalf("Top(100) returned %d entries, want 3", len(got))
 	}
 	// Ties break by ascending address for determinism.
-	h2 := newHeavySketch(16)
+	h2 := NewHeavySketch(16)
 	h2.Offer(0xBB)
 	h2.Offer(0xAA)
 	tied := h2.Top(2)
@@ -57,7 +57,7 @@ func TestHeavySketchTopOrdering(t *testing.T) {
 }
 
 func TestHeavySketchEvictionInheritsMinCount(t *testing.T) {
-	h := newHeavySketch(16)
+	h := NewHeavySketch(16)
 	// Fill to capacity: one hot address, 15 singletons.
 	for i := 0; i < 10; i++ {
 		h.Offer(0x1000)
@@ -94,7 +94,7 @@ func TestHeavySketchEvictionInheritsMinCount(t *testing.T) {
 func TestHeavySketchHeavyHitterProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 20; trial++ {
-		h := newHeavySketch(64)
+		h := NewHeavySketch(64)
 		const streamLen = 20000
 		heavy := uint64(0xFEED0000) + uint64(trial)*8
 		for i := 0; i < streamLen; i++ {
@@ -114,5 +114,35 @@ func TestHeavySketchHeavyHitterProperty(t *testing.T) {
 		if !found {
 			t.Fatalf("trial %d: heavy address %#x missing from Top(10)", trial, heavy)
 		}
+	}
+}
+
+func TestHeavySketchCountAndForget(t *testing.T) {
+	h := NewHeavySketch(16)
+	if got := h.Count(0x10); got != 0 {
+		t.Fatalf("Count(untracked) = %d, want 0", got)
+	}
+	for i := 0; i < 7; i++ {
+		h.Offer(0x10)
+	}
+	h.Offer(0x20)
+	if got := h.Count(0x10); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	// Forget drops the entry and repairs the swapped-in index.
+	h.Forget(0x10)
+	if h.Len() != 1 {
+		t.Fatalf("Len after Forget = %d, want 1", h.Len())
+	}
+	if got := h.Count(0x10); got != 0 {
+		t.Fatalf("Count after Forget = %d, want 0", got)
+	}
+	if got := h.Count(0x20); got != 1 {
+		t.Fatalf("survivor count = %d, want 1 (index must survive the swap)", got)
+	}
+	// Forgetting an untracked address is a no-op.
+	h.Forget(0x9999)
+	if h.Len() != 1 {
+		t.Fatalf("Len after no-op Forget = %d, want 1", h.Len())
 	}
 }

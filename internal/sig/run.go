@@ -100,3 +100,27 @@ func (g *Signature) VisitReadRun(base, stride uint64, count uint32, visit func(j
 	}
 	return true
 }
+
+// VisitWriteRun implements RunVisitor for the exact per-address map. There
+// is no index arithmetic to hoist, but accepting the bulk dispatch keeps SD3
+// ranges on one code path and saves a map probe per element versus the
+// elementwise fallback (two lookups + one store instead of three probes).
+// Every geometry is accepted: map keys don't wrap.
+func (p *PerfectSignature) VisitWriteRun(base, stride uint64, count uint32, visit func(j uint32, write, read Slot) Slot) bool {
+	addr := base
+	for j := uint32(0); j < count; j++ {
+		p.writes[addr] = visit(j, p.writes[addr], p.reads[addr])
+		addr += stride
+	}
+	return true
+}
+
+// VisitReadRun implements RunVisitor.
+func (p *PerfectSignature) VisitReadRun(base, stride uint64, count uint32, visit func(j uint32, write Slot) Slot) bool {
+	addr := base
+	for j := uint32(0); j < count; j++ {
+		p.reads[addr] = visit(j, p.writes[addr])
+		addr += stride
+	}
+	return true
+}

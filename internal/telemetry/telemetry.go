@@ -359,6 +359,17 @@ type Pipeline struct {
 	// different address wrote — live false positives.
 	SigInsertConflicts *Counter
 	SigLookupConflicts *Counter
+
+	// Store footprint gauges, published at Flush for every backend:
+	// StoreBytes is the summed actual footprint of all worker stores (shadow
+	// page accounting, hash-table entries, signature slot arrays alike).
+	// Two-tier stores (the hybrid backend) additionally split the footprint
+	// into StoreExactBytes + StoreTailBytes and report the number of
+	// addresses currently held exactly in StoreExactResident.
+	StoreBytes         *Gauge
+	StoreExactBytes    *Gauge
+	StoreTailBytes     *Gauge
+	StoreExactResident *Gauge
 }
 
 // ObserveQueueDepth records a queue-depth observation for one worker: the
@@ -410,6 +421,10 @@ func (r *Registry) Pipeline(prefix string) *Pipeline {
 		StageMergeNs:             r.Histogram(prefix + "_stage_merge_ns"),
 		SigInsertConflicts:       r.Counter(prefix + "_sig_insert_conflicts_total"),
 		SigLookupConflicts:       r.Counter(prefix + "_sig_lookup_conflicts_total"),
+		StoreBytes:               r.Gauge(prefix + "_store_bytes"),
+		StoreExactBytes:          r.Gauge(prefix + "_store_exact_bytes"),
+		StoreTailBytes:           r.Gauge(prefix + "_store_tail_bytes"),
+		StoreExactResident:       r.Gauge(prefix + "_store_exact_resident"),
 	}
 	for s, name := range [5]string{"start", "first", "learned", "weak", "random"} {
 		p.StrideDetectors[s] = r.Gauge(fmt.Sprintf("%s_stride_detectors{state=%q}", prefix, name))

@@ -12,7 +12,6 @@ import (
 	"ddprof/internal/interp"
 	"ddprof/internal/loc"
 	ml "ddprof/internal/minilang"
-	"ddprof/internal/sig"
 )
 
 func randomEvents(n int, seed int64) []event.Access {
@@ -116,7 +115,7 @@ func TestRecordReplayProfileEquivalence(t *testing.T) {
 	}
 
 	// Live profile.
-	live := core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	live := core.NewSerial(core.Config{Backend: "perfect"})
 	if _, err := interp.Run(build(), live, interp.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +133,7 @@ func TestRecordReplayProfileEquivalence(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	replayed := core.NewSerial(core.Config{NewStore: func() sig.Store { return sig.NewPerfectSignature() }})
+	replayed := core.NewSerial(core.Config{Backend: "perfect"})
 	n, err := Replay(&buf, replayed.Access)
 	if err != nil {
 		t.Fatal(err)

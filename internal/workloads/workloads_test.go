@@ -7,7 +7,6 @@ import (
 	"ddprof/internal/analysis"
 	"ddprof/internal/core"
 	"ddprof/internal/interp"
-	"ddprof/internal/sig"
 )
 
 // TestAllSequentialRunAndCompute executes every sequential workload natively
@@ -195,8 +194,8 @@ func TestNASNamedLoopVerdicts(t *testing.T) {
 		}
 		p := w.Build(Config{Scale: 0.5})
 		prof := core.NewSerial(core.Config{
-			NewStore: func() sig.Store { return sig.NewPerfectSignature() },
-			Meta:     p.Meta,
+			Backend: "perfect",
+			Meta:    p.Meta,
 		})
 		info, err := interp.Run(p, prof, interp.Options{})
 		if err != nil {
