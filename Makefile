@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt-check fuzz bench bench-producer bench-merge bench-store bench-gate
+.PHONY: all build vet test race check fmt-check fuzz smoke bench bench-producer bench-merge bench-store bench-gate
 
 all: build
 
@@ -26,8 +26,15 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; gofmt -d .; exit 1; fi
 
+# End-to-end daemon smoke: daemon up on a unix socket, one remote profiling
+# session with a live -watch subscriber folding its epoch-delta stream, and a
+# live HTTP diff against the retained session. Exercises the whole wire path
+# the in-process tests cannot: real binaries, real sockets, real HTTP.
+smoke:
+	./scripts/smoke_ddprofd.sh
+
 # The full gate: what CI and pre-commit should run.
-check: build vet fmt-check test race
+check: build vet fmt-check test race smoke
 
 # Hot-path throughput gate: run BenchmarkHotPath and append the events/s
 # numbers to BENCH_pipeline.json under BENCH_LABEL, so regressions are
@@ -86,6 +93,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzRangeFrame -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzDeltaFrame -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzHandshake -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzFastUpdate -fuzztime=10s ./internal/dep/
 	$(GO) test -run=^$$ -fuzz=FuzzSetMergeEquivalence -fuzztime=10s ./internal/dep/

@@ -8,11 +8,13 @@
 //	ddprof -workload kmeans -mode parallel -workers 16
 //	ddprof -workload kmeans -mode mt -threads 4  # profile the pthread variant
 //	ddprof -workload kmeans -remote :7077        # profile on a ddprofd daemon
+//	ddprof -remote :7077 -watch                  # watch a live session's epoch deltas
 //	ddprof -workload kmeans -cpuprofile cpu.out  # profile the profiler
 //	ddprof -list                                 # show available workloads
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -22,7 +24,9 @@ import (
 
 	"ddprof"
 	"ddprof/internal/dep"
+	"ddprof/internal/loc"
 	"ddprof/internal/server"
+	"ddprof/internal/trace"
 	"ddprof/internal/workloads"
 )
 
@@ -45,11 +49,32 @@ func run() int {
 		out     = flag.String("o", "", "write the dependence dump to a file instead of stdout")
 		format  = flag.String("format", "text", "dump format: text (Figure 1/3) | binary")
 		remote  = flag.String("remote", "", "profile on a ddprofd daemon: host:port or unix:/path.sock")
+		watch   = flag.Bool("watch", false, "with -remote: subscribe to a session's live epoch-delta stream instead of profiling")
+		watchID = flag.Uint64("watch-session", 0, "with -watch: daemon session to observe (0 = newest active, waiting for the next when none is)")
+		watchAt = flag.Uint64("watch-since", 0, "with -watch: catch up from this epoch (0 = the full profile so far)")
 		useTW   = flag.Bool("interp", false, "execute the target with the reference tree-walking interpreter instead of the bytecode VM")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the profiler to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *watch {
+		if *remote == "" {
+			fmt.Fprintln(os.Stderr, "ddprof: -watch needs -remote (a ddprofd daemon to subscribe to)")
+			return 2
+		}
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ddprof:", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		return runWatch(*remote, *watchID, uint32(*watchAt), w, *summary, *format)
+	}
 
 	if *list {
 		fmt.Println("available workloads:")
@@ -212,6 +237,63 @@ func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers 
 	}
 	fmt.Printf("\n# %s: %d accesses streamed to %s, %d dependences (%d dynamic instances merged)\n",
 		prog.Name, rr.Events, addr, rr.Deps.Unique(), rr.Deps.Instances())
+	return 0
+}
+
+// runWatch subscribes to a daemon session's live observatory and renders the
+// epoch-delta stream: one status line per frame, and — because the folded
+// frames reconstruct the session's exact final profile — the full dependence
+// dump once the final frame lands.
+func runWatch(addr string, session uint64, since uint32, w io.Writer, summary bool, format string) int {
+	conn, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddprof:", err)
+		return 1
+	}
+	defer conn.Close()
+
+	folded := dep.NewSet()
+	var tab *loc.Table
+	frames := 0
+	err = server.Watch(conn, server.WatchOptions{Session: session, Since: since}, func(f trace.DeltaFrame) error {
+		set, _, t, err := dep.Decode(bytes.NewReader(f.Payload))
+		if err != nil {
+			return fmt.Errorf("frame for epoch %d: %w", f.Epoch, err)
+		}
+		if t != nil {
+			tab = t
+		}
+		folded.Merge(set)
+		frames++
+		tag := ""
+		if f.Final {
+			tag = " final:"
+		}
+		fmt.Fprintf(os.Stderr, "# epoch %d:%s %d dependences advanced, %d distinct so far (%d instances)\n",
+			f.Epoch, tag, set.Unique(), folded.Unique(), folded.Instances())
+		set.Release()
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddprof:", err)
+		return 1
+	}
+	if !summary {
+		switch format {
+		case "text":
+			err = dep.Write(w, folded, tab, nil, dep.WriterOptions{})
+		case "binary":
+			err = dep.Encode(w, folded, tab, nil)
+		default:
+			err = fmt.Errorf("unknown format %q", format)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddprof:", err)
+			return 1
+		}
+	}
+	fmt.Printf("\n# watch: %d delta frames from %s, %d dependences (%d dynamic instances merged)\n",
+		frames, addr, folded.Unique(), folded.Instances())
 	return 0
 }
 

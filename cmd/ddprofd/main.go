@@ -12,8 +12,13 @@
 //	ddprofd -log-level debug                 # structured logs, debug level
 //	curl localhost:7078/metrics              # live pipeline counters + quantiles
 //	curl localhost:7078/sessions             # live session table
+//	curl localhost:7078/sessions/3/deps      # live dependence profile (?since=E)
+//	curl localhost:7078/sessions/3/loop/0/carried   # what loop 0 carries now
+//	curl 'localhost:7078/sessions/3/addr?lo=0x100&hi=0x1ff'
+//	curl --data-binary @base.ddp localhost:7078/sessions/3/diff
 //	curl localhost:7078/debug/timeline       # flight-recorder time series
 //	go tool pprof localhost:7078/debug/pprof/profile
+//	ddprof -workload kmeans -remote :7077 -watch   # live epoch-delta stream
 //
 // SIGINT/SIGTERM drain gracefully: listeners close, in-flight sessions
 // finish (up to -drain), then the daemon exits.
@@ -67,6 +72,8 @@ func main() {
 		snapInt  = flag.Duration("snapshot-interval", 250*time.Millisecond, "flight-recorder sampling interval for /debug/timeline")
 		snapN    = flag.Int("snapshot-samples", 1024, "flight-recorder ring size (most recent samples kept; negative disables)")
 		trackAcc = flag.Bool("track-accuracy", false, "live Eq. (2) accuracy telemetry: sig_fpr_measured_ppm vs sig_fpr_predicted_ppm per worker")
+		epochInt = flag.Duration("epoch-interval", 100*time.Millisecond, "live observatory epoch ticker: how often ingesting sessions cut an epoch-delta for watch subscribers (0 disables; explicit EpochMark records still cut)")
+		seriesMx = flag.Int("session-series", 64, "cap on per-session labeled series on /metrics; sessions past it share the overflow series")
 	)
 	flag.Parse()
 
@@ -102,6 +109,8 @@ func main() {
 		SnapshotInterval:  *snapInt,
 		SnapshotSamples:   *snapN,
 		TrackAccuracy:     *trackAcc,
+		EpochInterval:     *epochInt,
+		SessionSeriesMax:  *seriesMx,
 		Logf:              logf,
 	})
 

@@ -48,6 +48,14 @@ type Engine struct {
 	// noCache disables the instance cache (A/B measurement and the
 	// fast-vs-slow equivalence suite; output is identical either way).
 	noCache bool
+	// epoch is the current epoch-clock reading, stamped onto per-loop
+	// aggregate tables created from now on (the dependence set carries its
+	// own copy); advanced by ExtractEpochDelta.
+	epoch uint32
+	// trackBounds enables the per-variable address-interval index behind
+	// address-range provenance queries; bounds is that index, by VarID.
+	trackBounds bool
+	bounds      []varBound
 
 	// cache is a direct-mapped instance cache over dependence identity: the
 	// overwhelmingly common case is the same static dependence firing every
@@ -147,6 +155,9 @@ func (e *Engine) Store() sig.Store { return e.store }
 func (e *Engine) Process(a event.Access) {
 	switch a.Kind {
 	case event.Write:
+		if e.trackBounds {
+			e.noteBounds(a.Var, a.Addr)
+		}
 		wslot, wok := e.store.LookupWrite(a.Addr)
 		if !wok {
 			// First write to this address: INIT (paper §III-A).
@@ -163,6 +174,9 @@ func (e *Engine) Process(a event.Access) {
 		}
 		e.store.SetWrite(a.Addr, e.slotFor(&a))
 	case event.Read:
+		if e.trackBounds {
+			e.noteBounds(a.Var, a.Addr)
+		}
 		if wslot, wok := e.store.LookupWrite(a.Addr); wok {
 			// A collapsed event stands for 1+Rep identical reads against the
 			// same (unchanged) write slot: 1+Rep instances of the same RAW.
@@ -252,6 +266,10 @@ func (e *Engine) record(k dep.Key, t dep.Type, carriedAt prog.LoopID, reduction,
 
 	if ent != nil && ent.loop == carriedAt {
 		// Repeat carried instance: update the memoized aggregate directly.
+		// Count advances too — summaries never read it, but the epoch-delta
+		// extractor detects change by Count-vs-watermark, and this keeps the
+		// carried-key tables extractable like the dependence sets.
+		ent.ck.Count += n
 		ent.ck.Reduction = ent.ck.Reduction && reduction
 		if t == dep.RAW {
 			if ent.agg.minRAWDist == 0 || dist < ent.agg.minRAWDist {
@@ -263,9 +281,11 @@ func (e *Engine) record(k dep.Key, t dep.Type, carriedAt prog.LoopID, reduction,
 	agg := e.loops[carriedAt]
 	if agg == nil {
 		agg = newLoopAgg()
+		agg.keys.SetEpoch(e.epoch)
 		e.loops[carriedAt] = agg
 	}
 	ck := agg.keys.Ref(k) // fresh records start Reduction (= allRed) true
+	ck.Count += n
 	ck.Reduction = ck.Reduction && reduction
 	if t == dep.RAW {
 		if agg.minRAWDist == 0 || dist < agg.minRAWDist {
@@ -319,6 +339,18 @@ func loopDepsOf(aggs map[prog.LoopID]*loopAgg) map[prog.LoopID]*LoopDeps {
 	out := make(map[prog.LoopID]*LoopDeps, len(aggs))
 	for id, agg := range aggs {
 		out[id] = agg.summary()
+	}
+	return out
+}
+
+// carriedKeysOf exposes the merged per-loop carried-key tables themselves
+// (not copies): the provenance queries of the live observatory answer "what
+// does loop L carry" from these after the merge, and the final watch frame
+// extracts their unshipped remainder.
+func carriedKeysOf(aggs map[prog.LoopID]*loopAgg) map[prog.LoopID]*dep.Set {
+	out := make(map[prog.LoopID]*dep.Set, len(aggs))
+	for id, agg := range aggs {
+		out[id] = agg.keys
 	}
 	return out
 }

@@ -78,6 +78,10 @@ func (e *Engine) ProcessRange(r *event.Range) {
 		return
 	}
 
+	if e.trackBounds {
+		e.noteBoundsRange(r.Var, r.Base, r.Stride, r.Count)
+	}
+
 	// The element template: everything but Addr/IterVec is shared. snk.Addr
 	// is never read below (classification depends on location, context and
 	// iteration only), so the loop advances just the iteration vector.

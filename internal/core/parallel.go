@@ -46,12 +46,16 @@ func newParallel(cfg Config) (*Parallel, error) {
 		if cfg.NoFastPath {
 			eng.DisableCache()
 		}
+		if cfg.TrackBounds {
+			eng.EnableBoundsTracking()
+		}
 		p.pl.workers = append(p.pl.workers, &worker{
 			id:          i,
 			tr:          newChunkTransport(cfg.LockBased, cfg.QueueCap),
 			eng:         eng,
 			m:           cfg.Metrics,
 			sampleEvery: uint64(cfg.SampleEvery),
+			onDelta:     cfg.OnEpochDelta,
 		})
 	}
 	p.pl.startAll()

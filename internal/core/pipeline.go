@@ -340,6 +340,10 @@ type worker struct {
 	// held buffers accesses to addresses whose signature state is in flight
 	// to this worker (MT redistribution; see event.Hold).
 	held map[uint64][]event.Access
+	// onDelta receives this worker's epoch-delta extraction at each
+	// EpochMark; nil disables extraction entirely (the mark is then a no-op).
+	// Called on the worker goroutine at a batch boundary.
+	onDelta func(*EpochDelta)
 
 	// migration mailboxes (producer/rebalancer <-> this worker)
 	migOut    atomic.Pointer[migState] // worker publishes state out
@@ -536,6 +540,15 @@ func (w *worker) process(evs []event.Access, rngs []event.Range) (done bool) {
 					p.Promote(ev.Addr)
 				}
 			}
+		case event.EpochMark:
+			// Epoch boundary: extract the delta on this goroutine — the
+			// producer never waits, and accesses already queued behind the
+			// mark simply land in the next epoch.
+			if w.eng != nil && w.onDelta != nil {
+				d := w.eng.ExtractEpochDelta(uint32(ev.Addr))
+				d.Worker = w.id
+				w.onDelta(d)
+			}
 		default:
 			if len(w.held) != 0 {
 				if buf, ok := w.held[ev.Addr]; ok {
@@ -656,6 +669,7 @@ func (p *pipeline) merge(stats RunStats, queueBytes uint64, sumAccesses bool) *R
 	root := mergeTree(nodes)
 	res.Deps = root.deps
 	res.Loops = loopDepsOf(root.aggs)
+	res.Carried = carriedKeysOf(root.aggs)
 	if p.m != nil {
 		p.m.StageMergeNs.Observe(time.Since(mergeT0).Nanoseconds())
 	}

@@ -31,6 +31,11 @@ type Result struct {
 	Deps *dep.Set
 	// Loops maps static loops to their carried dependences.
 	Loops map[prog.LoopID]*LoopDeps
+	// Carried maps static loops to their merged carried-key tables — the
+	// sets Loops summarizes. Live-observatory consumers query them ("what
+	// does loop L carry") and extract the final unshipped delta remainder;
+	// they share the merged storage, so Release them with the Result.
+	Carried map[prog.LoopID]*dep.Set
 	// Stats describes the run itself.
 	Stats RunStats
 	// WorkerEvents lists per-worker processed access counts (parallel
@@ -144,6 +149,16 @@ type Config struct {
 	// sig_fpr_predicted_ppm). Costs ~8 bytes/slot of tracking state and one
 	// branch per store operation; off by default.
 	TrackAccuracy bool
+	// OnEpochDelta receives each worker's epoch-delta extraction when the
+	// profiler's EpochMark is driven (see EpochMarker). Callbacks arrive on
+	// worker goroutines — concurrently in parallel modes — and own the
+	// delta's sets. Nil disables extraction: EpochMark becomes a no-op and
+	// the epoch machinery costs nothing.
+	OnEpochDelta func(*EpochDelta)
+	// TrackBounds enables per-variable address-interval tracking in every
+	// engine (two compares per data access), feeding the address-range
+	// provenance query and EpochDelta.Bounds. Off by default.
+	TrackBounds bool
 }
 
 // store builds one worker store from the Backend spec.
@@ -173,6 +188,7 @@ type Serial struct {
 	stats     RunStats
 	m         *telemetry.Pipeline
 	published uint64
+	onDelta   func(*EpochDelta)
 }
 
 // NewSerial returns a serial profiler; it panics on an invalid Config (use
@@ -206,7 +222,10 @@ func newSerial(cfg Config) (*Serial, error) {
 	if cfg.NoFastPath {
 		eng.DisableCache()
 	}
-	s := &Serial{eng: eng, m: cfg.Metrics}
+	if cfg.TrackBounds {
+		eng.EnableBoundsTracking()
+	}
+	s := &Serial{eng: eng, m: cfg.Metrics, onDelta: cfg.OnEpochDelta}
 	s.pl.m = cfg.Metrics
 	s.pl.workers = []*worker{{eng: eng, m: cfg.Metrics}}
 	return s, nil

@@ -1,0 +1,182 @@
+package dep
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ddprof/internal/loc"
+)
+
+// TestExtractDeltaDrains: ExtractDelta moves exactly the unreported advance
+// into out, and a second extraction with no new instances is empty.
+func TestExtractDeltaDrains(t *testing.T) {
+	s := NewSet()
+	k := key(RAW, 10, 9, 1)
+	for i := 0; i < 7; i++ {
+		s.Add(k, false, false, false)
+	}
+	out := NewSet()
+	if n := s.ExtractDelta(out); n != 1 {
+		t.Fatalf("first extraction changed %d deps, want 1", n)
+	}
+	st, ok := out.Lookup(k)
+	if !ok || st.Count != 7 {
+		t.Fatalf("delta count = %d, want 7", st.Count)
+	}
+	if s.Unreported() {
+		t.Fatal("Unreported() true right after a full extraction")
+	}
+	empty := NewSet()
+	if n := s.ExtractDelta(empty); n != 0 || empty.Unique() != 0 {
+		t.Fatalf("idle extraction yielded %d deps", empty.Unique())
+	}
+
+	// Three more instances: only the advance ships.
+	for i := 0; i < 3; i++ {
+		s.Add(k, true, false, false) // now carried
+	}
+	next := NewSet()
+	if n := s.ExtractDelta(next); n != 1 {
+		t.Fatalf("second extraction changed %d deps, want 1", n)
+	}
+	st, _ = next.Lookup(k)
+	if st.Count != 3 {
+		t.Fatalf("second delta count = %d, want 3", st.Count)
+	}
+	if !st.Carried {
+		t.Fatal("second delta lost the carried flag")
+	}
+}
+
+// TestEpochStamps: entries remember the epoch active when they were first
+// observed; SetEpoch does not restamp; RangeSince filters on the stamp.
+func TestEpochStamps(t *testing.T) {
+	s := NewSet()
+	early := key(RAW, 1, 2, 1)
+	late := key(WAR, 3, 4, 1)
+	s.Add(early, false, false, false)
+	s.SetEpoch(5)
+	s.Add(late, false, false, false)
+	s.Add(early, false, false, false) // re-observation keeps the first stamp
+
+	got := map[Key]uint32{}
+	s.RangeSince(0, func(k Key, _ Stats, e uint32) bool {
+		got[k] = e
+		return true
+	})
+	if got[early] != 0 || got[late] != 5 {
+		t.Fatalf("stamps = %v, want early:0 late:5", got)
+	}
+
+	var since []Key
+	s.RangeSince(5, func(k Key, _ Stats, _ uint32) bool {
+		since = append(since, k)
+		return true
+	})
+	if len(since) != 1 || since[0] != late {
+		t.Fatalf("RangeSince(5) = %v, want just the late key", since)
+	}
+}
+
+// TestMergeProvenance: Merge keeps the minimum first-observed epoch and sums
+// reported watermarks, so extracting from the merge yields exactly the
+// instances no shard ever shipped.
+func TestMergeProvenance(t *testing.T) {
+	k := key(RAW, 10, 9, 1)
+
+	a := NewSet()
+	a.SetEpoch(2)
+	for i := 0; i < 5; i++ {
+		a.Add(k, false, false, false)
+	}
+	shippedA := NewSet()
+	a.ExtractDelta(shippedA) // a has reported all 5
+	for i := 0; i < 2; i++ {
+		a.Add(k, false, false, false) // 2 unshipped
+	}
+
+	b := NewSet()
+	b.SetEpoch(7)
+	for i := 0; i < 4; i++ {
+		b.Add(k, false, false, false) // 4 unshipped
+	}
+
+	m := NewSet()
+	m.Merge(a)
+	m.Merge(b)
+	st, _ := m.Lookup(k)
+	if st.Count != 11 {
+		t.Fatalf("merged count = %d, want 11", st.Count)
+	}
+	m.RangeSince(0, func(_ Key, _ Stats, e uint32) bool {
+		if e != 2 {
+			t.Fatalf("merged epoch stamp = %d, want min(2,7) = 2", e)
+		}
+		return true
+	})
+	rem := NewSet()
+	m.ExtractDelta(rem)
+	rst, _ := rem.Lookup(k)
+	if rst.Count != 6 {
+		t.Fatalf("merged remainder = %d instances, want 2+4 = 6", rst.Count)
+	}
+}
+
+// TestDeltaUnionEqualsFinal is the monotone-fold guarantee behind the live
+// observatory, on a randomized instance stream: fold every delta ever
+// extracted plus one final remainder, and the result encodes byte-identical
+// to the set itself.
+func TestDeltaUnionEqualsFinal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tab := loc.NewTable()
+	tab.Var("a")
+	tab.Var("b")
+
+	s := NewSet()
+	folded := NewSet()
+	for ep := uint32(1); ep <= 20; ep++ {
+		s.SetEpoch(ep)
+		for i := 0; i < 200; i++ {
+			k := key(Type(rng.Intn(3)), rng.Intn(8), rng.Intn(8), loc.VarID(rng.Intn(2)))
+			k.SinkThread = int16(rng.Intn(2))
+			s.AddDist(k, rng.Intn(2) == 0, rng.Intn(4) == 0, rng.Intn(8) == 0, uint32(rng.Intn(5)))
+		}
+		d := NewSet()
+		s.ExtractDelta(d)
+		folded.Merge(d)
+		d.Release()
+	}
+	rem := NewSet()
+	s.ExtractDelta(rem)
+	folded.Merge(rem)
+	rem.Release()
+
+	var want, got bytes.Buffer
+	if err := Encode(&want, s, tab, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&got, folded, tab, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("folded deltas encode to %d bytes, final set to %d — not byte-identical", got.Len(), want.Len())
+	}
+	if s.Instances() != folded.Instances() {
+		t.Fatalf("instances: set %d, folded %d", s.Instances(), folded.Instances())
+	}
+}
+
+// TestResetClearsEpoch: a recycled set starts back at epoch 0.
+func TestResetClearsEpoch(t *testing.T) {
+	s := NewSet()
+	s.SetEpoch(9)
+	s.Add(key(RAW, 1, 2, 1), false, false, false)
+	s.Reset()
+	if s.Epoch() != 0 {
+		t.Fatalf("epoch after Reset = %d, want 0", s.Epoch())
+	}
+	if s.Unreported() {
+		t.Fatal("Unreported() true on a reset set")
+	}
+}

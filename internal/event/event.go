@@ -51,6 +51,14 @@ const (
 	// the producer's rebalance cadence emits it (seeded from the Misra–Gries
 	// sketch); like the other control kinds it never crosses the wire.
 	Promote
+	// EpochMark advances the session's epoch clock: the Addr field carries
+	// the new epoch number, and each worker that processes the mark extracts
+	// an epoch-delta (dependences whose aggregates advanced since the last
+	// mark) from its dependence set without pausing the pipeline. Unlike the
+	// other control kinds, EpochMark is wire-legal in DDT1 traces so clients
+	// can cut epochs at workload-meaningful boundaries; the daemon's ticker
+	// injects the same record server-side.
+	EpochMark
 )
 
 func (k Kind) String() string {
@@ -73,6 +81,8 @@ func (k Kind) String() string {
 		return "range"
 	case Promote:
 		return "promote"
+	case EpochMark:
+		return "epoch"
 	}
 	return "invalid"
 }

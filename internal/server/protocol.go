@@ -32,6 +32,24 @@
 // server run full loop-carried classification and name-preserving encoding,
 // so a remote profile is byte-identical to the profile an in-process run of
 // the same target produces.
+//
+// # Watch subscriptions
+//
+// A connection whose handshake flags carry bit 3 (watch) is a live
+// observatory subscription, not a profiling session. The preamble
+// short-circuits after the flags byte to:
+//
+//	session (uvarint): profiling session ID to observe; 0 = the newest
+//	        active session, waiting for the next one when none is live
+//	since   (uvarint): epoch the catch-up frame starts from; 0 = everything
+//
+// The server replies with a bare status byte. On error a length-prefixed
+// message follows (as in the session response); on success the connection
+// becomes a stream of epoch-delta frames (trace.DeltaReader/DeltaWriter),
+// each payload a complete DDP1 profile of the dependences whose aggregates
+// advanced during one epoch. The frame marked final carries the session's
+// unshipped remainder; folding every received payload with dep.DecodeMerge
+// reconstructs the session's exact end-of-run profile.
 package server
 
 import (
@@ -52,7 +70,8 @@ const (
 	flagRaceCheck   = 1 << 0
 	flagExact       = 1 << 1 // legacy shorthand for the "perfect" backend
 	flagBackendSpec = 1 << 2 // a length-prefixed store spec string follows
-	flagsKnown      = flagRaceCheck | flagExact | flagBackendSpec
+	flagWatch       = 1 << 3 // watch subscription, not a profiling session
+	flagsKnown      = flagRaceCheck | flagExact | flagBackendSpec | flagWatch
 
 	statusOK  = 0
 	statusErr = 1
@@ -74,6 +93,15 @@ type handshake struct {
 	Workers  int
 	VarNames []string
 	Meta     *prog.Meta // nil when the client sent no loop metadata
+
+	// Watch sessions (flagWatch) carry only the two fields below after the
+	// flags byte; everything above stays zero. WatchSession is the profiling
+	// session to observe (0 = the newest active session, waiting for the next
+	// one to start when none is live) and WatchSince the epoch the catch-up
+	// frame starts from (0 = everything).
+	Watch        bool
+	WatchSession uint64
+	WatchSince   uint64
 }
 
 func putUvarint(w io.Writer, v uint64) error {
@@ -132,8 +160,17 @@ func writeHandshake(w io.Writer, h *handshake) error {
 	if h.Backend != "" {
 		flags |= flagBackendSpec
 	}
+	if h.Watch {
+		flags |= flagWatch
+	}
 	if _, err := w.Write([]byte{protoVersion, flags}); err != nil {
 		return err
+	}
+	if h.Watch {
+		if err := putUvarint(w, h.WatchSession); err != nil {
+			return err
+		}
+		return putUvarint(w, h.WatchSince)
 	}
 	if h.Backend != "" {
 		if err := putString(w, h.Backend); err != nil {
@@ -181,6 +218,16 @@ func readHandshake(br *bufio.Reader) (*handshake, error) {
 		return nil, fmt.Errorf("server: unknown handshake flags %#x", fl)
 	}
 	h := &handshake{Flags: fl}
+	if fl&flagWatch != 0 {
+		h.Watch = true
+		if h.WatchSession, err = getUvarint(br); err != nil {
+			return nil, fmt.Errorf("server: reading watch session: %w", err)
+		}
+		if h.WatchSince, err = getUvarint(br); err != nil {
+			return nil, fmt.Errorf("server: reading watch epoch: %w", err)
+		}
+		return h, nil
+	}
 	if fl&flagBackendSpec != 0 {
 		if h.Backend, err = getString(br, maxBackendSpec); err != nil {
 			return nil, fmt.Errorf("server: reading backend spec: %w", err)

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"ddprof/internal/dep"
 	"ddprof/internal/event"
 	"ddprof/internal/loc"
+	"ddprof/internal/prog"
 	"ddprof/internal/sig"
 	"ddprof/internal/telemetry"
 	"ddprof/internal/trace"
@@ -75,6 +77,16 @@ type Config struct {
 	// pipelines backed by approximate signatures (sig_fpr_measured_ppm vs
 	// sig_fpr_predicted_ppm per worker on /metrics).
 	TrackAccuracy bool
+	// EpochInterval is the live observatory's epoch ticker: how often an
+	// ingesting session cuts an epoch and streams the delta to its watch
+	// subscribers. 0 disables the ticker; explicit EpochMark records in the
+	// trace stream cut epochs regardless.
+	EpochInterval time.Duration
+	// SessionSeriesMax caps the per-session labeled series on /metrics
+	// (server_session_events_total{session="..."}). Sessions beyond the cap
+	// account to the shared session="overflow" series; a session's own series
+	// is evicted from the registry when it closes. Default 64.
+	SessionSeriesMax int
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -109,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotSamples == 0 {
 		c.SnapshotSamples = 1024
+	}
+	if c.SessionSeriesMax <= 0 {
+		c.SessionSeriesMax = 64
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -169,6 +184,17 @@ type Server struct {
 	budget    int
 	draining  bool
 	sessWG    sync.WaitGroup
+	// sessSeries counts live per-session labeled metric series, enforcing
+	// Config.SessionSeriesMax (guarded by mu like the session table).
+	sessSeries int
+
+	// The observatory table: one per profiling session, kept past completion
+	// for queries (obsDone is the FIFO retention order). obsWaiters are watch
+	// subscriptions for "the next session" (WatchSession 0 with none active).
+	obsMu      sync.Mutex
+	obs        map[uint64]*observatory
+	obsDone    []uint64
+	obsWaiters []chan *observatory
 
 	cAccepted  *telemetry.Counter
 	cRefused   *telemetry.Counter
@@ -189,6 +215,7 @@ func New(cfg Config) *Server {
 		pipe:       reg.Pipeline("pipeline"),
 		sessions:   make(map[uint64]*session),
 		listeners:  make(map[net.Listener]struct{}),
+		obs:        make(map[uint64]*observatory),
 		budget:     cfg.WorkerBudget,
 		cAccepted:  reg.Counter("server_sessions_accepted_total"),
 		cRefused:   reg.Counter("server_sessions_refused_total"),
@@ -363,6 +390,121 @@ func (s *Server) releaseWorkers(n int) {
 	s.mu.Unlock()
 }
 
+// attachObservatory registers a new session's observatory and hands it to
+// every watch subscription waiting for "the next session".
+func (s *Server) attachObservatory(id uint64, workers int, varNames []string) *observatory {
+	o := newObservatory(id, workers, varNames)
+	s.obsMu.Lock()
+	s.obs[id] = o
+	waiters := s.obsWaiters
+	s.obsWaiters = nil
+	s.obsMu.Unlock()
+	for _, w := range waiters {
+		w <- o // buffered, never blocks
+	}
+	return o
+}
+
+// retireObservatory moves a finished session's observatory into the retained
+// ring (ok) or drops it (session evicted), releasing whatever falls out.
+func (s *Server) retireObservatory(o *observatory, ok bool) {
+	var victim *observatory
+	s.obsMu.Lock()
+	if !ok {
+		victim = o
+		delete(s.obs, o.sessionID)
+	} else {
+		s.obsDone = append(s.obsDone, o.sessionID)
+		if len(s.obsDone) > obsRetained {
+			vid := s.obsDone[0]
+			s.obsDone = s.obsDone[1:]
+			victim = s.obs[vid]
+			delete(s.obs, vid)
+		}
+	}
+	s.obsMu.Unlock()
+	if victim != nil {
+		victim.release()
+	}
+}
+
+// observatoryByID returns the observatory of a live or retained session.
+func (s *Server) observatoryByID(id uint64) *observatory {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	return s.obs[id]
+}
+
+// findObservatory resolves a watch target: a session by ID (live or
+// retained), or — for ID 0 — the newest active session, waiting up to wait
+// for one to start when none is.
+func (s *Server) findObservatory(id uint64, wait time.Duration) (*observatory, error) {
+	if id != 0 {
+		if o := s.observatoryByID(id); o != nil {
+			return o, nil
+		}
+		return nil, fmt.Errorf("ddprofd: no session %d (live or retained)", id)
+	}
+	s.obsMu.Lock()
+	var best *observatory
+	for _, o := range s.obs {
+		if o.active() && (best == nil || o.sessionID > best.sessionID) {
+			best = o
+		}
+	}
+	if best != nil {
+		s.obsMu.Unlock()
+		return best, nil
+	}
+	ch := make(chan *observatory, 1)
+	s.obsWaiters = append(s.obsWaiters, ch)
+	s.obsMu.Unlock()
+	select {
+	case o := <-ch:
+		return o, nil
+	case <-time.After(wait):
+		s.obsMu.Lock()
+		for i, w := range s.obsWaiters {
+			if w == ch {
+				s.obsWaiters = append(s.obsWaiters[:i], s.obsWaiters[i+1:]...)
+				break
+			}
+		}
+		s.obsMu.Unlock()
+		select {
+		case o := <-ch: // attach raced the timeout; take it
+			return o, nil
+		default:
+		}
+		return nil, errors.New("ddprofd: no active session to watch")
+	}
+}
+
+// sessionEventsCounter returns a session's labeled events counter and its
+// release func. Cardinality on /metrics is bounded: at most SessionSeriesMax
+// per-session series exist at once; sessions past the cap share the
+// session="overflow" series, and a session's own series is removed from the
+// registry when it closes.
+func (s *Server) sessionEventsCounter(id uint64) (*telemetry.Counter, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sessSeries >= s.cfg.SessionSeriesMax {
+		return s.cfg.Registry.Counter(`server_session_events_total{session="overflow"}`), func() {}
+	}
+	s.sessSeries++
+	name := fmt.Sprintf("server_session_events_total{session=\"%d\"}", id)
+	c := s.cfg.Registry.Counter(name)
+	var once sync.Once
+	return c, func() {
+		once.Do(func() {
+			s.cfg.Registry.Remove(name)
+			s.mu.Lock()
+			s.sessSeries--
+			s.mu.Unlock()
+		})
+	}
+}
+
 // timedConn enforces the slow-client deadline on every read and write and
 // feeds the per-session and daemon byte counters.
 type timedConn struct {
@@ -407,10 +549,27 @@ func (s *Server) runSession(sess *session) error {
 	if err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
+	if h.Watch {
+		return s.runWatch(sess, h, tc)
+	}
 
 	workers := s.acquireWorkers(h.Workers)
 	defer s.releaseWorkers(workers)
 	sess.workers.Store(int32(max(workers, 1)))
+
+	// The live observatory: workers deliver epoch-delta extractions here,
+	// watch subscribers and the HTTP query endpoints read from it. Bounds
+	// tracking feeds the address-range provenance query.
+	obs := s.attachObservatory(sess.id, max(workers, 1), h.VarNames)
+	obsOK := false
+	defer func() {
+		if !obsOK {
+			obs.abort()
+		}
+		s.retireObservatory(obs, obsOK)
+	}()
+	cEvents, evictSeries := s.sessionEventsCounter(sess.id)
+	defer evictSeries()
 
 	ccfg := core.Config{
 		Meta:          h.Meta,
@@ -418,6 +577,8 @@ func (s *Server) runSession(sess *session) error {
 		Metrics:       s.pipe,
 		QueueCap:      s.cfg.QueueCap,
 		TrackAccuracy: s.cfg.TrackAccuracy,
+		OnEpochDelta:  obs.offer,
+		TrackBounds:   true,
 	}
 	if workers >= 2 {
 		ccfg.Mode = core.ModeParallel
@@ -458,6 +619,34 @@ func (s *Server) runSession(sess *session) error {
 		}
 	}()
 
+	// The epoch clock. Marks come from two sources — explicit EpochMark
+	// records in the trace and the daemon's interval ticker — and both
+	// advance one server-side monotone counter, so frame epochs are ordered
+	// no matter how the two interleave. The ticker only raises a flag; the
+	// mark itself is cut on the ingest goroutine between records, which the
+	// sequential-target producer requires.
+	marker, _ := prof.(core.EpochMarker)
+	var epoch uint32
+	var tickPending atomic.Bool
+	if s.cfg.EpochInterval > 0 && marker != nil {
+		tk := time.NewTicker(s.cfg.EpochInterval)
+		tickStop := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-tk.C:
+					tickPending.Store(true)
+				case <-tickStop:
+					return
+				}
+			}
+		}()
+		defer func() {
+			tk.Stop()
+			close(tickStop)
+		}()
+	}
+
 	sess.state.Store(stateReceiving)
 	fr := trace.NewFrameReader(br, s.cfg.MaxFrame)
 	tr, err := trace.NewReader(fr)
@@ -469,6 +658,11 @@ func (s *Server) runSession(sess *session) error {
 	// reader has already validated range element kinds (Read/Write only).
 	ranged, hasRange := prof.(interface{ AccessRange(event.Range) })
 	for {
+		if tickPending.Load() && marker != nil {
+			tickPending.Store(false)
+			epoch++
+			marker.EpochMark(epoch)
+		}
 		rec, err := tr.NextRecord()
 		if err == io.EOF {
 			break
@@ -485,9 +679,19 @@ func (s *Server) runSession(sess *session) error {
 				}
 			}
 			sess.events.Add(uint64(rec.Range.Count))
+			cEvents.Add(uint64(rec.Range.Count))
 			continue
 		}
 		a := rec.Access
+		if a.Kind == event.EpochMark {
+			// The one wire-legal control kind: an explicit epoch cut embedded
+			// in the trace by the client.
+			if marker != nil {
+				epoch++
+				marker.EpochMark(epoch)
+			}
+			continue
+		}
 		// Pipeline control kinds are daemon-internal; a stream carrying them
 		// is corrupt (a hostile one could hijack the migration mailboxes).
 		if a.Kind > event.Remove {
@@ -495,10 +699,34 @@ func (s *Server) runSession(sess *session) error {
 		}
 		prof.Access(a)
 		sess.events.Add(1)
+		cEvents.Inc()
 	}
 
 	sess.state.Store(stateProfiling)
+	// Cut one last epoch at end-of-stream so every worker ships its tail —
+	// and its bounds snapshot — before the merge; the post-merge remainder
+	// below is then normally empty, but extracting it keeps the "union of
+	// deltas equals the final profile" guarantee unconditional.
+	if marker != nil {
+		epoch++
+		marker.EpochMark(epoch)
+	}
 	res = flush()
+	fin := &core.EpochDelta{Epoch: epoch + 1, Deps: dep.NewSet()}
+	res.Deps.ExtractDelta(fin.Deps)
+	for id, ks := range res.Carried {
+		out := dep.NewSet()
+		if ks.ExtractDelta(out) == 0 {
+			out.Release()
+			continue
+		}
+		if fin.Loops == nil {
+			fin.Loops = make(map[prog.LoopID]*dep.Set)
+		}
+		fin.Loops[id] = out
+	}
+	obs.finish(fin)
+	obsOK = true
 
 	sess.state.Store(stateResponding)
 	tab := loc.NewTable()
@@ -512,6 +740,68 @@ func (s *Server) runSession(sess *session) error {
 	bw := bufio.NewWriterSize(tc, 1<<16)
 	if err := writeResponse(bw, statusOK, buf.Bytes()); err != nil {
 		return fmt.Errorf("writing response: %w", err)
+	}
+	return bw.Flush()
+}
+
+// runWatch serves a watch subscription: it resolves the target session's
+// observatory, replies with a bare statusOK byte, then streams epoch-delta
+// frames until the session's final frame (or death). Each frame is flushed
+// to the socket as it is cut, so subscribers see deltas while the session is
+// still ingesting. A subscriber that cannot keep up is evicted rather than
+// allowed to backpressure the profiling session.
+func (s *Server) runWatch(sess *session, h *handshake, tc *timedConn) error {
+	sess.workers.Store(0)
+	if h.WatchSince > uint64(^uint32(0)) {
+		return fmt.Errorf("watch: epoch %d overflows uint32", h.WatchSince)
+	}
+	o, err := s.findObservatory(h.WatchSession, s.cfg.IdleTimeout)
+	if err != nil {
+		return err
+	}
+	catch, sub, done := o.subscribe(uint32(h.WatchSince))
+	defer o.unsubscribe(sub)
+
+	sess.state.Store(stateResponding)
+	bw := bufio.NewWriterSize(tc, 1<<16)
+	if _, err := bw.Write([]byte{statusOK}); err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	dw := trace.NewDeltaWriter(bw)
+	send := func(f trace.DeltaFrame) error {
+		if err := dw.WriteFrame(f); err != nil {
+			return fmt.Errorf("watch: writing frame: %w", err)
+		}
+		sess.events.Add(1)
+		return bw.Flush()
+	}
+	sawFinal := false
+	if catch != nil {
+		if err := send(*catch); err != nil {
+			return err
+		}
+		sawFinal = catch.Final
+	}
+	if !done {
+		for f := range sub.ch {
+			if err := send(f); err != nil {
+				return err
+			}
+			if f.Final {
+				sawFinal = true
+			}
+		}
+	}
+	if !sawFinal && !o.isAborted() {
+		// The stream closed without a final frame while the session lives on
+		// (or finished past us): this subscriber fell behind and was evicted
+		// from the fan-out.
+		return errors.New("watch: subscriber fell behind, evicted")
+	}
+	// An aborted session ends the stream with a clean terminator but no
+	// frame marked final; the client knows no exact profile exists.
+	if err := dw.Close(); err != nil {
+		return fmt.Errorf("watch: %w", err)
 	}
 	return bw.Flush()
 }
@@ -551,6 +841,19 @@ func (s *Server) ActiveSessions() int {
 //	/sessions       — JSON array of live sessions
 //	/debug/timeline — JSON time series of all metrics (flight-recorder ring)
 //	/debug/pprof/   — the standard Go runtime profiles
+//
+// and the live observatory's provenance query API, answered from the
+// session's observatory (live or retained) without pausing ingest:
+//
+//	GET  /sessions/{id}/deps?since=E        — dependences first observed at
+//	                                          epoch E or later (0 = all)
+//	GET  /sessions/{id}/loop/{L}/carried    — what loop L carries right now
+//	GET  /sessions/{id}/addr?lo=&hi=        — dependences on variables whose
+//	                                          observed address interval
+//	                                          intersects [lo, hi]
+//	POST /sessions/{id}/diff                — merge-join a stored DDP1
+//	                                          baseline (request body) against
+//	                                          the live profile
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.cfg.Registry.Handler())
@@ -559,6 +862,60 @@ func (s *Server) HTTPHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Sessions())
+	})
+	mux.HandleFunc("GET /sessions/{id}/deps", func(w http.ResponseWriter, r *http.Request) {
+		o := s.obsForRequest(w, r)
+		if o == nil {
+			return
+		}
+		since, err := queryUint(r, "since", 0)
+		if err != nil || since > uint64(^uint32(0)) {
+			http.Error(w, "bad since= epoch", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, o.depsSince(uint32(since)))
+	})
+	mux.HandleFunc("GET /sessions/{id}/loop/{loop}/carried", func(w http.ResponseWriter, r *http.Request) {
+		o := s.obsForRequest(w, r)
+		if o == nil {
+			return
+		}
+		l, err := strconv.ParseUint(r.PathValue("loop"), 10, 16)
+		if err != nil {
+			http.Error(w, "bad loop id", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, o.loopCarried(prog.LoopID(l)))
+	})
+	mux.HandleFunc("GET /sessions/{id}/addr", func(w http.ResponseWriter, r *http.Request) {
+		o := s.obsForRequest(w, r)
+		if o == nil {
+			return
+		}
+		lo, err1 := queryUint(r, "lo", 0)
+		hi, err2 := queryUint(r, "hi", ^uint64(0))
+		if err1 != nil || err2 != nil || lo > hi {
+			http.Error(w, "bad lo=/hi= address bounds", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, o.addrQuery(lo, hi))
+	})
+	mux.HandleFunc("POST /sessions/{id}/diff", func(w http.ResponseWriter, r *http.Request) {
+		o := s.obsForRequest(w, r)
+		if o == nil {
+			return
+		}
+		baseline, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRespPayload))
+		if err != nil {
+			http.Error(w, "reading baseline: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		page, err := o.diffAgainst(baseline)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, page)
 	})
 	if s.snap != nil {
 		mux.Handle("/debug/timeline", s.snap.TimelineHandler())
@@ -571,13 +928,50 @@ func (s *Server) HTTPHandler() http.Handler {
 	return mux
 }
 
+// obsForRequest resolves the {id} path value to a live or retained
+// observatory, writing the HTTP error itself when it can't.
+func (s *Server) obsForRequest(w http.ResponseWriter, r *http.Request) *observatory {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return nil
+	}
+	o := s.observatoryByID(id)
+	if o == nil {
+		http.Error(w, fmt.Sprintf("no session %d (live or retained)", id), http.StatusNotFound)
+		return nil
+	}
+	return o
+}
+
+// queryUint parses an optional unsigned query parameter (base 10 or 0x hex).
+func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(v, 0, 64)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 // Shutdown drains the daemon: listeners close immediately (new connects are
 // refused), in-flight sessions run to completion, and when ctx expires the
 // remaining connections are force-closed. It returns nil if every session
 // finished in time, ctx.Err() otherwise.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.snap != nil {
-		s.snap.Stop() // final sample records the end state
+	// The flight recorder stops only after the drain below: its final sample
+	// must capture the fully drained end state (completed-session counters,
+	// zero active sessions), not the state at the moment shutdown began.
+	stopSnap := func() {
+		if s.snap != nil {
+			s.snap.Stop()
+		}
 	}
 	s.mu.Lock()
 	s.draining = true
@@ -597,6 +991,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		stopSnap()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -605,6 +1000,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		stopSnap()
 		return ctx.Err()
 	}
 }

@@ -93,7 +93,10 @@ func (s *Snapshotter) SampleNow() {
 	s.mu.Unlock()
 }
 
-// Start launches the background sampling loop. Idempotent; Stop ends it.
+// Start launches the background sampling loop, taking a t=0 baseline sample
+// synchronously first — paired with Stop's final sample, a run shorter than
+// one interval still records a two-point timeline instead of losing its
+// start state. Idempotent; Stop ends the loop.
 func (s *Snapshotter) Start() {
 	s.mu.Lock()
 	if s.started {
@@ -105,6 +108,7 @@ func (s *Snapshotter) Start() {
 	s.done = make(chan struct{})
 	stop, done := s.stop, s.done
 	s.mu.Unlock()
+	s.SampleNow()
 	go func() {
 		defer close(done)
 		t := time.NewTicker(s.interval)

@@ -245,3 +245,29 @@ func TestTimelineHandler(t *testing.T) {
 		t.Fatalf("spans = %+v", page.Spans)
 	}
 }
+
+// TestSnapshotterBaselineSample: Start takes a t=0 sample synchronously, so
+// a run shorter than one sampling interval still records a two-point
+// timeline (the baseline plus Stop's final sample) instead of losing both
+// ends.
+func TestSnapshotterBaselineSample(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("work_total")
+	s := NewSnapshotter(r, time.Hour, 16) // interval far longer than the run
+	s.Start()
+	if s.Total() != 1 {
+		t.Fatalf("samples after Start = %d, want the t=0 baseline", s.Total())
+	}
+	c.Add(42)
+	s.Stop()
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("short run recorded %d samples, want baseline + final", len(samples))
+	}
+	if got := samples[0].Vals["work_total"]; got != 0 {
+		t.Fatalf("baseline work_total = %v, want 0", got)
+	}
+	if got := samples[1].Vals["work_total"]; got != 42 {
+		t.Fatalf("final work_total = %v, want 42", got)
+	}
+}

@@ -146,6 +146,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Remove deletes the metrics registered under the given names — counters,
+// gauges and histograms alike — so bounded-cardinality labeled series (the
+// daemon's per-session counters) can be evicted when their subject goes away.
+// Holding a removed metric's handle stays safe: updates through it simply no
+// longer reach any exposition. Re-registering the same name later yields a
+// fresh metric starting from zero.
+func (r *Registry) Remove(names ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		delete(r.counters, n)
+		delete(r.gauges, n)
+		delete(r.histograms, n)
+	}
+}
+
 // histQuantiles are the quantiles the exposition page and Snapshot render
 // for every histogram.
 var histQuantiles = []struct {

@@ -284,3 +284,33 @@ func TestObserveSigFPR(t *testing.T) {
 		}
 	}
 }
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("doomed_total")
+	c.Add(9)
+	r.Gauge("doomed_depth").Set(4)
+	r.Histogram("doomed_ms").Observe(5)
+	r.Counter("survivor_total").Add(1)
+
+	r.Remove("doomed_total", "doomed_depth", "doomed_ms", "never_registered")
+	snap := r.Snapshot()
+	for name := range snap {
+		if strings.HasPrefix(name, "doomed") {
+			t.Fatalf("removed metric %s still in snapshot", name)
+		}
+	}
+	if _, ok := snap["survivor_total"]; !ok {
+		t.Fatal("Remove took out an unrelated metric")
+	}
+
+	// A held handle stays safe after removal — it just no longer scrapes.
+	c.Inc()
+	if c.Load() != 10 {
+		t.Fatalf("held handle count = %d, want 10", c.Load())
+	}
+	// Re-registering the name starts a fresh series from zero.
+	if got := r.Counter("doomed_total").Load(); got != 0 {
+		t.Fatalf("re-registered counter starts at %d, want 0", got)
+	}
+}

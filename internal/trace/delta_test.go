@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestDeltaRoundTrip: frames survive the codec with epoch, final marker and
+// payload intact, and the terminator ends the stream with io.EOF.
+func TestDeltaRoundTrip(t *testing.T) {
+	frames := []DeltaFrame{
+		{Epoch: 1, Payload: []byte("DDP1-ish payload")},
+		{Epoch: 2, Payload: nil}, // empty payload is legal (quiet final frames)
+		{Epoch: 300, Final: true, Payload: bytes.Repeat([]byte{0xab}, 1000)},
+	}
+	var buf bytes.Buffer
+	dw := NewDeltaWriter(&buf)
+	for _, f := range frames {
+		if err := dw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := dw.WriteFrame(frames[0]); err == nil {
+		t.Fatal("WriteFrame after Close accepted")
+	}
+
+	dr := NewDeltaReader(&buf, 0)
+	for i, want := range frames {
+		got, err := dr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Epoch != want.Epoch || got.Final != want.Final || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := dr.Next(); err != io.EOF {
+		t.Fatalf("after terminator: err = %v, want io.EOF", err)
+	}
+	if !dr.Terminated() {
+		t.Fatal("Terminated() false after terminator")
+	}
+}
+
+// TestDeltaReaderHardening: truncation, undefined flags, oversized frames and
+// header/body inconsistencies error out instead of panicking or hanging.
+func TestDeltaReaderHardening(t *testing.T) {
+	frame := func(f DeltaFrame) []byte {
+		var buf bytes.Buffer
+		dw := NewDeltaWriter(&buf)
+		dw.WriteFrame(f)
+		return buf.Bytes()
+	}
+	full := frame(DeltaFrame{Epoch: 7, Payload: []byte("abcdef")})
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"cut header":      full[:1],
+		"cut payload":     full[:len(full)-2],
+		"missing flags":   {1},
+		"undefined flags": {3, 0xfe, 0},
+		"header > body":   {1, 0, 5}, // body len 1, but flags+epoch need 2
+	}
+	for name, data := range cases {
+		dr := NewDeltaReader(bytes.NewReader(data), 0)
+		if _, err := dr.Next(); err == nil || err == io.EOF {
+			t.Errorf("%s: err = %v, want decode error", name, err)
+		}
+	}
+
+	// A clean transport EOF before the terminator is unexpected.
+	dr := NewDeltaReader(bytes.NewReader(full), 0)
+	if _, err := dr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dr.Next(); err == nil || !strings.Contains(err.Error(), "unexpected") {
+		t.Fatalf("missing terminator: err = %v, want unexpected-EOF error", err)
+	}
+
+	// Oversized frames are rejected before allocation.
+	big := frame(DeltaFrame{Epoch: 1, Payload: bytes.Repeat([]byte{1}, 100)})
+	dr = NewDeltaReader(bytes.NewReader(big), 16)
+	if _, err := dr.Next(); err == nil || !strings.Contains(err.Error(), "frame") {
+		t.Fatalf("oversized frame: err = %v, want size rejection", err)
+	}
+}
+
+// FuzzDeltaFrame hardens the delta-frame decoder: arbitrary bytes must decode
+// or error, never panic, and whatever decodes must re-encode losslessly.
+func FuzzDeltaFrame(f *testing.F) {
+	var seed bytes.Buffer
+	dw := NewDeltaWriter(&seed)
+	dw.WriteFrame(DeltaFrame{Epoch: 3, Payload: []byte("payload")})
+	dw.WriteFrame(DeltaFrame{Epoch: 4, Final: true})
+	dw.Close()
+	f.Add(seed.Bytes())
+	f.Add([]byte{0})
+	f.Add([]byte{2, 1, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dr := NewDeltaReader(bytes.NewReader(data), 1<<16)
+		var frames []DeltaFrame
+		for {
+			fr, err := dr.Next()
+			if err == io.EOF {
+				if !dr.Terminated() {
+					t.Fatal("io.EOF without the terminator flag")
+				}
+				break
+			}
+			if err != nil {
+				return
+			}
+			frames = append(frames, fr)
+		}
+		var out bytes.Buffer
+		dw := NewDeltaWriter(&out)
+		for _, fr := range frames {
+			if err := dw.WriteFrame(fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		back := NewDeltaReader(&out, 1<<16)
+		for i, want := range frames {
+			got, err := back.Next()
+			if err != nil {
+				t.Fatalf("re-decode frame %d: %v", i, err)
+			}
+			if got.Epoch != want.Epoch || got.Final != want.Final || !bytes.Equal(got.Payload, want.Payload) {
+				t.Fatalf("frame %d changed across the round trip", i)
+			}
+		}
+		if _, err := back.Next(); err != io.EOF {
+			t.Fatalf("round trip grew frames: %v", err)
+		}
+	})
+}

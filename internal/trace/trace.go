@@ -232,7 +232,11 @@ func (r *Reader) NextRecord() (Record, error) {
 		rec.IsRange = true
 		return rec, err
 	}
-	if event.Kind(kb) > event.Flush {
+	if event.Kind(kb) > event.Flush && event.Kind(kb) != event.EpochMark {
+		// Rebalance control kinds (Migrate/Install/Hold/Promote) are
+		// pipeline-internal and never wire-legal; EpochMark is the one
+		// control record clients may embed to cut epochs at workload
+		// boundaries.
 		return rec, fmt.Errorf("trace: event %d: invalid kind %d", r.n, kb)
 	}
 	rec.Access, err = r.readPoint(kb)
