@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt-check fuzz smoke bench bench-producer bench-merge bench-store bench-gate
+.PHONY: all build vet test race check fmt-check fuzz smoke bench bench-producer bench-merge bench-store bench-remote bench-gate
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # merge over the dependence slabs, so that is where the detector earns its
 # keep.
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./internal/dep/ ./internal/hashtab/ ./internal/queue/ ./internal/server/ ./internal/shadow/ ./internal/stride/ ./internal/vm/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/dep/ ./internal/hashtab/ ./internal/queue/ ./internal/server/ ./internal/shadow/ ./internal/stride/ ./internal/trace/ ./internal/vm/
 
 # Formatting gate: fail with the offending diff if any file is not gofmt'd.
 fmt-check:
@@ -74,6 +74,16 @@ bench-store:
 	$(GO) test -run=^$$ '-bench=^BenchmarkStore$$/' -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-label store benchjson
 
+# Remote-ingest throughput: the daemon session path (loopback socket, framed
+# DDT1, batched decode, bulk ingest) against the in-process twin, recorded
+# under the "remote" label. Re-record with this target after an intentional
+# ingest change. On a single-core machine the remote pairs carry the full
+# client + socket + decode cost serialized onto one CPU; with spare cores the
+# pipeline stages overlap and the remote/inproc gap shrinks.
+bench-remote:
+	$(GO) test -run=^$$ -bench=BenchmarkRemoteIngest -benchtime=2s -count=3 ./internal/server/ \
+		| $(GO) run ./cmd/ddexp -bench-label remote benchjson
+
 BENCH_BASELINE ?= hotpath
 bench-gate:
 	$(GO) test -run=^$$ -bench=BenchmarkHotPath -benchtime=2s -count=3 . \
@@ -84,6 +94,8 @@ bench-gate:
 		| $(GO) run ./cmd/ddexp -bench-compare merge benchjson
 	$(GO) test -run=^$$ '-bench=^BenchmarkStore$$/' -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/ddexp -bench-compare store benchjson
+	$(GO) test -run=^$$ -bench=BenchmarkRemoteIngest -benchtime=2s -count=3 ./internal/server/ \
+		| $(GO) run ./cmd/ddexp -bench-compare remote benchjson
 
 # Short fuzz pass over the hardened decoders (trace, framing, server), the
 # dependence-set fast-update API the instance cache relies on, and the
@@ -93,6 +105,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzRangeFrame -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzFrames -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzNextBatch -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzDeltaFrame -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzHandshake -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzFastUpdate -fuzztime=10s ./internal/dep/

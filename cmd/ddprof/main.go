@@ -49,6 +49,7 @@ func run() int {
 		out     = flag.String("o", "", "write the dependence dump to a file instead of stdout")
 		format  = flag.String("format", "text", "dump format: text (Figure 1/3) | binary")
 		remote  = flag.String("remote", "", "profile on a ddprofd daemon: host:port or unix:/path.sock")
+		frameKB = flag.Int("framebytes", 0, "with -remote: wire frame size in bytes (one trace-buffer flush = one frame; 0 = 64KiB default, capped by the daemon's -max-frame)")
 		watch   = flag.Bool("watch", false, "with -remote: subscribe to a session's live epoch-delta stream instead of profiling")
 		watchID = flag.Uint64("watch-session", 0, "with -watch: daemon session to observe (0 = newest active, waiting for the next when none is)")
 		watchAt = flag.Uint64("watch-since", 0, "with -watch: catch up from this epoch (0 = the full profile so far)")
@@ -147,7 +148,7 @@ func run() int {
 	}
 
 	if *remote != "" {
-		return runRemote(prog, isMT || *mode == "mt", w, *remote, *workers, *backend, *useTW, *summary, *format)
+		return runRemote(prog, isMT || *mode == "mt", w, *remote, *workers, *backend, *useTW, *summary, *format, *frameKB)
 	}
 
 	cfg := ddprof.Config{Workers: *workers, Slots: *slots, Backend: *backend, Interp: *useTW}
@@ -203,7 +204,7 @@ func run() int {
 
 // runRemote executes the target locally while streaming its trace to a
 // ddprofd daemon, then renders the dependence set the daemon returned.
-func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers int, backend string, useTW, summary bool, format string) int {
+func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers int, backend string, useTW, summary bool, format string, frameBytes int) int {
 	conn, err := server.Dial(addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddprof:", err)
@@ -211,10 +212,11 @@ func runRemote(prog *ddprof.Program, mt bool, w io.Writer, addr string, workers 
 	}
 	defer conn.Close()
 	rr, err := server.ProfileRemote(conn, prog, server.ClientOptions{
-		Workers: workers,
-		Backend: backend,
-		MT:      mt,
-		Interp:  useTW,
+		Workers:    workers,
+		Backend:    backend,
+		MT:         mt,
+		Interp:     useTW,
+		FrameBytes: frameBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddprof:", err)

@@ -74,6 +74,8 @@ func main() {
 		trackAcc = flag.Bool("track-accuracy", false, "live Eq. (2) accuracy telemetry: sig_fpr_measured_ppm vs sig_fpr_predicted_ppm per worker")
 		epochInt = flag.Duration("epoch-interval", 100*time.Millisecond, "live observatory epoch ticker: how often ingesting sessions cut an epoch-delta for watch subscribers (0 disables; explicit EpochMark records still cut)")
 		seriesMx = flag.Int("session-series", 64, "cap on per-session labeled series on /metrics; sessions past it share the overflow series")
+		readBuf  = flag.Int("readbuf", 64<<10, "per-session socket/bufio read buffer in bytes")
+		decDepth = flag.Int("decode-depth", 4, "per-session decode-stage depth: frames (and decoded chunks) in flight between socket, decoder and pipeline")
 	)
 	flag.Parse()
 
@@ -111,6 +113,8 @@ func main() {
 		TrackAccuracy:     *trackAcc,
 		EpochInterval:     *epochInt,
 		SessionSeriesMax:  *seriesMx,
+		ReadBuf:           *readBuf,
+		DecodeDepth:       *decDepth,
 		Logf:              logf,
 	})
 

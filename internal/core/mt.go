@@ -169,6 +169,25 @@ func (m *MT) Access(a event.Access) {
 	m.inflight.Add(-1)
 }
 
+// AccessBatch implements Profiler. MT's transport is per-access (each record
+// is pushed into a per-worker MPSC ring), so there is no bulk fast path to
+// exploit: the batch expands through Access, RangeRef slots element by
+// element — exactly what a local multi-threaded target would have produced.
+// Safe for concurrent use, like Access.
+func (m *MT) AccessBatch(accesses []event.Access, ranges []event.Range) {
+	for i := range accesses {
+		a := accesses[i]
+		if a.Kind == event.RangeRef {
+			r := &ranges[a.Addr]
+			for j := uint32(0); j < r.Count; j++ {
+				m.Access(r.At(j))
+			}
+			continue
+		}
+		m.Access(a)
+	}
+}
+
 // rebalancer runs redistribution rounds on kicks; on stop it runs one final
 // round (making rebalancing deterministic for drained streams) and exits.
 func (m *MT) rebalancer() {

@@ -73,6 +73,15 @@ func (p *Parallel) Access(a event.Access) { p.pr.access(a) }
 // the point path. Single-goroutine, like Access.
 func (p *Parallel) AccessRange(r event.Range) { p.pr.accessRange(&r) }
 
+// AccessBatch implements Profiler: one decoded batch through the producer
+// with the per-event counting and sketch bookkeeping amortized per batch.
+// Every slot takes the same routing/dup-collapse/re-compression paths as
+// Access and AccessRange, so the profile is byte-identical. Single-goroutine,
+// like Access.
+func (p *Parallel) AccessBatch(accesses []event.Access, ranges []event.Range) {
+	p.pr.putBatch(accesses, ranges)
+}
+
 // Flush implements Profiler.
 func (p *Parallel) Flush() *Result {
 	p.pl.beginFlush()

@@ -166,6 +166,7 @@ type chunkQueue interface {
 	TryPop() (*event.Chunk, bool)
 	Push(*event.Chunk)
 	Len() int
+	Cap() int
 }
 
 // transport carries events from the producer stage to one worker. Two
@@ -233,8 +234,16 @@ func (t *chunkTransport) recycle(c *event.Chunk) {
 	t.rec.TryPush(c) // if the recycle ring is full, let GC take it
 }
 
-func (t *chunkTransport) depth() int              { return t.in.Len() }
-func (t *chunkTransport) memBytes() uint64        { return 0 }
+func (t *chunkTransport) depth() int { return t.in.Len() }
+
+// memBytes reports the pointer cells of the inbound and recycle rings. The
+// chunks themselves are excluded on purpose: they travel between the rings
+// and the producer's open set, and the producer already accounts them as
+// allocatedChunks × chunkBytes — counting them here would double-book them.
+func (t *chunkTransport) memBytes() uint64 {
+	return uint64(t.in.Cap()+t.rec.Cap()) * 8
+}
+
 func (t *chunkTransport) observedMaxDepth() int64 { return -1 }
 
 // accessBatch is how many events one accessTransport.pop drains at most:
@@ -922,7 +931,8 @@ func (pr *producer) init(pl *pipeline, cfg *Config, rr bool) {
 	}
 }
 
-// access is the hot path: route, maybe collapse, append, push when full.
+// access is the per-event hot path: count, sample, then route/collapse/append
+// via put.
 func (pr *producer) access(a event.Access) {
 	if a.Kind == event.Read || a.Kind == event.Write {
 		pr.stats.Accesses++
@@ -937,6 +947,49 @@ func (pr *producer) access(a event.Access) {
 			}
 		}
 	}
+	pr.put(a)
+}
+
+// putBatch is the bulk-ingest seam: one decoded chunk's worth of slots, with
+// the per-event access counting hoisted to a single update per batch. Every
+// slot still flows through the same put/accessRange paths as the per-event
+// calls — routing, dup-collapse and stride re-compression behave identically,
+// so the profile is byte-identical to per-event ingestion. RangeRef slots
+// index into ranges; control slots (EpochMark and above) must not appear —
+// the caller splits batches at epoch marks.
+func (pr *producer) putBatch(accesses []event.Access, ranges []event.Range) {
+	sketch := pr.checkEvery > 0
+	var data uint64
+	for i := range accesses {
+		a := accesses[i]
+		if a.Kind == event.RangeRef {
+			pr.accessRange(&ranges[a.Addr])
+			continue
+		}
+		if a.Kind == event.Read || a.Kind == event.Write {
+			// A collapsed read (Rep > 0) stands for 1+Rep accesses; the
+			// sketch sampling cadence advances by the same amount so the
+			// heavy-hitter stream matches an uncollapsed feed (the extra
+			// offers repeat the same address, exactly as the duplicates
+			// themselves would have).
+			n := uint64(1 + a.Rep)
+			data += n
+			if sketch {
+				prev := pr.sample
+				pr.sample += n
+				for k := pr.sample>>4 - prev>>4; k > 0; k-- {
+					pr.heavy.Offer(a.Addr)
+				}
+			}
+		}
+		pr.put(a)
+	}
+	pr.stats.Accesses += data
+}
+
+// put routes, maybe collapses, appends, and pushes when full — access minus
+// the counting prologue, shared between the per-event and batch seams.
+func (pr *producer) put(a event.Access) {
 	w := 0
 	if !pr.rr {
 		// Owner computation is inlined on the hot path: the redirect map is

@@ -16,12 +16,20 @@ import (
 
 // Profiler is the uniform surface of all profiler variants. Access is the
 // instrumentation entry point called once per memory access of the target;
-// Flush drains the pipeline and returns the merged result. For the serial
-// and parallel (sequential-target) profilers Access must be called from a
-// single goroutine; the multi-threaded-target profiler accepts concurrent
-// callers.
+// AccessBatch is the bulk-ingest seam remote sessions feed decoded trace
+// batches through; Flush drains the pipeline and returns the merged result.
+// For the serial and parallel (sequential-target) profilers Access and
+// AccessBatch must be called from a single goroutine; the multi-threaded-
+// target profiler accepts concurrent callers.
 type Profiler interface {
 	Access(a event.Access)
+	// AccessBatch ingests one decoded batch: accesses holds point events plus
+	// RangeRef slots whose Addr indexes into ranges — the event.Chunk layout.
+	// Only data and Remove point kinds (plus RangeRef) may appear; control
+	// kinds, EpochMark included, are the caller's to handle between batches.
+	// The resulting profile is byte-identical to the equivalent sequence of
+	// Access/AccessRange calls.
+	AccessBatch(accesses []event.Access, ranges []event.Range)
 	Flush() *Result
 }
 
@@ -266,6 +274,47 @@ func (s *Serial) AccessRange(r event.Range) {
 		}
 	}
 	s.eng.ProcessRange(&r)
+}
+
+// AccessBatch implements Profiler: the whole batch drives the engine in one
+// tight loop — no per-event interface dispatch — with access counting and
+// telemetry publication amortized to one update per batch.
+func (s *Serial) AccessBatch(accesses []event.Access, ranges []event.Range) {
+	var data, rngs, relems uint64
+	for i := range accesses {
+		a := &accesses[i]
+		if a.Kind == event.RangeRef {
+			r := &ranges[a.Addr]
+			if r.Count == 0 {
+				continue
+			}
+			if r.Kind == event.Read || r.Kind == event.Write {
+				data += uint64(r.Count)
+				rngs++
+				relems += uint64(r.Count)
+			}
+			s.eng.ProcessRange(r)
+			continue
+		}
+		if a.Kind == event.Read || a.Kind == event.Write {
+			// A collapsed read (Rep > 0) stands for 1+Rep accesses.
+			data += 1 + uint64(a.Rep)
+		}
+		s.eng.Process(*a)
+	}
+	s.stats.Accesses += data
+	s.stats.Ranges += rngs
+	s.stats.RangeElements += relems
+	if s.m != nil {
+		if rngs > 0 {
+			s.m.Ranges.Add(rngs)
+			s.m.RangeElements.Add(relems)
+		}
+		if s.stats.Accesses-s.published >= 1024 {
+			s.m.Events.Add(s.stats.Accesses - s.published)
+			s.published = s.stats.Accesses
+		}
+	}
 }
 
 // Flush implements Profiler.

@@ -74,6 +74,16 @@ var benchMeta = map[string]struct{ Workload, Pattern string }{
 	"w8-d64k-ov0/tree":     {"merge-stage", "disjoint shards"},
 	"w8-d64k-ov90/serial":  {"merge-stage", "near-duplicate shards"},
 	"w8-d64k-ov90/tree":    {"merge-stage", "near-duplicate shards"},
+
+	// BenchmarkRemoteIngest: the same dependence-dense stream through a full
+	// daemon session over a loopback socket (framed DDT1 → batched decode →
+	// bulk ingest) and through an in-process profiler of the same
+	// configuration — the gap between the pairs is the wire + ingest cost
+	// (see internal/server/bench_remote_test.go).
+	"remote-serial":    {"remote-ingest", "dependence-dense, framed DDT1"},
+	"inproc-serial":    {"remote-ingest", "dependence-dense, in-process"},
+	"remote-parallel4": {"remote-ingest", "dependence-dense, framed DDT1"},
+	"inproc-parallel4": {"remote-ingest", "dependence-dense, in-process"},
 }
 
 // BenchRun is one labelled benchmark invocation (e.g. "baseline" before a

@@ -285,6 +285,9 @@ func (q *Locked[T]) Len() int {
 	return int(q.tail - q.head)
 }
 
+// Cap returns the ring capacity.
+func (q *Locked[T]) Cap() int { return len(q.buf) }
+
 // Backoff is the pipeline-wide wait policy, applied by queue push loops and
 // the profiler worker loops alike so that lock-free/lock-based mode
 // comparisons (Figure 5/6) measure queue discipline rather than ad-hoc

@@ -34,6 +34,12 @@ type ClientOptions struct {
 	// Interp records the trace with the reference tree-walking interpreter
 	// instead of the default bytecode VM.
 	Interp bool
+	// FrameBytes sizes the trace writer's serialization buffer — and since
+	// every buffer flush becomes one wire frame, the frame size the daemon
+	// decodes in one batch. Larger frames amortize framing and decode
+	// overhead; they must stay within the daemon's frame cap (1MiB by
+	// default). 0 selects the 64KiB default.
+	FrameBytes int
 	// Timeout bounds every socket read and write. Default 60s.
 	Timeout time.Duration
 }
@@ -232,7 +238,7 @@ func Watch(conn net.Conn, opt WatchOptions, fn func(trace.DeltaFrame) error) err
 // on the wire and letting the daemon ingest whole runs in one dispatch.
 func streamTrace(w io.Writer, p *minilang.Program, opt ClientOptions) ([]dep.LoopRecord, uint64, error) {
 	fw := trace.NewFrameWriter(w)
-	tw, err := trace.NewWriter(fw)
+	tw, err := trace.NewWriterSize(fw, opt.FrameBytes)
 	if err != nil {
 		return nil, 0, fmt.Errorf("server: opening trace stream: %w", err)
 	}

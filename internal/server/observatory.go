@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ddprof/internal/core"
 	"ddprof/internal/dep"
@@ -43,8 +44,45 @@ const (
 // channel; the channel is closed after the final frame (or on session abort
 // or slow-subscriber eviction), which ends the subscriber's serving loop.
 type deltaSub struct {
-	ch      chan trace.DeltaFrame
+	ch      chan obsFrame
 	evicted bool
+}
+
+// obsFrame is one delta frame plus the refcount that returns its pooled
+// payload buffer when every subscriber has written it out.
+type obsFrame struct {
+	trace.DeltaFrame
+	pay *sharedPayload
+}
+
+// deltaBufPool recycles the DDP1 payload buffers the observatory renders
+// epochs into; one buffer per epoch, shared across all subscribers, instead
+// of an allocation per epoch (and before that, per epoch per subscriber).
+var deltaBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// sharedPayload refcounts one epoch's encoded payload across the subscribers
+// it was fanned out to. The frame's Payload slice aliases buf, so buf may
+// only return to the pool after the last subscriber has released it. A frame
+// stranded in an exited subscriber's channel is never released and simply
+// falls to the GC; the pool just misses one buffer.
+type sharedPayload struct {
+	buf  *bytes.Buffer
+	refs atomic.Int32
+}
+
+func newSharedPayload() *sharedPayload {
+	p := &sharedPayload{buf: deltaBufPool.Get().(*bytes.Buffer)}
+	p.buf.Reset()
+	p.refs.Store(1) // the render-side owner reference
+	return p
+}
+
+func (p *sharedPayload) retain() { p.refs.Add(1) }
+
+func (p *sharedPayload) release() {
+	if p != nil && p.refs.Add(-1) == 0 {
+		deltaBufPool.Put(p.buf)
+	}
 }
 
 // pendingEpoch assembles one epoch's per-worker deltas until all workers
@@ -177,22 +215,28 @@ func (o *observatory) completeLocked(epoch uint32, p *pendingEpoch, final bool) 
 		}
 	}
 	if nonEmpty || final {
-		var buf bytes.Buffer
-		if err := dep.EncodeUnion(&buf, o.tab, nil, p.shards...); err == nil {
-			f := trace.DeltaFrame{Epoch: epoch, Final: final, Payload: buf.Bytes()}
+		pay := newSharedPayload()
+		if err := dep.EncodeUnion(pay.buf, o.tab, nil, p.shards...); err == nil {
+			f := obsFrame{
+				DeltaFrame: trace.DeltaFrame{Epoch: epoch, Final: final, Payload: pay.buf.Bytes()},
+				pay:        pay,
+			}
 			for sub := range o.subs {
 				if sub.evicted {
 					continue
 				}
+				pay.retain()
 				select {
 				case sub.ch <- f:
 				default:
 					// Slow subscriber: evict rather than stall the fan-out.
+					pay.release()
 					close(sub.ch)
 					sub.evicted = true
 				}
 			}
 		}
+		pay.release() // drop the owner reference
 	}
 	o.foldLocked(p)
 	if epoch > o.epoch {
@@ -279,10 +323,10 @@ func (o *observatory) isAborted() bool {
 // subsequent delta frames fold to the exact profile (for since == 0). done
 // reports that the session already ended — the catch-up frame is final and
 // the channel is already closed.
-func (o *observatory) subscribe(since uint32) (catchup *trace.DeltaFrame, sub *deltaSub, done bool) {
+func (o *observatory) subscribe(since uint32) (catchup *obsFrame, sub *deltaSub, done bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	sub = &deltaSub{ch: make(chan trace.DeltaFrame, subBuffer)}
+	sub = &deltaSub{ch: make(chan obsFrame, subBuffer)}
 	if !o.done && !o.aborted {
 		o.subs[sub] = struct{}{}
 	} else {
@@ -290,21 +334,28 @@ func (o *observatory) subscribe(since uint32) (catchup *trace.DeltaFrame, sub *d
 		sub.evicted = true
 	}
 	if o.live.Unique() > 0 || o.done {
-		var buf bytes.Buffer
+		pay := newSharedPayload()
 		var err error
 		if since == 0 {
-			err = dep.Encode(&buf, o.live, o.tab, nil)
+			err = dep.Encode(pay.buf, o.live, o.tab, nil)
 		} else {
 			tmp := dep.NewSet()
 			o.live.RangeSince(since, func(k dep.Key, st dep.Stats, _ uint32) bool {
 				*tmp.Ref(k) = st
 				return true
 			})
-			err = dep.Encode(&buf, tmp, o.tab, nil)
+			err = dep.Encode(pay.buf, tmp, o.tab, nil)
 			tmp.Release()
 		}
 		if err == nil {
-			catchup = &trace.DeltaFrame{Epoch: o.epoch, Final: o.done, Payload: buf.Bytes()}
+			// The owner reference transfers to the caller, released after
+			// the catch-up frame is written out.
+			catchup = &obsFrame{
+				DeltaFrame: trace.DeltaFrame{Epoch: o.epoch, Final: o.done, Payload: pay.buf.Bytes()},
+				pay:        pay,
+			}
+		} else {
+			pay.release()
 		}
 	}
 	return catchup, sub, o.done || o.aborted

@@ -555,16 +555,21 @@ func TestSessionSeriesLifecycle(t *testing.T) {
 		return fmt.Sprintf("server_session_events_total{session=\"%d\"}", id)
 	}
 
-	c1, rel1 := srv.sessionEventsCounter(1)
-	c2, rel2 := srv.sessionEventsCounter(2)
-	c1.Inc()
-	c2.Add(5)
+	s1, s2 := srv.sessionSeries(1), srv.sessionSeries(2)
+	rel1, rel2 := s1.release, s2.release
+	s1.events.Inc()
+	s2.events.Add(5)
 	if !has(name(1)) || !has(name(2)) {
 		t.Fatal("labeled series missing under the cap")
 	}
+	// The whole instrument bundle shares the one series slot.
+	if !has(`server_session_decode_depth{session="1"}`) {
+		t.Fatal("decode-depth gauge missing for session 1")
+	}
 
-	c3, rel3 := srv.sessionEventsCounter(3)
-	c3.Add(7)
+	s3 := srv.sessionSeries(3)
+	rel3 := s3.release
+	s3.events.Add(7)
 	if has(name(3)) {
 		t.Fatal("session 3 got a labeled series past the cap")
 	}
@@ -575,12 +580,13 @@ func TestSessionSeriesLifecycle(t *testing.T) {
 
 	rel1()
 	rel1() // idempotent
-	if has(name(1)) {
+	if has(name(1)) || has(`server_session_decode_depth{session="1"}`) {
 		t.Fatal("session 1 series survived its release")
 	}
 	// The freed slot goes to the next session.
-	c4, rel4 := srv.sessionEventsCounter(4)
-	c4.Inc()
+	s4 := srv.sessionSeries(4)
+	rel4 := s4.release
+	s4.events.Inc()
 	if !has(name(4)) {
 		t.Fatal("freed series slot not reused")
 	}

@@ -63,6 +63,16 @@ type Config struct {
 	// MaxFrame caps one ingest frame; larger frames mark the session
 	// corrupt. Default trace.DefaultMaxFrame.
 	MaxFrame int
+	// ReadBuf sizes a session's socket read path: the kernel receive buffer
+	// (SetReadBuffer, where the transport supports it) and the bufio layer
+	// the frame reader pulls from. Default 64KiB.
+	ReadBuf int
+	// DecodeDepth bounds the per-session decode stage: how many pooled
+	// frames (and decoded chunks) may sit in flight between the socket
+	// goroutine, the decode goroutine, and the profiling loop. Smaller
+	// values push pipeline backpressure to the socket sooner; larger ones
+	// buy more overlap. Default 4.
+	DecodeDepth int
 	// Registry receives daemon and pipeline telemetry. Default
 	// telemetry.Default().
 	Registry *telemetry.Registry
@@ -112,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = trace.DefaultMaxFrame
+	}
+	if c.ReadBuf <= 0 {
+		c.ReadBuf = 1 << 16
+	}
+	if c.DecodeDepth <= 0 {
+		c.DecodeDepth = 4
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default()
@@ -480,29 +496,57 @@ func (s *Server) findObservatory(id uint64, wait time.Duration) (*observatory, e
 	}
 }
 
-// sessionEventsCounter returns a session's labeled events counter and its
-// release func. Cardinality on /metrics is bounded: at most SessionSeriesMax
-// per-session series exist at once; sessions past the cap share the
-// session="overflow" series, and a session's own series is removed from the
-// registry when it closes.
-func (s *Server) sessionEventsCounter(id uint64) (*telemetry.Counter, func()) {
+// sessionSeries is one session's labeled telemetry: the events counter plus
+// the ingest-stage instruments — decode-stage depth, pooled-frame reuse
+// ratio, batch-size histogram. They appear on /metrics (and therefore in the
+// flight-recorder timeline, which snapshots every registry metric).
+type sessionSeries struct {
+	events  *telemetry.Counter
+	depth   *telemetry.Gauge
+	reuse   *telemetry.Gauge
+	batch   *telemetry.Histogram
+	release func()
+}
+
+// sessionSeries returns a session's labeled series bundle and arranges its
+// release. Cardinality on /metrics is bounded: one series slot covers all of
+// a session's instruments, at most SessionSeriesMax slots exist at once,
+// sessions past the cap share the session="overflow" series, and a session's
+// own series are removed from the registry when it closes.
+func (s *Server) sessionSeries(id uint64) *sessionSeries {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.sessSeries >= s.cfg.SessionSeriesMax {
-		return s.cfg.Registry.Counter(`server_session_events_total{session="overflow"}`), func() {}
+	label := "overflow"
+	overflow := s.sessSeries >= s.cfg.SessionSeriesMax
+	if !overflow {
+		s.sessSeries++
+		label = strconv.FormatUint(id, 10)
 	}
-	s.sessSeries++
-	name := fmt.Sprintf("server_session_events_total{session=\"%d\"}", id)
-	c := s.cfg.Registry.Counter(name)
-	var once sync.Once
-	return c, func() {
-		once.Do(func() {
-			s.cfg.Registry.Remove(name)
-			s.mu.Lock()
-			s.sessSeries--
-			s.mu.Unlock()
-		})
+	names := [4]string{
+		fmt.Sprintf("server_session_events_total{session=%q}", label),
+		fmt.Sprintf("server_session_decode_depth{session=%q}", label),
+		fmt.Sprintf("server_session_frame_reuse_permille{session=%q}", label),
+		fmt.Sprintf("server_session_batch_events{session=%q}", label),
 	}
+	ss := &sessionSeries{
+		events:  s.cfg.Registry.Counter(names[0]),
+		depth:   s.cfg.Registry.Gauge(names[1]),
+		reuse:   s.cfg.Registry.Gauge(names[2]),
+		batch:   s.cfg.Registry.Histogram(names[3]),
+		release: func() {},
+	}
+	if !overflow {
+		var once sync.Once
+		ss.release = func() {
+			once.Do(func() {
+				s.cfg.Registry.Remove(names[0], names[1], names[2], names[3])
+				s.mu.Lock()
+				s.sessSeries--
+				s.mu.Unlock()
+			})
+		}
+	}
+	return ss
 }
 
 // timedConn enforces the slow-client deadline on every read and write and
@@ -543,7 +587,11 @@ func (t *timedConn) Write(p []byte) (int, error) {
 // outlives its session.
 func (s *Server) runSession(sess *session) error {
 	tc := &timedConn{Conn: sess.conn, idle: s.cfg.IdleTimeout, sess: sess, srv: s}
-	br := bufio.NewReaderSize(tc, 1<<16)
+	if rb, ok := sess.conn.(interface{ SetReadBuffer(int) error }); ok {
+		// Best effort: TCP and Unix sockets support it, a test pipe may not.
+		rb.SetReadBuffer(s.cfg.ReadBuf)
+	}
+	br := bufio.NewReaderSize(tc, s.cfg.ReadBuf)
 
 	h, err := readHandshake(br)
 	if err != nil {
@@ -568,8 +616,8 @@ func (s *Server) runSession(sess *session) error {
 		}
 		s.retireObservatory(obs, obsOK)
 	}()
-	cEvents, evictSeries := s.sessionEventsCounter(sess.id)
-	defer evictSeries()
+	series := s.sessionSeries(sess.id)
+	defer series.release()
 
 	ccfg := core.Config{
 		Meta:          h.Meta,
@@ -648,58 +696,37 @@ func (s *Server) runSession(sess *session) error {
 	}
 
 	sess.state.Store(stateReceiving)
-	fr := trace.NewFrameReader(br, s.cfg.MaxFrame)
-	tr, err := trace.NewReader(fr)
-	if err != nil {
-		return fmt.Errorf("trace stream: %w", err)
-	}
-	// Range records feed the pipeline's bulk path when it has one (the
-	// serial and parallel typed pipelines); otherwise they expand here. The
-	// reader has already validated range element kinds (Read/Write only).
-	ranged, hasRange := prof.(interface{ AccessRange(event.Range) })
-	for {
+	// Two-stage ingest: the socket goroutine reads frames into pooled
+	// buffers, the decode goroutine batch-decodes them into chunks, and this
+	// goroutine feeds validated batches to the pipeline's bulk seam —
+	// overlapping socket read, decode, and profiling. Epoch marks (explicit
+	// EpochMark records and the interval ticker's pending flag) are still cut
+	// here, on the Access-calling goroutine, at exactly their stream
+	// positions: the decoder carries explicit marks as chunk slots and
+	// feedBatch splits batches around them.
+	ing := startIngest(sess.conn, br, s.cfg.MaxFrame, s.cfg.DecodeDepth)
+	defer ing.stop()
+	for ib := range ing.out {
 		if tickPending.Load() && marker != nil {
 			tickPending.Store(false)
 			epoch++
 			marker.EpochMark(epoch)
 		}
-		rec, err := tr.NextRecord()
-		if err == io.EOF {
-			break
+		n, err := feedBatch(prof, marker, ib, &epoch)
+		sess.events.Add(n)
+		series.events.Add(n)
+		series.batch.Observe(int64(len(ib.c.Events)))
+		series.depth.Set(int64(len(ing.frames)))
+		if r, fr := ing.reused.Load(), ing.fresh.Load(); r+fr > 0 {
+			series.reuse.Set(int64(r * 1000 / (r + fr)))
 		}
+		ing.free <- ib.c
 		if err != nil {
-			return fmt.Errorf("trace stream: %w", err)
+			return err
 		}
-		if rec.IsRange {
-			if hasRange {
-				ranged.AccessRange(rec.Range)
-			} else {
-				for j := uint32(0); j < rec.Range.Count; j++ {
-					prof.Access(rec.Range.At(j))
-				}
-			}
-			sess.events.Add(uint64(rec.Range.Count))
-			cEvents.Add(uint64(rec.Range.Count))
-			continue
-		}
-		a := rec.Access
-		if a.Kind == event.EpochMark {
-			// The one wire-legal control kind: an explicit epoch cut embedded
-			// in the trace by the client.
-			if marker != nil {
-				epoch++
-				marker.EpochMark(epoch)
-			}
-			continue
-		}
-		// Pipeline control kinds are daemon-internal; a stream carrying them
-		// is corrupt (a hostile one could hijack the migration mailboxes).
-		if a.Kind > event.Remove {
-			return fmt.Errorf("trace stream: event %d: control kind %v not allowed", tr.Count()-1, a.Kind)
-		}
-		prof.Access(a)
-		sess.events.Add(1)
-		cEvents.Inc()
+	}
+	if err := ing.err(); err != nil {
+		return fmt.Errorf("trace stream: %w", err)
 	}
 
 	sess.state.Store(stateProfiling)
@@ -744,6 +771,56 @@ func (s *Server) runSession(sess *session) error {
 	return bw.Flush()
 }
 
+// feedBatch validates one decoded batch and feeds it to the pipeline's bulk
+// seam, splitting at EpochMark slots so explicit epoch cuts land at exactly
+// their record position. It returns the number of target events fed (ranges
+// weighted by element count). Pipeline control kinds beyond Remove are
+// daemon-internal; a stream carrying them is corrupt (a hostile one could
+// hijack the migration mailboxes).
+func feedBatch(prof core.Profiler, marker core.EpochMarker, b ingestBatch, epoch *uint32) (uint64, error) {
+	evs, rngs := b.c.Events, b.c.Ranges
+	if !b.ctl {
+		// Pure data batch: no epoch marks to cut, no control kinds to
+		// reject, and the decoder already counted the events.
+		prof.AccessBatch(evs, rngs)
+		return b.events, nil
+	}
+	var events, weight uint64
+	seg := 0
+	for i := range evs {
+		a := &evs[i]
+		switch {
+		case a.Kind == event.RangeRef:
+			n := uint64(rngs[a.Addr].Count)
+			events += n
+			weight += n
+		case a.Kind == event.EpochMark:
+			if i > seg {
+				prof.AccessBatch(evs[seg:i], rngs)
+			}
+			seg = i + 1
+			weight++
+			if marker != nil {
+				*epoch++
+				marker.EpochMark(*epoch)
+			}
+		case a.Kind > event.Remove:
+			if i > seg {
+				prof.AccessBatch(evs[seg:i], rngs)
+			}
+			return events, fmt.Errorf("trace stream: event %d: control kind %v not allowed", b.base+weight, a.Kind)
+		default:
+			// A collapsed read slot stands for 1+Rep wire records.
+			events += 1 + uint64(a.Rep)
+			weight += 1 + uint64(a.Rep)
+		}
+	}
+	if seg < len(evs) {
+		prof.AccessBatch(evs[seg:], rngs)
+	}
+	return events, nil
+}
+
 // runWatch serves a watch subscription: it resolves the target session's
 // observatory, replies with a bare statusOK byte, then streams epoch-delta
 // frames until the session's final frame (or death). Each frame is flushed
@@ -768,8 +845,13 @@ func (s *Server) runWatch(sess *session, h *handshake, tc *timedConn) error {
 		return fmt.Errorf("watch: %w", err)
 	}
 	dw := trace.NewDeltaWriter(bw)
-	send := func(f trace.DeltaFrame) error {
-		if err := dw.WriteFrame(f); err != nil {
+	send := func(f obsFrame) error {
+		err := dw.WriteFrame(f.DeltaFrame)
+		// The frame's payload bytes are out of the pooled buffer once the
+		// delta writer has copied them; release this subscriber's reference
+		// whether or not the write stuck.
+		f.pay.release()
+		if err != nil {
 			return fmt.Errorf("watch: writing frame: %w", err)
 		}
 		sess.events.Add(1)

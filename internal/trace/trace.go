@@ -39,9 +39,21 @@ type Writer struct {
 	err   error
 }
 
-// NewWriter starts a trace.
+// NewWriter starts a trace with the default 64KiB serialization buffer.
 func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
+	return NewWriterSize(w, 0)
+}
+
+// NewWriterSize starts a trace with a size-byte serialization buffer. When w
+// is a FrameWriter the buffer size is also the wire frame size — every buffer
+// flush becomes exactly one frame — so it must stay within the receiving
+// daemon's frame cap (DefaultMaxFrame unless configured otherwise). size <= 0
+// selects the 64KiB default.
+func NewWriterSize(w io.Writer, size int) (*Writer, error) {
+	if size <= 0 {
+		size = 1 << 16
+	}
+	bw := bufio.NewWriterSize(w, size)
 	if _, err := bw.WriteString(magic); err != nil {
 		return nil, err
 	}
@@ -146,19 +158,24 @@ func (s *SyncWriter) Err() error {
 // kinds, undefined flag bits, varint overflows) return descriptive errors.
 // It never panics.
 type Reader struct {
-	br   *bufio.Reader
+	br   ByteScanner
 	prev event.Access
 	n    uint64
 	// Pending expansion of a decoded range record: Next hands out
 	// pendRange.At(pendNext) until the run is drained.
 	pendRange event.Range
 	pendNext  uint32
+	// batchCtl records whether the most recent NextBatch decoded any
+	// control record; see BatchControl.
+	batchCtl bool
 }
 
 // NewReader checks the stream magic and returns a Reader positioned at the
-// first event.
+// first event. Inputs that already implement ByteScanner (a *bufio.Reader,
+// the daemon's pooled frame stream) are decoded from directly; anything else
+// is wrapped in a 64KiB bufio layer.
 func NewReader(r io.Reader) (*Reader, error) {
-	br, ok := r.(*bufio.Reader)
+	br, ok := r.(ByteScanner)
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
 	}
